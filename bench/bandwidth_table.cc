@@ -1,0 +1,83 @@
+// TAB-BW — the bandwidth numbers scattered through §1, §8.2 and §8.3:
+//  * server bandwidth ~166 MB/s at 1M users;
+//  * client conversation bandwidth: one 256 B message up/down per round
+//    ("negligible");
+//  * dialing download: ~39,000 noise + ~50,000 real invitations ≈ 7 MB per
+//    10-minute round ≈ 12 KB/s per client;
+//  * aggregate invitation distribution: ~12 GB/s for 1M users (CDN).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/round_runner.h"
+#include "src/crypto/onion.h"
+#include "src/sim/cost_model.h"
+#include "src/wire/constants.h"
+
+using namespace vuvuzela;
+
+int main() {
+  bench::PrintHeader("TAB-BW", "bandwidth accounting (§1, §8.2, §8.3)");
+
+  constexpr uint64_t kUsers = 1000000;
+  constexpr size_t kServers = 3;
+  constexpr double kConvMu = 300000;
+  constexpr double kDialMu = 13000;
+  constexpr double kDialFraction = 0.05;
+  constexpr double kDialRoundSeconds = 600;  // 10-minute dialing rounds
+
+  sim::CostModel model = sim::CostModel::Measure();
+  double stage = model.ConversationMaxStageSeconds(kUsers, kServers, kConvMu);
+
+  std::printf("\n  server side (1M users, mu=300K, 3 servers):\n");
+  for (size_t position = 0; position < kServers; ++position) {
+    uint64_t bytes = model.ConversationServerBytes(kUsers, kServers, kConvMu, position);
+    std::printf("    server %zu: %6.1f MB per round -> %6.1f MB/s at pipelined round period "
+                "%.1f s\n",
+                position, static_cast<double>(bytes) / 1e6,
+                static_cast<double>(bytes) / 1e6 / stage, stage);
+  }
+  std::printf("    paper: \"servers use an average of 166 MB/sec\" at 1M users\n");
+
+  std::printf("\n  client side, conversation:\n");
+  size_t up = crypto::OnionRequestSize(wire::kExchangeRequestSize, kServers);
+  size_t down = crypto::OnionResponseSize(wire::kEnvelopeSize, kServers);
+  double latency = model.ConversationRoundLatency(kUsers, kServers, kConvMu);
+  std::printf("    %zu B up + %zu B down per round (%.1f s) = %.0f B/s (paper: negligible)\n",
+              up, down, latency, static_cast<double>(up + down) / latency);
+
+  std::printf("\n  client side, dialing download (m=1 real drop, as in §7/§8.3):\n");
+  double noise_invitations = kDialMu * kServers;
+  double real_invitations = static_cast<double>(kUsers) * kDialFraction;
+  double drop_bytes = (noise_invitations + real_invitations) * wire::kInvitationSize;
+  std::printf("    %.0f noise + %.0f real invitations = %.1f MB per round "
+              "(paper: ~39K noise, 50K real, ~7 MB)\n",
+              noise_invitations, real_invitations, drop_bytes / 1e6);
+  std::printf("    per-client rate: %.1f KB/s (paper: ~12 KB/s)\n",
+              drop_bytes / kDialRoundSeconds / 1e3);
+
+  std::printf("\n  aggregate invitation distribution (CDN, §1):\n");
+  std::printf("    %.1f GB/s for 1M clients (paper: ~12 GB/s)\n",
+              drop_bytes * static_cast<double>(kUsers) / kDialRoundSeconds / 1e9);
+
+  // Cross-check the model's byte accounting against a real reduced-scale
+  // round's measured counters.
+  std::printf("\n  cross-check vs real round (10K users, mu=3K):\n");
+  bench::RealRound round = bench::RunRealConversationRound(10000, kServers, 3000, 5);
+  uint64_t measured = 0;
+  for (const auto& s : round.stats.forward) {
+    measured += s.bytes_in + s.bytes_out;
+  }
+  for (const auto& s : round.stats.backward) {
+    measured += s.bytes_in + s.bytes_out;
+  }
+  uint64_t modeled = 0;
+  for (size_t position = 0; position < kServers; ++position) {
+    modeled += model.ConversationServerBytes(10000, kServers, 3000, position);
+  }
+  std::printf("    measured %llu bytes, modeled %llu bytes (%.0f%%)\n",
+              static_cast<unsigned long long>(measured),
+              static_cast<unsigned long long>(modeled),
+              100.0 * static_cast<double>(measured) / static_cast<double>(modeled));
+  return 0;
+}

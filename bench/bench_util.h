@@ -1,0 +1,43 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Each bench prints the rows/series of one table or figure from the paper
+// (see DESIGN.md experiment index). Real protocol rounds run at reduced
+// scale by default; set VUVUZELA_BENCH_SCALE=full for paper-scale rounds
+// (minutes per data point).
+
+#ifndef VUVUZELA_BENCH_BENCH_UTIL_H_
+#define VUVUZELA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace vuvuzela::bench {
+
+inline bool FullScale() {
+  const char* scale = std::getenv("VUVUZELA_BENCH_SCALE");
+  return scale != nullptr && std::strcmp(scale, "full") == 0;
+}
+
+inline void PrintHeader(const char* id, const char* title) {
+  std::printf("\n=== %s: %s ===\n", id, title);
+}
+
+inline void PrintNote(const char* note) { std::printf("  note: %s\n", note); }
+
+inline std::string Human(double v) {
+  char buf[64];
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+}  // namespace vuvuzela::bench
+
+#endif  // VUVUZELA_BENCH_BENCH_UTIL_H_

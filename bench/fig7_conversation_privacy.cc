@@ -1,0 +1,54 @@
+// FIG7 — Figure 7: ε′ and δ′ after k rounds of conversations for three noise
+// distributions (µ=150K/b=7300, µ=300K/b=13800, µ=450K/b=20000), d = 1e-5.
+// The paper plots e^ε′ (left) and δ′ (right) for k in [10^4, 10^6].
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/noise/privacy.h"
+
+using namespace vuvuzela;
+
+int main() {
+  bench::PrintHeader("FIG7", "conversation privacy vs rounds (eps', delta')");
+  bench::PrintNote("paper: Figure 7, d=1e-5; e^eps' shown for deniability reading");
+
+  struct Curve {
+    double mu, b;
+  };
+  const Curve curves[] = {{150000, 7300}, {300000, 13800}, {450000, 20000}};
+  constexpr double kD = 1e-5;
+
+  std::printf("\n  %-10s", "k");
+  for (const Curve& c : curves) {
+    std::printf(" | mu=%-7s e^eps'   delta'", bench::Human(c.mu).c_str());
+  }
+  std::printf("\n");
+
+  for (double k = 10000; k <= 1000000.1; k *= std::pow(100.0, 0.125)) {
+    uint64_t rounds = static_cast<uint64_t>(k);
+    std::printf("  %-10llu", static_cast<unsigned long long>(rounds));
+    for (const Curve& c : curves) {
+      noise::PrivacyBound per_round = noise::ConversationRound({c.mu, c.b});
+      noise::PrivacyBound total = noise::Compose(per_round, rounds, kD);
+      std::printf(" |            %7.3f  %8.2e", std::exp(total.epsilon), total.delta);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n  paper anchor points (e^eps' = 2, delta' <= 1e-4):\n");
+  const struct {
+    double mu, b;
+    uint64_t paper_k;
+  } anchors[] = {{150000, 7300, 70000}, {300000, 13800, 250000}, {450000, 20000, 500000}};
+  for (const auto& a : anchors) {
+    noise::PrivacyBound per_round = noise::ConversationRound({a.mu, a.b});
+    uint64_t ours = noise::MaxRounds(per_round, std::log(2.0), 1e-4, kD);
+    std::printf("    mu=%-7s paper k=%-7llu measured k=%-7llu (%.0f%% of paper)\n",
+                bench::Human(a.mu).c_str(), static_cast<unsigned long long>(a.paper_k),
+                static_cast<unsigned long long>(ours),
+                100.0 * static_cast<double>(ours) / static_cast<double>(a.paper_k));
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// FIG9 + TAB-THROUGHPUT — Figure 9: conversation end-to-end latency vs the
+// number of online users (10 → 2M) for µ = 100K / 200K / 300K, 3 servers;
+// plus §8.2's headline throughput numbers.
+//
+// Two series per curve:
+//  * REAL: actual protocol rounds on this machine at 1/100 scale (µ and
+//    users divided by 100) — every code path (onion crypto, noise, shuffle,
+//    dead drops) runs for real; the linear-with-offset shape of Figure 9 is
+//    measured directly.
+//  * MODEL: paper-scale latency from the calibrated cost model (constants
+//    measured in-process; see src/sim/cost_model.h).
+//
+// VUVUZELA_BENCH_SCALE=full additionally runs a real paper-scale round
+// (µ=300K, 1M users; takes minutes and ~8 GB).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/round_runner.h"
+#include "src/sim/cost_model.h"
+
+using namespace vuvuzela;
+
+int main() {
+  bench::PrintHeader("FIG9", "conversation latency vs number of users (3 servers)");
+
+  const double kScale = 100.0;
+  const double mus[] = {100000, 200000, 300000};
+  const uint64_t user_points[] = {10, 500000, 1000000, 1500000, 2000000};
+
+  std::printf("\n  REAL rounds at 1/100 scale (mu/100, users/100):\n");
+  std::printf("  %-12s", "users/100");
+  for (double mu : mus) {
+    std::printf("  mu=%-6s", bench::Human(mu / kScale).c_str());
+  }
+  std::printf("   (seconds per round)\n");
+  for (uint64_t users : user_points) {
+    uint64_t scaled_users = std::max<uint64_t>(10, users / 100);
+    std::printf("  %-12llu", static_cast<unsigned long long>(scaled_users));
+    for (double mu : mus) {
+      bench::RealRound round =
+          bench::RunRealConversationRound(scaled_users, 3, mu / kScale, users ^ 77);
+      std::printf("  %8.3f", round.seconds);
+    }
+    std::printf("\n");
+  }
+
+  sim::CostModel model = sim::CostModel::Measure();
+  std::printf("\n  MODEL at paper scale (calibrated: %.0f unwraps/s aggregate):\n",
+              model.dh_ops_per_sec);
+  std::printf("  %-12s", "users");
+  for (double mu : mus) {
+    std::printf("  mu=%-6s", bench::Human(mu).c_str());
+  }
+  std::printf("   (seconds per round; paper Fig 9: 20 s floor, 37 s @1M, 55 s @2M for mu=300K)\n");
+  for (uint64_t users : user_points) {
+    std::printf("  %-12s", bench::Human(static_cast<double>(users)).c_str());
+    for (double mu : mus) {
+      std::printf("  %8.1f", model.ConversationRoundLatency(users, 3, mu));
+    }
+    std::printf("\n");
+  }
+
+  bench::PrintHeader("TAB-THROUGHPUT", "headline throughput (§1, §8.2)");
+  const struct {
+    uint64_t users;
+    double paper_latency, paper_throughput;
+  } anchors[] = {{1000000, 37.0, 68000.0}, {2000000, 55.0, 84000.0}};
+  for (const auto& a : anchors) {
+    double latency = model.ConversationRoundLatency(a.users, 3, 300000);
+    double throughput = model.ConversationPipelinedThroughput(a.users, 3, 300000);
+    std::printf("  %-4s users: latency %5.1f s (paper %4.1f s), pipelined throughput "
+                "%6.0f msg/s (paper %6.0f)\n",
+                bench::Human(static_cast<double>(a.users)).c_str(), latency, a.paper_latency,
+                throughput, a.paper_throughput);
+  }
+  std::printf("  10   users: latency %5.1f s (paper ~20 s noise floor)\n",
+              model.ConversationRoundLatency(10, 3, 300000));
+
+  if (bench::FullScale()) {
+    std::printf("\n  FULL-SCALE real round (mu=300K, 1M users)...\n");
+    bench::RealRound round = bench::RunRealConversationRound(1000000, 3, 300000, 99);
+    std::printf("  measured: %.1f s end-to-end, %llu requests at last server "
+                "(paper: 37 s, 2.2M requests)\n",
+                round.seconds,
+                static_cast<unsigned long long>(round.requests_at_last_server));
+  } else {
+    std::printf("\n  (set VUVUZELA_BENCH_SCALE=full for a real 1M-user round)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Shared driver: run one real protocol round at a given scale and time it.
+// Workload (client-side onion wrapping) is generated outside the timed
+// region, mirroring §8.1 ("to ensure that clients are not the bottleneck").
+
+#ifndef VUVUZELA_BENCH_ROUND_RUNNER_H_
+#define VUVUZELA_BENCH_ROUND_RUNNER_H_
+
+#include <chrono>
+
+#include "src/mixnet/chain.h"
+#include "src/sim/workload.h"
+#include "src/util/random.h"
+
+namespace vuvuzela::bench {
+
+struct RealRound {
+  double seconds = 0.0;
+  mixnet::RoundStats stats;
+  uint64_t requests_at_last_server = 0;
+  uint64_t messages_exchanged = 0;
+};
+
+inline mixnet::Chain MakeBenchChain(size_t servers, double mu, uint64_t seed,
+                                    double dial_mu = 0.0) {
+  mixnet::ChainConfig config;
+  config.num_servers = servers;
+  // §8.1: "we configure servers to always add exactly µ noise, rather than
+  // sampling the Laplace distribution" — same mean, less variance.
+  config.conversation_noise = {.params = {mu, mu / 20.0 + 1.0}, .deterministic = true};
+  config.dialing_noise = {.params = {dial_mu, dial_mu / 20.0 + 1.0}, .deterministic = true};
+  config.parallel = true;
+  util::Xoshiro256Rng rng(seed);
+  return mixnet::Chain::Create(config, rng);
+}
+
+inline RealRound RunRealConversationRound(uint64_t users, size_t servers, double mu,
+                                          uint64_t seed) {
+  mixnet::Chain chain = MakeBenchChain(servers, mu, seed);
+  sim::WorkloadConfig workload{.num_users = users, .pairing_fraction = 1.0, .seed = seed,
+                               .parallel = true};
+  std::vector<util::Bytes> onions =
+      sim::GenerateConversationWorkload(workload, chain.public_keys(), 1);
+
+  auto start = std::chrono::steady_clock::now();
+  auto result = chain.RunConversationRound(1, std::move(onions));
+  double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  RealRound out;
+  out.seconds = seconds;
+  out.stats = std::move(result.stats);
+  out.requests_at_last_server = out.stats.forward.back().requests_in;
+  out.messages_exchanged = result.messages_exchanged;
+  return out;
+}
+
+inline RealRound RunRealDialingRound(uint64_t users, size_t servers, double mu,
+                                     uint32_t total_drops, double dial_fraction, uint64_t seed) {
+  mixnet::Chain chain = MakeBenchChain(servers, /*mu=*/1.0, seed, /*dial_mu=*/mu);
+  dialing::RoundConfig dial_config{.num_real_drops = total_drops - 1};
+  sim::WorkloadConfig workload{.num_users = users, .pairing_fraction = 1.0, .seed = seed,
+                               .parallel = true};
+  std::vector<util::Bytes> onions =
+      sim::GenerateDialingWorkload(workload, chain.public_keys(), 1, dial_config, dial_fraction);
+
+  auto start = std::chrono::steady_clock::now();
+  auto result = chain.RunDialingRound(1, std::move(onions), total_drops);
+  double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  RealRound out;
+  out.seconds = seconds;
+  out.stats = std::move(result.stats);
+  out.requests_at_last_server = out.stats.forward.back().requests_in;
+  return out;
+}
+
+}  // namespace vuvuzela::bench
+
+#endif  // VUVUZELA_BENCH_ROUND_RUNNER_H_

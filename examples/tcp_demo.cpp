@@ -1,0 +1,247 @@
+// Networked deployment over real TCP sockets (the §7 topology on loopback):
+//
+//   clients ──TCP── entry server ──TCP── server0 ──TCP── server1 ──TCP── server2
+//
+//   $ ./build/examples/tcp_demo
+//
+// Each chain server runs in its own thread behind a TCP listener, speaking
+// the net::Frame protocol: batches of onions forward, batches of sealed
+// responses back. The entry server multiplexes two real clients. The clients
+// are the same VuvuzelaClient the in-process harness drives — only the
+// transport differs.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/client/client.h"
+#include "src/mixnet/mix_server.h"
+#include "src/net/frame.h"
+#include "src/net/tcp.h"
+#include "src/util/random.h"
+
+using namespace vuvuzela;
+
+namespace {
+
+constexpr size_t kNumServers = 3;
+constexpr int kRounds = 3;
+
+struct ServerHandle {
+  std::unique_ptr<mixnet::MixServer> server;
+  net::TcpListener listener;
+  std::thread thread;
+};
+
+// One chain server: accept the upstream connection, process batches until
+// shutdown. Non-last servers own a client connection to the next hop.
+void RunChainServer(mixnet::MixServer* server, net::TcpListener* listener, uint16_t next_port) {
+  auto upstream = listener->Accept();
+  if (!upstream) {
+    return;
+  }
+  std::optional<net::TcpConnection> downstream;
+  if (!server->is_last()) {
+    downstream = net::TcpConnection::Connect("127.0.0.1", next_port);
+    if (!downstream) {
+      return;
+    }
+  }
+
+  for (;;) {
+    auto frame = upstream->RecvFrame();
+    if (!frame || frame->type == net::FrameType::kShutdown) {
+      if (downstream) {
+        downstream->SendFrame(net::Frame{net::FrameType::kShutdown, 0, {}});
+      }
+      return;
+    }
+    if (frame->type != net::FrameType::kBatch) {
+      continue;
+    }
+    auto batch = net::DecodeBatch(frame->payload);
+    if (!batch) {
+      continue;
+    }
+
+    std::vector<util::Bytes> responses;
+    if (server->is_last()) {
+      auto result = server->ProcessConversationLastHop(frame->round, std::move(*batch));
+      std::printf("    [server %zu] round %llu: %llu paired drops, %llu singles\n",
+                  server->config().position, static_cast<unsigned long long>(frame->round),
+                  static_cast<unsigned long long>(result.histogram.pairs),
+                  static_cast<unsigned long long>(result.histogram.singles));
+      responses = std::move(result.responses);
+    } else {
+      mixnet::ServerRoundStats stats;
+      auto forwarded = server->ForwardConversation(frame->round, std::move(*batch), &stats);
+      std::printf("    [server %zu] round %llu: %llu in, +%llu noise, forwarding %zu\n",
+                  server->config().position, static_cast<unsigned long long>(frame->round),
+                  static_cast<unsigned long long>(stats.requests_in),
+                  static_cast<unsigned long long>(stats.noise_requests_added), forwarded.size());
+      downstream->SendFrame(
+          net::Frame{net::FrameType::kBatch, frame->round, net::EncodeBatch(forwarded)});
+      auto reply = downstream->RecvFrame();
+      if (!reply || reply->type != net::FrameType::kBatchResponse) {
+        return;
+      }
+      auto reply_batch = net::DecodeBatch(reply->payload);
+      if (!reply_batch) {
+        return;
+      }
+      responses = server->BackwardConversation(frame->round, std::move(*reply_batch));
+    }
+    upstream->SendFrame(
+        net::Frame{net::FrameType::kBatchResponse, frame->round, net::EncodeBatch(responses)});
+  }
+}
+
+// Entry server: per round, collect one onion from each client connection,
+// ship the batch down the chain, demux responses.
+void RunEntryServer(net::TcpListener* listener, uint16_t chain_port, size_t num_clients) {
+  std::vector<net::TcpConnection> clients;
+  for (size_t i = 0; i < num_clients; ++i) {
+    auto conn = listener->Accept();
+    if (!conn) {
+      return;
+    }
+    clients.push_back(std::move(*conn));
+  }
+  auto chain = net::TcpConnection::Connect("127.0.0.1", chain_port);
+  if (!chain) {
+    return;
+  }
+
+  for (uint64_t round = 1; round <= kRounds; ++round) {
+    for (auto& c : clients) {
+      c.SendFrame(net::Frame{net::FrameType::kRoundAnnouncement, round, {}});
+    }
+    std::vector<util::Bytes> batch;
+    for (auto& c : clients) {
+      auto frame = c.RecvFrame();
+      if (!frame || frame->type != net::FrameType::kConversationRequest) {
+        return;
+      }
+      batch.push_back(std::move(frame->payload));
+    }
+    chain->SendFrame(net::Frame{net::FrameType::kBatch, round, net::EncodeBatch(batch)});
+    auto reply = chain->RecvFrame();
+    if (!reply) {
+      return;
+    }
+    auto responses = net::DecodeBatch(reply->payload);
+    if (!responses || responses->size() != clients.size()) {
+      return;
+    }
+    for (size_t i = 0; i < clients.size(); ++i) {
+      clients[i].SendFrame(
+          net::Frame{net::FrameType::kConversationResponse, round, (*responses)[i]});
+    }
+  }
+  chain->SendFrame(net::Frame{net::FrameType::kShutdown, 0, {}});
+  for (auto& c : clients) {
+    c.SendFrame(net::Frame{net::FrameType::kShutdown, 0, {}});
+  }
+}
+
+// A real client over TCP: drives a VuvuzelaClient against round
+// announcements.
+void RunClient(const char* name, client::VuvuzelaClient* vuvuzela, uint16_t entry_port,
+               const crypto::X25519PublicKey& partner, const char* to_send) {
+  auto conn = net::TcpConnection::Connect("127.0.0.1", entry_port);
+  if (!conn) {
+    return;
+  }
+  vuvuzela->AcceptCall(partner);  // keys pre-exchanged (§2.3 assumption)
+  util::Bytes payload(to_send, to_send + strlen(to_send));
+  vuvuzela->SendMessage(partner, payload);
+
+  for (;;) {
+    auto frame = conn->RecvFrame();
+    if (!frame || frame->type == net::FrameType::kShutdown) {
+      return;
+    }
+    if (frame->type == net::FrameType::kRoundAnnouncement) {
+      auto onions = vuvuzela->PrepareConversationOnions(frame->round);
+      conn->SendFrame(
+          net::Frame{net::FrameType::kConversationRequest, frame->round, onions[0]});
+    } else if (frame->type == net::FrameType::kConversationResponse) {
+      std::vector<util::Bytes> responses = {frame->payload};
+      vuvuzela->HandleConversationResponses(frame->round, responses);
+      for (const auto& m : vuvuzela->TakeReceivedMessages()) {
+        std::printf("  [%s] received: \"%s\"\n", name,
+                    std::string(m.payload.begin(), m.payload.end()).c_str());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Vuvuzela over TCP: entry + %zu chain servers + 2 clients on loopback\n\n",
+              kNumServers);
+  util::Xoshiro256Rng rng(20151005);
+
+  // Build the chain key material and servers.
+  std::vector<crypto::X25519KeyPair> keys;
+  std::vector<crypto::X25519PublicKey> chain_pks;
+  for (size_t i = 0; i < kNumServers; ++i) {
+    keys.push_back(crypto::X25519KeyPair::Generate(rng));
+    chain_pks.push_back(keys.back().public_key);
+  }
+  std::vector<ServerHandle> servers(kNumServers);
+  for (size_t i = 0; i < kNumServers; ++i) {
+    mixnet::MixServerConfig config;
+    config.position = i;
+    config.chain_length = kNumServers;
+    config.conversation_noise = {.params = {8.0, 2.0}, .deterministic = false};
+    config.parallel = true;
+    crypto::ChaCha20Key seed;
+    rng.Fill(seed);
+    servers[i].server = std::make_unique<mixnet::MixServer>(config, keys[i], chain_pks, seed);
+    auto listener = net::TcpListener::Listen(0);
+    if (!listener) {
+      std::fprintf(stderr, "listen failed\n");
+      return 1;
+    }
+    servers[i].listener = std::move(*listener);
+  }
+  for (size_t i = 0; i < kNumServers; ++i) {
+    uint16_t next_port = (i + 1 < kNumServers) ? servers[i + 1].listener.port() : 0;
+    servers[i].thread = std::thread(RunChainServer, servers[i].server.get(),
+                                    &servers[i].listener, next_port);
+  }
+
+  auto entry_listener = net::TcpListener::Listen(0);
+  uint16_t entry_port = entry_listener->port();
+  std::thread entry_thread(RunEntryServer, &*entry_listener, servers[0].listener.port(), 2);
+
+  // Two clients with pre-exchanged keys.
+  auto alice_keys = crypto::X25519KeyPair::Generate(rng);
+  auto bob_keys = crypto::X25519KeyPair::Generate(rng);
+  auto make_client = [&](const crypto::X25519KeyPair& kp) {
+    client::ClientConfig config;
+    config.keys = kp;
+    config.chain = chain_pks;
+    crypto::ChaCha20Key seed;
+    rng.Fill(seed);
+    return client::VuvuzelaClient(config, seed);
+  };
+  client::VuvuzelaClient alice = make_client(alice_keys);
+  client::VuvuzelaClient bob = make_client(bob_keys);
+
+  std::thread alice_thread(RunClient, "alice", &alice, entry_port, bob_keys.public_key,
+                           "meet at the usual place");
+  std::thread bob_thread(RunClient, "bob", &bob, entry_port, alice_keys.public_key,
+                         "confirmed, bring the docs");
+
+  alice_thread.join();
+  bob_thread.join();
+  entry_thread.join();
+  for (auto& s : servers) {
+    s.thread.join();
+  }
+  std::printf("\nall %d rounds completed over real sockets.\n", kRounds);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// The paper's motivating scenario (§1): a source talks to a reporter while a
+// global adversary watches everything — including the dead drops on the
+// (compromised) last server.
+//
+//   $ ./build/examples/whistleblower
+//
+// Runs the same round twice in parallel worlds: one where the source is
+// talking to the reporter, one where both are idle. The adversary's complete
+// view (the m1/m2 dead-drop histogram) is printed side by side, then the
+// privacy accountant quantifies exactly how much the adversary can learn
+// over a whole year of rounds.
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/conversation/protocol.h"
+#include "src/crypto/onion.h"
+#include "src/mixnet/chain.h"
+#include "src/noise/privacy.h"
+#include "src/util/random.h"
+
+using namespace vuvuzela;
+
+namespace {
+
+struct WorldResult {
+  uint64_t m1 = 0;
+  uint64_t m2 = 0;
+};
+
+WorldResult RunWorld(bool talking, uint64_t seed) {
+  util::Xoshiro256Rng rng(seed);
+  mixnet::ChainConfig config;
+  config.num_servers = 3;
+  config.conversation_noise = {.params = {50.0, 10.0}, .deterministic = false};
+  config.parallel = true;
+  mixnet::Chain chain = mixnet::Chain::Create(config, rng);
+
+  auto source = crypto::X25519KeyPair::Generate(rng);
+  auto reporter = crypto::X25519KeyPair::Generate(rng);
+  std::vector<crypto::X25519KeyPair> bystanders;
+  for (int i = 0; i < 30; ++i) {
+    bystanders.push_back(crypto::X25519KeyPair::Generate(rng));
+  }
+
+  std::vector<util::Bytes> onions;
+  auto add_request = [&](const wire::ExchangeRequest& request) {
+    onions.push_back(
+        crypto::OnionWrap(chain.public_keys(), 1, request.Serialize(), rng).data);
+  };
+  if (talking) {
+    auto s1 = conversation::Session::Derive(source, reporter.public_key);
+    auto s2 = conversation::Session::Derive(reporter, source.public_key);
+    util::Bytes leak = {'d', 'o', 'c', 's'};
+    add_request(conversation::BuildExchangeRequest(s1, 1, leak));
+    add_request(conversation::BuildExchangeRequest(s2, 1, {}));
+  } else {
+    add_request(conversation::BuildFakeExchangeRequest(source, 1, rng));
+    add_request(conversation::BuildFakeExchangeRequest(reporter, 1, rng));
+  }
+  for (const auto& b : bystanders) {
+    add_request(conversation::BuildFakeExchangeRequest(b, 1, rng));
+  }
+
+  auto result = chain.RunConversationRound(1, std::move(onions));
+  return WorldResult{result.histogram.singles, result.histogram.pairs};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Whistleblower scenario: source + reporter among 30 bystanders.\n");
+  std::printf("The adversary controls the network and the last server; its entire view of a\n");
+  std::printf("round is the dead-drop histogram (m1 = drops accessed once, m2 = twice).\n\n");
+
+  std::printf("  %-28s %-8s %-8s\n", "world", "m1", "m2");
+  for (int trial = 0; trial < 5; ++trial) {
+    WorldResult talking = RunWorld(true, 1000 + trial);
+    WorldResult idle = RunWorld(false, 2000 + trial);
+    std::printf("  trial %d: talking            %-8llu %-8llu\n", trial,
+                static_cast<unsigned long long>(talking.m1),
+                static_cast<unsigned long long>(talking.m2));
+    std::printf("  trial %d: both idle          %-8llu %-8llu\n", trial,
+                static_cast<unsigned long long>(idle.m1),
+                static_cast<unsigned long long>(idle.m2));
+  }
+  std::printf("\nThe ±1 true difference in m2 is lost in Laplace noise (µ=50, b=10 here).\n");
+
+  // Quantify with the production parameters.
+  std::printf("\nWith production noise (µ=300,000, b=13,800, §6.4):\n");
+  noise::PrivacyBound round = noise::ConversationRound({300000, 13800});
+  std::printf("  per round:        eps = %.2e, delta = %.2e\n", round.epsilon, round.delta);
+  for (uint64_t k : {10000ull, 100000ull, 200000ull}) {
+    noise::PrivacyBound total = noise::Compose(round, k, 1e-5);
+    std::printf("  after %-7llu msgs: adversary's belief in any suspicion grows at most "
+                "%.2fx (delta'=%.1e)\n",
+                static_cast<unsigned long long>(k), std::exp(total.epsilon), total.delta);
+  }
+  std::printf("\nAt 5 messages/hour around the clock, 200,000 rounds is ~4.5 years of cover.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// The strawman single-server protocol (Figure 4) and the traffic-analysis
+// attacks it falls to (§2.1, §4.2).
+//
+// This is the baseline Vuvuzela is compared against: one fully-visible
+// server, no mixing, no noise. Message *contents* are still encrypted — the
+// point of the baseline is that metadata alone (who accessed which dead
+// drop, and how many drops saw two accesses) breaks privacy. The attack
+// helpers return exactly what an adversary extracts; tests and the ablation
+// bench run them against both the strawman and the full system.
+
+#ifndef VUVUZELA_SRC_BASELINE_STRAWMAN_H_
+#define VUVUZELA_SRC_BASELINE_STRAWMAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/deaddrop/conversation_table.h"
+#include "src/wire/messages.h"
+
+namespace vuvuzela::baseline {
+
+using ClientId = uint64_t;
+
+struct StrawmanRequest {
+  ClientId client = 0;
+  wire::ExchangeRequest request;
+};
+
+// What the (compromised) single server sees in one round.
+struct StrawmanView {
+  // Which client accessed which dead drop — strawman variable #2 (§4).
+  std::vector<std::pair<ClientId, wire::DeadDropId>> accesses;
+  deaddrop::AccessHistogram histogram;
+};
+
+struct StrawmanOutcome {
+  std::vector<wire::Envelope> responses;  // aligned with the requests
+  StrawmanView view;
+};
+
+// Runs one strawman round: plain dead-drop exchange, full visibility.
+StrawmanOutcome RunStrawmanRound(std::span<const StrawmanRequest> requests);
+
+// Attack 1 — co-access linking: clients that touched the same dead drop in
+// one round are conversation partners. Deterministic and exact against the
+// strawman; impossible against Vuvuzela (the honest server unlinks clients
+// from requests before the dead drops).
+std::vector<std::pair<ClientId, ClientId>> LinkPartnersByCoAccess(const StrawmanView& view);
+
+// Attack 2 — disconnection confirmation (§4.2): compare the number of
+// paired dead drops in a round where the suspect participates with a round
+// where the adversary blocks them. Returns the observed drop in m2; a
+// positive value confirms the suspect was talking. Against Vuvuzela the same
+// statistic is buried in Laplace noise, quantified by Theorem 1.
+int64_t DisconnectionSignal(const deaddrop::AccessHistogram& with_suspect,
+                            const deaddrop::AccessHistogram& without_suspect);
+
+}  // namespace vuvuzela::baseline
+
+#endif  // VUVUZELA_SRC_BASELINE_STRAWMAN_H_

@@ -1,0 +1,84 @@
+#include "src/client/reliable.h"
+
+#include <stdexcept>
+
+namespace vuvuzela::client {
+
+namespace {
+constexpr uint8_t kFlagHasPayload = 0x01;
+}  // namespace
+
+void ReliableChannel::QueueMessage(util::ByteSpan payload) {
+  if (payload.size() > kMaxChatPayload) {
+    throw std::invalid_argument("ReliableChannel: message too long; split before queueing");
+  }
+  outbox_.emplace_back(payload.begin(), payload.end());
+}
+
+util::Bytes ReliableChannel::NextFrame() {
+  util::Bytes frame;
+  size_t in_window = std::min(outbox_.size(), window_);
+
+  uint8_t flags = 0;
+  uint32_t seq = 0;
+  const util::Bytes* payload = nullptr;
+  if (in_window > 0) {
+    if (cursor_ >= in_window) {
+      cursor_ = 0;  // cycle back: retransmit from the window base
+    }
+    flags = kFlagHasPayload;
+    seq = send_base_ + static_cast<uint32_t>(cursor_);
+    payload = &outbox_[cursor_];
+    ++cursor_;
+    if (seq <= highest_seq_sent_) {
+      ++retransmissions_;
+    } else {
+      highest_seq_sent_ = seq;
+    }
+  }
+
+  frame.reserve(kFrameHeaderSize + (payload ? payload->size() : 0));
+  frame.push_back(flags);
+  uint8_t tmp[4];
+  util::StoreBe32(tmp, seq);
+  util::Append(frame, tmp);
+  util::StoreBe32(tmp, recv_cumulative_);
+  util::Append(frame, tmp);
+  if (payload) {
+    util::Append(frame, *payload);
+  }
+  ++frames_sent_;
+  return frame;
+}
+
+std::optional<util::Bytes> ReliableChannel::HandleFrame(util::ByteSpan frame) {
+  if (frame.size() < kFrameHeaderSize) {
+    return std::nullopt;
+  }
+  uint8_t flags = frame[0];
+  uint32_t seq = util::LoadBe32(frame.data() + 1);
+  uint32_t ack = util::LoadBe32(frame.data() + 5);
+
+  // Cumulative ack: drop every outbox entry the partner has confirmed, and
+  // slide the transmission cursor with the window.
+  while (!outbox_.empty() && send_base_ <= ack) {
+    outbox_.pop_front();
+    ++send_base_;
+    if (cursor_ > 0) {
+      --cursor_;
+    }
+  }
+
+  if ((flags & kFlagHasPayload) == 0) {
+    return std::nullopt;
+  }
+  if (seq == recv_cumulative_ + 1) {
+    recv_cumulative_ = seq;
+    return util::Bytes(frame.begin() + kFrameHeaderSize, frame.end());
+  }
+  // Duplicate (already delivered) or a gap (Go-Back-N: discard until the
+  // missing frame is retransmitted).
+  return std::nullopt;
+}
+
+}  // namespace vuvuzela::client

@@ -1,0 +1,122 @@
+#include "src/conversation/protocol.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/crypto/aead.h"
+#include "src/crypto/hkdf.h"
+#include "src/crypto/sha256.h"
+
+namespace vuvuzela::conversation {
+
+namespace {
+
+constexpr uint32_t kEnvelopeDomain = 3;
+
+// Directional key: HKDF(shared, info = "vuvuzela/conv/v1" ‖ sender_pk).
+crypto::AeadKey DirectionalKey(const crypto::X25519SharedSecret& shared,
+                               const crypto::X25519PublicKey& sender_pk) {
+  static constexpr uint8_t kInfoPrefix[] = "vuvuzela/conv/v1";
+  util::Bytes info;
+  info.reserve(sizeof(kInfoPrefix) - 1 + sender_pk.size());
+  util::Append(info, util::ByteSpan(kInfoPrefix, sizeof(kInfoPrefix) - 1));
+  util::Append(info, sender_pk);
+  util::Bytes key_bytes = crypto::Hkdf(/*salt=*/{}, shared, info, crypto::kAeadKeySize);
+  crypto::AeadKey key;
+  std::memcpy(key.data(), key_bytes.data(), key.size());
+  return key;
+}
+
+wire::Envelope SealEnvelope(const crypto::AeadKey& key, uint64_t round, util::ByteSpan padded) {
+  util::Bytes sealed =
+      crypto::AeadSeal(key, crypto::NonceFromUint64(round, kEnvelopeDomain), /*aad=*/{}, padded);
+  wire::Envelope envelope;
+  if (sealed.size() != envelope.size()) {
+    throw std::logic_error("SealEnvelope: size mismatch");
+  }
+  std::memcpy(envelope.data(), sealed.data(), envelope.size());
+  return envelope;
+}
+
+}  // namespace
+
+Session Session::Derive(const crypto::X25519KeyPair& mine,
+                        const crypto::X25519PublicKey& partner_pk) {
+  Session session;
+  session.shared = crypto::X25519(mine.secret_key, partner_pk);
+  session.send_key = DirectionalKey(session.shared, mine.public_key);
+  session.recv_key = DirectionalKey(session.shared, partner_pk);
+  return session;
+}
+
+wire::DeadDropId DeadDropForRound(const crypto::X25519SharedSecret& shared, uint64_t round) {
+  crypto::Sha256 h;
+  static constexpr uint8_t kPrefix[] = "vuvuzela/drop/v1";
+  h.Update(util::ByteSpan(kPrefix, sizeof(kPrefix) - 1));
+  h.Update(shared);
+  uint8_t round_bytes[8];
+  util::StoreBe64(round_bytes, round);
+  h.Update(round_bytes);
+  crypto::Sha256Digest digest = h.Finish();
+
+  wire::DeadDropId id;
+  std::memcpy(id.data(), digest.data(), id.size());
+  return id;
+}
+
+util::Bytes PadMessage(util::ByteSpan text) {
+  if (text.size() > kMaxTextLength) {
+    throw std::invalid_argument("PadMessage: text too long");
+  }
+  util::Bytes padded(wire::kMessageSize, 0);
+  padded[0] = static_cast<uint8_t>(text.size() >> 8);
+  padded[1] = static_cast<uint8_t>(text.size());
+  std::memcpy(padded.data() + 2, text.data(), text.size());
+  return padded;
+}
+
+std::optional<util::Bytes> UnpadMessage(util::ByteSpan padded) {
+  if (padded.size() != wire::kMessageSize) {
+    return std::nullopt;
+  }
+  size_t len = (static_cast<size_t>(padded[0]) << 8) | padded[1];
+  if (len > kMaxTextLength) {
+    return std::nullopt;
+  }
+  return util::Bytes(padded.begin() + 2, padded.begin() + 2 + static_cast<ptrdiff_t>(len));
+}
+
+wire::ExchangeRequest BuildExchangeRequest(const Session& session, uint64_t round,
+                                           util::ByteSpan text) {
+  wire::ExchangeRequest request;
+  request.dead_drop = DeadDropForRound(session.shared, round);
+  request.envelope = SealEnvelope(session.send_key, round, PadMessage(text));
+  return request;
+}
+
+wire::ExchangeRequest BuildFakeExchangeRequest(const crypto::X25519KeyPair& mine, uint64_t round,
+                                               util::Rng& rng) {
+  // Algorithm 1 step 1b: same derivation as a real request, against a random
+  // public key nobody holds the secret for.
+  crypto::X25519PublicKey random_pk;
+  rng.Fill(random_pk);
+  Session throwaway = Session::Derive(mine, random_pk);
+  return BuildExchangeRequest(throwaway, round, /*text=*/{});
+}
+
+OpenedResponse OpenExchangeResponse(const Session& session, uint64_t round,
+                                    const wire::Envelope& envelope) {
+  crypto::AeadNonce nonce = crypto::NonceFromUint64(round, kEnvelopeDomain);
+  if (auto padded = crypto::AeadOpen(session.recv_key, nonce, /*aad=*/{}, envelope)) {
+    if (auto text = UnpadMessage(*padded)) {
+      return OpenedResponse{ResponseKind::kPartnerMessage, std::move(*text)};
+    }
+    return OpenedResponse{ResponseKind::kUndecryptable, {}};
+  }
+  if (crypto::AeadOpen(session.send_key, nonce, /*aad=*/{}, envelope)) {
+    return OpenedResponse{ResponseKind::kEcho, {}};
+  }
+  return OpenedResponse{ResponseKind::kUndecryptable, {}};
+}
+
+}  // namespace vuvuzela::conversation

@@ -1,0 +1,85 @@
+// Conversation protocol, client side (Algorithm 1).
+//
+// Two users who know each other's public keys derive a session: a shared
+// secret (via X25519), the per-round dead-drop ID H(secret ‖ round), and a
+// pair of *directional* envelope keys. Directional keys are a deliberate
+// hardening over the paper's pseudocode: Algorithm 1 encrypts both users'
+// messages with the same key and the round number as nonce, which would
+// reuse a (key, nonce) pair across two different plaintexts every round.
+// Deriving send/receive keys from the shared secret (bound to the sender's
+// public key) keeps the wire format identical while making every (key,
+// nonce) pair unique. DESIGN.md §4 records this deviation.
+//
+// Idle clients build fake requests through the identical code path with a
+// freshly generated random partner key (Algorithm 1 step 1b), so real and
+// fake requests are indistinguishable in both content and timing.
+
+#ifndef VUVUZELA_SRC_CONVERSATION_PROTOCOL_H_
+#define VUVUZELA_SRC_CONVERSATION_PROTOCOL_H_
+
+#include <optional>
+#include <string>
+
+#include "src/crypto/box.h"
+#include "src/crypto/x25519.h"
+#include "src/util/bytes.h"
+#include "src/util/random.h"
+#include "src/wire/messages.h"
+
+namespace vuvuzela::conversation {
+
+// Longest text payload per message: 2 length bytes of framing inside the
+// fixed 240-byte message body.
+inline constexpr size_t kMaxTextLength = wire::kMessageSize - 2;
+
+// Keys shared by one pair of conversing users.
+struct Session {
+  crypto::X25519SharedSecret shared{};
+  crypto::AeadKey send_key{};  // seals envelopes we send
+  crypto::AeadKey recv_key{};  // opens envelopes the partner sends
+
+  // Derives the session between `mine` and `partner_pk`. Both sides derive
+  // the same secret; directions are separated by each sender's public key.
+  static Session Derive(const crypto::X25519KeyPair& mine,
+                        const crypto::X25519PublicKey& partner_pk);
+};
+
+// The dead drop both partners access in `round`: H(shared ‖ round)[0:16].
+wire::DeadDropId DeadDropForRound(const crypto::X25519SharedSecret& shared, uint64_t round);
+
+// Pads `text` into the fixed message body ([u16 length ‖ text ‖ zeros]).
+// Throws std::invalid_argument if text exceeds kMaxTextLength.
+util::Bytes PadMessage(util::ByteSpan text);
+
+// Inverse of PadMessage; nullopt on malformed framing.
+std::optional<util::Bytes> UnpadMessage(util::ByteSpan padded);
+
+// Builds the real exchange request for `round` (Algorithm 1 step 1a). An
+// empty `text` sends the empty message (the client has nothing queued).
+wire::ExchangeRequest BuildExchangeRequest(const Session& session, uint64_t round,
+                                           util::ByteSpan text);
+
+// Builds the fake request of an idle client (Algorithm 1 step 1b): derives a
+// throwaway session with a random public key and sends the empty message to
+// its dead drop.
+wire::ExchangeRequest BuildFakeExchangeRequest(const crypto::X25519KeyPair& mine, uint64_t round,
+                                               util::Rng& rng);
+
+enum class ResponseKind {
+  kPartnerMessage,  // partner was present; message may still be empty
+  kEcho,            // our own envelope came back: partner absent this round
+  kUndecryptable,   // garbage (e.g. we were idle, or the round was disrupted)
+};
+
+struct OpenedResponse {
+  ResponseKind kind = ResponseKind::kUndecryptable;
+  util::Bytes text;  // set only for kPartnerMessage
+};
+
+// Interprets the envelope returned from the exchange.
+OpenedResponse OpenExchangeResponse(const Session& session, uint64_t round,
+                                    const wire::Envelope& envelope);
+
+}  // namespace vuvuzela::conversation
+
+#endif  // VUVUZELA_SRC_CONVERSATION_PROTOCOL_H_

@@ -1,0 +1,24 @@
+#include "src/coord/coordinator.h"
+
+namespace vuvuzela::coord {
+
+wire::RoundAnnouncement RoundSchedule::Next() {
+  wire::RoundAnnouncement announcement;
+  bool dialing_turn = config_.conversation_rounds_per_dialing_round == 0 ||
+                      (counter_ % (config_.conversation_rounds_per_dialing_round + 1)) ==
+                          config_.conversation_rounds_per_dialing_round;
+  ++counter_;
+  if (dialing_turn) {
+    announcement.type = wire::RoundType::kDialing;
+    announcement.round = kDialingRoundBase + dialing_rounds_;
+    announcement.num_dial_dead_drops = config_.dial_dead_drops;
+    ++dialing_rounds_;
+  } else {
+    announcement.type = wire::RoundType::kConversation;
+    announcement.round = 1 + conversation_rounds_;
+    ++conversation_rounds_;
+  }
+  return announcement;
+}
+
+}  // namespace vuvuzela::coord

@@ -1,0 +1,32 @@
+#include "src/coord/distributor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vuvuzela::coord {
+
+void InvitationDistributor::Publish(uint64_t round, deaddrop::InvitationTable table) {
+  tables_.insert_or_assign(round, std::move(table));
+  publish_order_.push_back(round);
+}
+
+const std::vector<wire::Invitation>& InvitationDistributor::Fetch(uint64_t round,
+                                                                  uint32_t drop_index) {
+  auto it = tables_.find(round);
+  if (it == tables_.end()) {
+    throw std::out_of_range("InvitationDistributor: unknown round");
+  }
+  const std::vector<wire::Invitation>& drop = it->second.Drop(drop_index);
+  bytes_served_ += drop.size() * wire::kInvitationSize;
+  downloads_served_++;
+  return drop;
+}
+
+void InvitationDistributor::Expire(size_t keep_latest) {
+  while (publish_order_.size() > keep_latest) {
+    tables_.erase(publish_order_.front());
+    publish_order_.erase(publish_order_.begin());
+  }
+}
+
+}  // namespace vuvuzela::coord

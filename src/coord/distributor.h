@@ -1,0 +1,45 @@
+// Invitation distribution (§5.5).
+//
+// The paper envisions a CDN or BitTorrent-like system serving invitation
+// dead-drop contents — downloads need no mixing or noising, only bandwidth.
+// The authors did not implement it; we provide a faithful stand-in that
+// serves published drops and accounts the bytes each download would cost,
+// which is what the §8.3 client-bandwidth numbers need.
+
+#ifndef VUVUZELA_SRC_COORD_DISTRIBUTOR_H_
+#define VUVUZELA_SRC_COORD_DISTRIBUTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/deaddrop/invitation_table.h"
+
+namespace vuvuzela::coord {
+
+class InvitationDistributor {
+ public:
+  // Publishes the invitation table of a finished dialing round.
+  void Publish(uint64_t round, deaddrop::InvitationTable table);
+
+  // Serves one drop of a published round; counts the transfer.
+  const std::vector<wire::Invitation>& Fetch(uint64_t round, uint32_t drop_index);
+
+  bool HasRound(uint64_t round) const { return tables_.contains(round); }
+
+  // Drops rounds older than `keep_latest` publications (dead drops are
+  // ephemeral; old invitations must not accumulate, §3.1).
+  void Expire(size_t keep_latest);
+
+  uint64_t bytes_served() const { return bytes_served_; }
+  uint64_t downloads_served() const { return downloads_served_; }
+
+ private:
+  std::unordered_map<uint64_t, deaddrop::InvitationTable> tables_;
+  std::vector<uint64_t> publish_order_;
+  uint64_t bytes_served_ = 0;
+  uint64_t downloads_served_ = 0;
+};
+
+}  // namespace vuvuzela::coord
+
+#endif  // VUVUZELA_SRC_COORD_DISTRIBUTOR_H_

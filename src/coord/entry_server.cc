@@ -1,0 +1,58 @@
+#include "src/coord/entry_server.h"
+
+#include <stdexcept>
+
+namespace vuvuzela::coord {
+
+size_t EntryServer::Submit(uint64_t round, util::Bytes onion) {
+  PendingRound& pending = rounds_[round];
+  if (pending.closed) {
+    throw std::logic_error("EntryServer: round already closed");
+  }
+  pending.onions.push_back(std::move(onion));
+  return pending.onions.size() - 1;
+}
+
+size_t EntryServer::PendingCount(uint64_t round) const {
+  auto it = rounds_.find(round);
+  return it == rounds_.end() ? 0 : it->second.onions.size();
+}
+
+mixnet::Chain::ConversationResult EntryServer::CloseConversationRound(uint64_t round) {
+  PendingRound& pending = rounds_[round];
+  if (pending.closed) {
+    throw std::logic_error("EntryServer: round already closed");
+  }
+  pending.closed = true;
+  mixnet::Chain::ConversationResult result =
+      chain_->RunConversationRound(round, std::move(pending.onions));
+  pending.onions.clear();
+  pending.responses = result.responses;
+  return result;
+}
+
+mixnet::Chain::DialingResult EntryServer::CloseDialingRound(uint64_t round, uint32_t num_drops) {
+  PendingRound& pending = rounds_[round];
+  if (pending.closed) {
+    throw std::logic_error("EntryServer: round already closed");
+  }
+  pending.closed = true;
+  mixnet::Chain::DialingResult result =
+      chain_->RunDialingRound(round, std::move(pending.onions), num_drops);
+  pending.onions.clear();
+  return result;
+}
+
+util::Bytes EntryServer::TakeResponse(uint64_t round, size_t slot) {
+  auto it = rounds_.find(round);
+  if (it == rounds_.end() || !it->second.closed) {
+    throw std::logic_error("EntryServer: round not closed");
+  }
+  if (slot >= it->second.responses.size()) {
+    throw std::out_of_range("EntryServer: bad slot");
+  }
+  util::Bytes response = std::move(it->second.responses[slot]);
+  return response;
+}
+
+}  // namespace vuvuzela::coord

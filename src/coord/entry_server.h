@@ -1,0 +1,52 @@
+// Untrusted entry server (§7).
+//
+// Multiplexes per-client requests into the batch the chain consumes, and
+// demultiplexes responses. It never holds key material and sees only onion
+// ciphertexts — compromising it yields exactly the network adversary's view.
+
+#ifndef VUVUZELA_SRC_COORD_ENTRY_SERVER_H_
+#define VUVUZELA_SRC_COORD_ENTRY_SERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mixnet/chain.h"
+
+namespace vuvuzela::coord {
+
+class EntryServer {
+ public:
+  explicit EntryServer(mixnet::Chain* chain) : chain_(chain) {}
+
+  // Accepts one onion from a client for `round`; returns the client's slot
+  // used to look up the response after the round runs.
+  size_t Submit(uint64_t round, util::Bytes onion);
+
+  // Number of requests queued for `round`.
+  size_t PendingCount(uint64_t round) const;
+
+  // Closes the conversation round: runs the chain, stores responses.
+  mixnet::Chain::ConversationResult CloseConversationRound(uint64_t round);
+
+  // Closes a dialing round (responses are downloads, handled by the
+  // InvitationDistributor).
+  mixnet::Chain::DialingResult CloseDialingRound(uint64_t round, uint32_t num_drops);
+
+  // Fetches (and consumes) the response for the given slot of a closed
+  // conversation round.
+  util::Bytes TakeResponse(uint64_t round, size_t slot);
+
+ private:
+  struct PendingRound {
+    std::vector<util::Bytes> onions;
+    std::vector<util::Bytes> responses;
+    bool closed = false;
+  };
+
+  mixnet::Chain* chain_;
+  std::unordered_map<uint64_t, PendingRound> rounds_;
+};
+
+}  // namespace vuvuzela::coord
+
+#endif  // VUVUZELA_SRC_COORD_ENTRY_SERVER_H_

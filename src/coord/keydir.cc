@@ -1,0 +1,55 @@
+#include "src/coord/keydir.h"
+
+namespace vuvuzela::coord {
+
+bool KeyDirectory::AddContact(const std::string& name, const crypto::X25519PublicKey& key) {
+  auto key_it = by_key_.find(key);
+  if (key_it != by_key_.end() && key_it->second != name) {
+    return false;  // key already bound to a different name
+  }
+  auto name_it = by_name_.find(name);
+  if (name_it != by_name_.end()) {
+    by_key_.erase(name_it->second);  // rotation: drop the old key binding
+  }
+  by_name_[name] = key;
+  by_key_[key] = name;
+  return true;
+}
+
+bool KeyDirectory::RemoveContact(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return false;
+  }
+  by_key_.erase(it->second);
+  by_name_.erase(it);
+  return true;
+}
+
+std::optional<crypto::X25519PublicKey> KeyDirectory::Lookup(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<std::string> KeyDirectory::IdentifyCaller(
+    const crypto::X25519PublicKey& key) const {
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<std::string> KeyDirectory::ContactNames() const {
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, key] : by_name_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace vuvuzela::coord

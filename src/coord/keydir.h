@@ -1,0 +1,57 @@
+// Contact key directory (§9, "PKI for dialing").
+//
+// The paper requires that callers know recipients' long-term public keys
+// before dialing, and that recipients can identify callers from the public
+// key inside an invitation — without contacting an online key server at
+// dial time (which would leak who is being dialed). This is the local,
+// ahead-of-time contact store the paper prescribes: out-of-band verified
+// (name, key) pairs, plus the reverse lookup a client performs on each
+// incoming call.
+
+#ifndef VUVUZELA_SRC_COORD_KEYDIR_H_
+#define VUVUZELA_SRC_COORD_KEYDIR_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/crypto/x25519.h"
+
+namespace vuvuzela::coord {
+
+class KeyDirectory {
+ public:
+  // Records a verified contact. Re-adding a name overwrites (key rotation);
+  // the same key under two names is rejected (ambiguous caller ID).
+  // Returns false (and changes nothing) on conflict.
+  bool AddContact(const std::string& name, const crypto::X25519PublicKey& key);
+
+  // Removes a contact; returns whether it existed.
+  bool RemoveContact(const std::string& name);
+
+  // Forward lookup for dialing.
+  std::optional<crypto::X25519PublicKey> Lookup(const std::string& name) const;
+
+  // Reverse lookup for incoming calls: who does this invitation key belong
+  // to? nullopt for unknown callers (the client may still accept, §5.1
+  // footnote 7 — e.g. after checking an attached certificate).
+  std::optional<std::string> IdentifyCaller(const crypto::X25519PublicKey& key) const;
+
+  std::vector<std::string> ContactNames() const;
+  size_t size() const { return by_name_.size(); }
+
+ private:
+  struct KeyLess {
+    bool operator()(const crypto::X25519PublicKey& a, const crypto::X25519PublicKey& b) const {
+      return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+    }
+  };
+
+  std::map<std::string, crypto::X25519PublicKey> by_name_;
+  std::map<crypto::X25519PublicKey, std::string, KeyLess> by_key_;
+};
+
+}  // namespace vuvuzela::coord
+
+#endif  // VUVUZELA_SRC_COORD_KEYDIR_H_

@@ -1,0 +1,76 @@
+#include "src/crypto/aead.h"
+
+#include <cstring>
+
+namespace vuvuzela::crypto {
+
+namespace {
+
+// Poly1305 one-time key = first 32 bytes of the ChaCha20 keystream at
+// counter 0 (RFC 8439 §2.6).
+Poly1305Key DeriveMacKey(const AeadKey& key, const AeadNonce& nonce) {
+  uint8_t block[kChaCha20BlockSize];
+  ChaCha20Block(key, nonce, 0, block);
+  Poly1305Key mac_key;
+  std::memcpy(mac_key.data(), block, mac_key.size());
+  return mac_key;
+}
+
+Poly1305Tag ComputeTag(const Poly1305Key& mac_key, util::ByteSpan aad, util::ByteSpan ciphertext) {
+  static constexpr uint8_t kZeroPad[16] = {0};
+  Poly1305 mac(mac_key);
+  mac.Update(aad);
+  if (aad.size() % 16 != 0) {
+    mac.Update(util::ByteSpan(kZeroPad, 16 - aad.size() % 16));
+  }
+  mac.Update(ciphertext);
+  if (ciphertext.size() % 16 != 0) {
+    mac.Update(util::ByteSpan(kZeroPad, 16 - ciphertext.size() % 16));
+  }
+  uint8_t lengths[16];
+  util::StoreLe64(lengths, aad.size());
+  util::StoreLe64(lengths + 8, ciphertext.size());
+  mac.Update(lengths);
+  return mac.Finish();
+}
+
+}  // namespace
+
+util::Bytes AeadSeal(const AeadKey& key, const AeadNonce& nonce, util::ByteSpan aad,
+                     util::ByteSpan plaintext) {
+  util::Bytes out(plaintext.size() + kAeadTagSize);
+  ChaCha20Xor(key, nonce, 1, plaintext, util::MutableByteSpan(out.data(), plaintext.size()));
+  Poly1305Key mac_key = DeriveMacKey(key, nonce);
+  Poly1305Tag tag = ComputeTag(mac_key, aad, util::ByteSpan(out.data(), plaintext.size()));
+  std::memcpy(out.data() + plaintext.size(), tag.data(), tag.size());
+  return out;
+}
+
+std::optional<util::Bytes> AeadOpen(const AeadKey& key, const AeadNonce& nonce, util::ByteSpan aad,
+                                    util::ByteSpan ciphertext_and_tag) {
+  if (ciphertext_and_tag.size() < kAeadTagSize) {
+    return std::nullopt;
+  }
+  size_t ct_len = ciphertext_and_tag.size() - kAeadTagSize;
+  util::ByteSpan ciphertext = ciphertext_and_tag.subspan(0, ct_len);
+  util::ByteSpan tag = ciphertext_and_tag.subspan(ct_len);
+
+  Poly1305Key mac_key = DeriveMacKey(key, nonce);
+  Poly1305Tag expected = ComputeTag(mac_key, aad, ciphertext);
+  if (!util::ConstantTimeEqual(expected, tag)) {
+    return std::nullopt;
+  }
+
+  util::Bytes plaintext(ct_len);
+  ChaCha20Xor(key, nonce, 1, ciphertext, plaintext);
+  return plaintext;
+}
+
+AeadNonce NonceFromUint64(uint64_t counter, uint32_t domain) {
+  AeadNonce nonce;
+  util::StoreLe32(nonce.data(), domain);
+  util::StoreLe64(nonce.data() + 4, counter);
+  return nonce;
+}
+
+}  // namespace vuvuzela::crypto

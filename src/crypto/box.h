@@ -1,0 +1,53 @@
+// Public-key authenticated encryption built from X25519 + HKDF +
+// ChaCha20-Poly1305 — the C++ equivalent of the NaCl box the Go prototype
+// uses.
+//
+// `BoxSeal`/`BoxOpen` encrypt between two known key pairs (conversation
+// envelopes, onion layers). `SealedBoxSeal`/`SealedBoxOpen` encrypt to a
+// public key from a fresh ephemeral key (dialing invitations, §5.2): the
+// output is ephemeral_pk ‖ ciphertext ‖ tag, 48 bytes of overhead, matching
+// the 80-byte invitations of §8.1 (32-byte payload).
+
+#ifndef VUVUZELA_SRC_CRYPTO_BOX_H_
+#define VUVUZELA_SRC_CRYPTO_BOX_H_
+
+#include <optional>
+
+#include "src/crypto/aead.h"
+#include "src/crypto/x25519.h"
+#include "src/util/bytes.h"
+
+namespace vuvuzela::crypto {
+
+inline constexpr size_t kBoxOverhead = kAeadTagSize;                      // 16
+inline constexpr size_t kSealedBoxOverhead = kX25519KeySize + kAeadTagSize;  // 48
+
+// Derives the symmetric AEAD key for a (secret, public) pair. Both sides of a
+// DH derive the same key. The `context` string domain-separates different
+// uses of the same key pair.
+AeadKey DeriveBoxKey(const X25519SharedSecret& shared, util::ByteSpan context);
+
+// Seals `plaintext` from `sender_sk` to `recipient_pk`. The nonce must be
+// unique per key pair per direction; Vuvuzela uses the round number.
+util::Bytes BoxSeal(const X25519SecretKey& sender_sk, const X25519PublicKey& recipient_pk,
+                    const AeadNonce& nonce, util::ByteSpan context, util::ByteSpan plaintext);
+
+// Opens a box sealed with the matching keys/nonce/context.
+std::optional<util::Bytes> BoxOpen(const X25519SecretKey& recipient_sk,
+                                   const X25519PublicKey& sender_pk, const AeadNonce& nonce,
+                                   util::ByteSpan context, util::ByteSpan ciphertext);
+
+// Anonymous sealed box: generates an ephemeral key pair, prepends the
+// ephemeral public key, and derives the nonce from both public keys so no
+// explicit nonce travels on the wire.
+util::Bytes SealedBoxSeal(const X25519PublicKey& recipient_pk, util::ByteSpan context,
+                          util::ByteSpan plaintext, util::Rng& rng);
+
+// Opens a sealed box addressed to `recipient`. Returns nullopt if the input
+// is malformed or the tag fails (e.g. the invitation is for someone else).
+std::optional<util::Bytes> SealedBoxOpen(const X25519KeyPair& recipient, util::ByteSpan context,
+                                         util::ByteSpan sealed);
+
+}  // namespace vuvuzela::crypto
+
+#endif  // VUVUZELA_SRC_CRYPTO_BOX_H_

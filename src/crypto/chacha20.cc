@@ -1,0 +1,87 @@
+#include "src/crypto/chacha20.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace vuvuzela::crypto {
+
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = Rotl(d, 16);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 12);
+  a += b;
+  d ^= a;
+  d = Rotl(d, 8);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 7);
+}
+
+void InitState(uint32_t state[16], const ChaCha20Key& key, const ChaCha20Nonce& nonce,
+               uint32_t counter) {
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    state[4 + i] = util::LoadLe32(key.data() + 4 * i);
+  }
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) {
+    state[13 + i] = util::LoadLe32(nonce.data() + 4 * i);
+  }
+}
+
+void Rounds(uint32_t x[16]) {
+  for (int i = 0; i < 10; ++i) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+}
+
+}  // namespace
+
+void ChaCha20Block(const ChaCha20Key& key, const ChaCha20Nonce& nonce, uint32_t counter,
+                   uint8_t out[kChaCha20BlockSize]) {
+  uint32_t state[16];
+  InitState(state, key, nonce, counter);
+  uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  Rounds(x);
+  for (int i = 0; i < 16; ++i) {
+    util::StoreLe32(out + 4 * i, x[i] + state[i]);
+  }
+}
+
+void ChaCha20Xor(const ChaCha20Key& key, const ChaCha20Nonce& nonce, uint32_t initial_counter,
+                 util::ByteSpan input, util::MutableByteSpan output) {
+  if (input.size() != output.size()) {
+    throw std::invalid_argument("ChaCha20Xor: size mismatch");
+  }
+  uint8_t block[kChaCha20BlockSize];
+  uint32_t counter = initial_counter;
+  size_t off = 0;
+  while (off < input.size()) {
+    ChaCha20Block(key, nonce, counter++, block);
+    size_t take = std::min(input.size() - off, kChaCha20BlockSize);
+    for (size_t i = 0; i < take; ++i) {
+      output[off + i] = static_cast<uint8_t>(input[off + i] ^ block[i]);
+    }
+    off += take;
+  }
+}
+
+}  // namespace vuvuzela::crypto

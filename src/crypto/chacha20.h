@@ -1,0 +1,36 @@
+// ChaCha20 stream cipher (RFC 8439, 96-bit nonce / 32-bit counter variant).
+//
+// Serves two roles: the cipher half of the ChaCha20-Poly1305 AEAD that
+// encrypts every envelope and onion layer, and the core of `ChaChaRng`, the
+// deterministic CSPRNG behind mix-server permutations and noise dead-drop IDs.
+// Validated against the RFC 8439 §2.3.2/§2.4.2 vectors.
+
+#ifndef VUVUZELA_SRC_CRYPTO_CHACHA20_H_
+#define VUVUZELA_SRC_CRYPTO_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace vuvuzela::crypto {
+
+inline constexpr size_t kChaCha20KeySize = 32;
+inline constexpr size_t kChaCha20NonceSize = 12;
+inline constexpr size_t kChaCha20BlockSize = 64;
+
+using ChaCha20Key = std::array<uint8_t, kChaCha20KeySize>;
+using ChaCha20Nonce = std::array<uint8_t, kChaCha20NonceSize>;
+
+// Writes one 64-byte keystream block for (key, nonce, counter) into `out`.
+void ChaCha20Block(const ChaCha20Key& key, const ChaCha20Nonce& nonce, uint32_t counter,
+                   uint8_t out[kChaCha20BlockSize]);
+
+// XORs `input` with the keystream starting at block `initial_counter` and
+// writes to `output` (which may alias `input`). Sizes must match.
+void ChaCha20Xor(const ChaCha20Key& key, const ChaCha20Nonce& nonce, uint32_t initial_counter,
+                 util::ByteSpan input, util::MutableByteSpan output);
+
+}  // namespace vuvuzela::crypto
+
+#endif  // VUVUZELA_SRC_CRYPTO_CHACHA20_H_

@@ -1,0 +1,48 @@
+#include "src/crypto/drbg.h"
+
+#include <cstring>
+
+namespace vuvuzela::crypto {
+
+ChaChaRng::ChaChaRng(const ChaCha20Key& seed) : key_(seed) {}
+
+ChaChaRng ChaChaRng::FromSystem() {
+  ChaCha20Key seed;
+  util::GlobalRng().Fill(seed);
+  return ChaChaRng(seed);
+}
+
+void ChaChaRng::Refill() {
+  ChaCha20Block(key_, nonce_, counter_++, buffer_);
+  available_ = kChaCha20BlockSize;
+  if (counter_ == 0) {
+    // 2^32 blocks (256 GiB) exhausted: ratchet the key forward so the stream
+    // never repeats.
+    ChaCha20Key next;
+    std::memcpy(next.data(), buffer_, next.size());
+    key_ = next;
+    available_ = kChaCha20BlockSize - next.size();
+    std::memmove(buffer_, buffer_ + next.size(), available_);
+  }
+}
+
+void ChaChaRng::Fill(util::MutableByteSpan out) {
+  size_t off = 0;
+  while (off < out.size()) {
+    if (available_ == 0) {
+      Refill();
+    }
+    size_t take = std::min(out.size() - off, available_);
+    std::memcpy(out.data() + off, buffer_ + (kChaCha20BlockSize - available_), take);
+    available_ -= take;
+    off += take;
+  }
+}
+
+uint64_t ChaChaRng::NextUint64() {
+  uint8_t buf[8];
+  Fill(buf);
+  return util::LoadLe64(buf);
+}
+
+}  // namespace vuvuzela::crypto

@@ -1,0 +1,72 @@
+#include "src/crypto/hkdf.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace vuvuzela::crypto {
+
+Sha256Digest HmacSha256(util::ByteSpan key, util::ByteSpan data) {
+  uint8_t block[kSha256BlockSize];
+  std::memset(block, 0, sizeof(block));
+  if (key.size() > kSha256BlockSize) {
+    Sha256Digest hashed = Sha256::Hash(key);
+    std::memcpy(block, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(block, key.data(), key.size());
+  }
+
+  uint8_t ipad[kSha256BlockSize];
+  uint8_t opad[kSha256BlockSize];
+  for (size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = static_cast<uint8_t>(block[i] ^ 0x36);
+    opad[i] = static_cast<uint8_t>(block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(data);
+  Sha256Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  return outer.Finish();
+}
+
+Sha256Digest HkdfExtract(util::ByteSpan salt, util::ByteSpan ikm) {
+  if (salt.empty()) {
+    uint8_t zero_salt[kSha256DigestSize] = {0};
+    return HmacSha256(zero_salt, ikm);
+  }
+  return HmacSha256(salt, ikm);
+}
+
+util::Bytes HkdfExpand(util::ByteSpan prk, util::ByteSpan info, size_t length) {
+  if (length > 255 * kSha256DigestSize) {
+    throw std::invalid_argument("HkdfExpand: length too large");
+  }
+  util::Bytes out;
+  out.reserve(length);
+  Sha256Digest t{};
+  size_t t_len = 0;
+  uint8_t counter = 1;
+  while (out.size() < length) {
+    util::Bytes input;
+    input.reserve(t_len + info.size() + 1);
+    input.insert(input.end(), t.begin(), t.begin() + static_cast<ptrdiff_t>(t_len));
+    input.insert(input.end(), info.begin(), info.end());
+    input.push_back(counter++);
+    t = HmacSha256(prk, input);
+    t_len = t.size();
+    size_t take = std::min(length - out.size(), t.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<ptrdiff_t>(take));
+  }
+  return out;
+}
+
+util::Bytes Hkdf(util::ByteSpan salt, util::ByteSpan ikm, util::ByteSpan info, size_t length) {
+  Sha256Digest prk = HkdfExtract(salt, ikm);
+  return HkdfExpand(prk, info, length);
+}
+
+}  // namespace vuvuzela::crypto

@@ -1,0 +1,29 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// Vuvuzela derives per-round envelope keys and dead-drop IDs from X25519
+// shared secrets; HKDF gives us domain separation between those uses via
+// distinct `info` strings. Validated against RFC 4231 / RFC 5869 vectors.
+
+#ifndef VUVUZELA_SRC_CRYPTO_HKDF_H_
+#define VUVUZELA_SRC_CRYPTO_HKDF_H_
+
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+
+namespace vuvuzela::crypto {
+
+// HMAC-SHA256 over `data` with `key` (any length).
+Sha256Digest HmacSha256(util::ByteSpan key, util::ByteSpan data);
+
+// HKDF-Extract: PRK = HMAC(salt, ikm).
+Sha256Digest HkdfExtract(util::ByteSpan salt, util::ByteSpan ikm);
+
+// HKDF-Expand: derives `length` bytes (≤ 255*32) from PRK and info.
+util::Bytes HkdfExpand(util::ByteSpan prk, util::ByteSpan info, size_t length);
+
+// Extract-then-expand convenience.
+util::Bytes Hkdf(util::ByteSpan salt, util::ByteSpan ikm, util::ByteSpan info, size_t length);
+
+}  // namespace vuvuzela::crypto
+
+#endif  // VUVUZELA_SRC_CRYPTO_HKDF_H_

@@ -1,0 +1,72 @@
+// Onion encryption for the Vuvuzela mixnet (Algorithm 1 step 2, Algorithm 2
+// steps 1 and 4).
+//
+// Requests are wrapped innermost-out: for each server i (from the last to the
+// first) the client generates a fresh X25519 key pair, derives a shared key
+// with that server's long-term public key, and seals the inner layer. Each
+// layer therefore adds 48 bytes (32-byte ephemeral public key + 16-byte tag).
+// Servers retain the derived key per request so results can be re-encrypted
+// on the way back (16 bytes of tag per layer, no key material on the wire).
+//
+// Fresh ephemeral keys per message are what the paper's §7 calls out as the
+// dominant CPU cost: one DH per request per server in each direction of the
+// chain traversal.
+
+#ifndef VUVUZELA_SRC_CRYPTO_ONION_H_
+#define VUVUZELA_SRC_CRYPTO_ONION_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/crypto/box.h"
+#include "src/util/bytes.h"
+
+namespace vuvuzela::crypto {
+
+// Bytes added to a request payload per onion layer.
+inline constexpr size_t kOnionRequestLayerOverhead = kX25519KeySize + kAeadTagSize;  // 48
+// Bytes added to a response payload per layer on the return path.
+inline constexpr size_t kOnionResponseLayerOverhead = kAeadTagSize;  // 16
+
+constexpr size_t OnionRequestSize(size_t payload_size, size_t num_layers) {
+  return payload_size + num_layers * kOnionRequestLayerOverhead;
+}
+
+constexpr size_t OnionResponseSize(size_t payload_size, size_t num_layers) {
+  return payload_size + num_layers * kOnionResponseLayerOverhead;
+}
+
+// A client-wrapped request onion plus the per-layer keys needed to decrypt
+// the response. keys[i] corresponds to the i-th server the request visits.
+struct WrappedOnion {
+  util::Bytes data;
+  std::vector<AeadKey> layer_keys;
+};
+
+// Wraps `payload` for the chain suffix `server_pks` (ordered first→last hop).
+// Mix servers call this with the suffix of the chain after themselves when
+// generating noise requests (§4.2).
+WrappedOnion OnionWrap(std::span<const X25519PublicKey> server_pks, uint64_t round,
+                       util::ByteSpan payload, util::Rng& rng);
+
+// One server peeling its layer. Returns the inner bytes and the derived key
+// to use for the response on the way back; nullopt if the layer is malformed
+// or fails authentication.
+struct UnwrappedLayer {
+  util::Bytes inner;
+  AeadKey response_key;
+};
+std::optional<UnwrappedLayer> OnionUnwrapLayer(const X25519SecretKey& server_sk, uint64_t round,
+                                               util::ByteSpan layer);
+
+// Server-side response wrap with the key retained from OnionUnwrapLayer.
+util::Bytes OnionSealResponse(const AeadKey& key, uint64_t round, util::ByteSpan response);
+
+// Client-side: removes all response layers (layer_keys from OnionWrap, in
+// chain order).
+std::optional<util::Bytes> OnionOpenResponse(std::span<const AeadKey> layer_keys, uint64_t round,
+                                             util::ByteSpan response);
+
+}  // namespace vuvuzela::crypto
+
+#endif  // VUVUZELA_SRC_CRYPTO_ONION_H_

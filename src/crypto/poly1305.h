@@ -1,0 +1,46 @@
+// Poly1305 one-time authenticator (RFC 8439 §2.5).
+//
+// Tag half of the ChaCha20-Poly1305 AEAD. Validated against the RFC 8439
+// §2.5.2 vector and the AEAD vectors.
+
+#ifndef VUVUZELA_SRC_CRYPTO_POLY1305_H_
+#define VUVUZELA_SRC_CRYPTO_POLY1305_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace vuvuzela::crypto {
+
+inline constexpr size_t kPoly1305KeySize = 32;
+inline constexpr size_t kPoly1305TagSize = 16;
+
+using Poly1305Key = std::array<uint8_t, kPoly1305KeySize>;
+using Poly1305Tag = std::array<uint8_t, kPoly1305TagSize>;
+
+// Incremental Poly1305. The key must be used for exactly one message.
+class Poly1305 {
+ public:
+  explicit Poly1305(const Poly1305Key& key);
+
+  void Update(util::ByteSpan data);
+  Poly1305Tag Finish();
+
+  static Poly1305Tag Compute(const Poly1305Key& key, util::ByteSpan data);
+
+ private:
+  void ProcessBlock(const uint8_t block[17]);
+
+  // 26-bit limb representation of the accumulator and clamped r.
+  uint32_t r_[5];
+  uint32_t h_[5] = {0, 0, 0, 0, 0};
+  uint8_t pad_[16];
+  uint8_t buffer_[16];
+  size_t buffered_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace vuvuzela::crypto
+
+#endif  // VUVUZELA_SRC_CRYPTO_POLY1305_H_

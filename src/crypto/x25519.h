@@ -1,0 +1,46 @@
+// X25519 Diffie-Hellman (RFC 7748) over Curve25519.
+//
+// This is the workhorse primitive of Vuvuzela: every onion layer on every
+// request costs each server one X25519 operation, and the paper's end-to-end
+// latency analysis (§8.2, "Dominant costs") is expressed in DH ops/sec. The
+// field arithmetic uses five 51-bit limbs with unsigned __int128 products
+// (the portable "donna-c64" shape) and a constant-time Montgomery ladder.
+// Validated against the RFC 7748 §5.2 vectors, including the 1,000-iteration
+// vector, in tests/crypto_x25519_test.cc.
+
+#ifndef VUVUZELA_SRC_CRYPTO_X25519_H_
+#define VUVUZELA_SRC_CRYPTO_X25519_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/util/bytes.h"
+#include "src/util/random.h"
+
+namespace vuvuzela::crypto {
+
+inline constexpr size_t kX25519KeySize = 32;
+
+using X25519PublicKey = std::array<uint8_t, kX25519KeySize>;
+using X25519SecretKey = std::array<uint8_t, kX25519KeySize>;
+using X25519SharedSecret = std::array<uint8_t, kX25519KeySize>;
+
+// Scalar multiplication: out = scalar * point (u-coordinate). The scalar is
+// clamped per RFC 7748 before use.
+X25519SharedSecret X25519(const X25519SecretKey& scalar, const X25519PublicKey& point);
+
+// Computes the public key for `scalar` (scalar * base point 9).
+X25519PublicKey X25519BasePoint(const X25519SecretKey& scalar);
+
+// Key pair for X25519.
+struct X25519KeyPair {
+  X25519PublicKey public_key;
+  X25519SecretKey secret_key;
+
+  // Generates a fresh key pair from `rng`.
+  static X25519KeyPair Generate(util::Rng& rng);
+};
+
+}  // namespace vuvuzela::crypto
+
+#endif  // VUVUZELA_SRC_CRYPTO_X25519_H_

@@ -1,0 +1,54 @@
+#include "src/deaddrop/conversation_table.h"
+
+#include <cstring>
+#include <unordered_map>
+
+namespace vuvuzela::deaddrop {
+
+namespace {
+
+struct IdHash {
+  size_t operator()(const wire::DeadDropId& id) const {
+    // IDs are outputs of a cryptographic hash; their first 8 bytes are
+    // already uniform.
+    uint64_t v;
+    std::memcpy(&v, id.data(), sizeof(v));
+    return static_cast<size_t>(v);
+  }
+};
+
+}  // namespace
+
+ExchangeOutcome ExchangeRound(std::span<const wire::ExchangeRequest> requests) {
+  ExchangeOutcome out;
+  out.results.resize(requests.size());
+
+  std::unordered_map<wire::DeadDropId, std::vector<size_t>, IdHash> table;
+  table.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    table[requests[i].dead_drop].push_back(i);
+  }
+
+  for (const auto& [id, accesses] : table) {
+    if (accesses.size() == 1) {
+      out.histogram.singles++;
+    } else if (accesses.size() == 2) {
+      out.histogram.pairs++;
+    } else {
+      out.histogram.crowded++;
+    }
+    // Swap within consecutive pairs; an odd trailing access echoes back.
+    size_t i = 0;
+    for (; i + 1 < accesses.size(); i += 2) {
+      out.results[accesses[i]] = requests[accesses[i + 1]].envelope;
+      out.results[accesses[i + 1]] = requests[accesses[i]].envelope;
+      out.messages_exchanged += 2;
+    }
+    if (i < accesses.size()) {
+      out.results[accesses[i]] = requests[accesses[i]].envelope;
+    }
+  }
+  return out;
+}
+
+}  // namespace vuvuzela::deaddrop

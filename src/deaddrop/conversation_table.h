@@ -1,0 +1,46 @@
+// Conversation dead drops (§3.1, Algorithm 2 step 3b).
+//
+// The last server in the chain collects every exchange request of a round,
+// groups them by 128-bit dead-drop ID, and swaps envelopes between the two
+// accesses of each drop. Unmatched requests get their own envelope back — an
+// indistinguishable result from the requester's network vantage point, and
+// the signal (after client-side decryption) that the partner was absent.
+//
+// The per-round histogram of access counts {m1 = drops accessed once,
+// m2 = drops accessed twice} is exactly the observable variable pair that
+// Vuvuzela's noise must cover (§4.2); it is exposed here for the adversary
+// observer used in tests and benches.
+
+#ifndef VUVUZELA_SRC_DEADDROP_CONVERSATION_TABLE_H_
+#define VUVUZELA_SRC_DEADDROP_CONVERSATION_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/wire/messages.h"
+
+namespace vuvuzela::deaddrop {
+
+// The adversary-visible access-count histogram of one conversation round.
+struct AccessHistogram {
+  uint64_t singles = 0;  // m1: dead drops accessed exactly once
+  uint64_t pairs = 0;    // m2: dead drops accessed exactly twice
+  uint64_t crowded = 0;  // drops accessed 3+ times (only adversarial clients)
+};
+
+struct ExchangeOutcome {
+  // results[i] is the envelope returned for requests[i].
+  std::vector<wire::Envelope> results;
+  AccessHistogram histogram;
+  // Number of requests whose envelope was actually swapped with a partner.
+  uint64_t messages_exchanged = 0;
+};
+
+// Executes one round of dead-drop exchanges. Requests with the same ID are
+// paired in input order; an odd request out receives its own envelope.
+ExchangeOutcome ExchangeRound(std::span<const wire::ExchangeRequest> requests);
+
+}  // namespace vuvuzela::deaddrop
+
+#endif  // VUVUZELA_SRC_DEADDROP_CONVERSATION_TABLE_H_

@@ -1,0 +1,58 @@
+#include "src/deaddrop/invitation_table.h"
+
+#include <stdexcept>
+
+#include "src/crypto/sha256.h"
+
+namespace vuvuzela::deaddrop {
+
+uint32_t InvitationDropForKey(const crypto::X25519PublicKey& pk, uint32_t num_drops) {
+  if (num_drops == 0) {
+    throw std::invalid_argument("InvitationDropForKey: num_drops must be positive");
+  }
+  crypto::Sha256Digest digest = crypto::Sha256::Hash(pk);
+  uint64_t v = util::LoadBe64(digest.data());
+  return static_cast<uint32_t>(v % num_drops);
+}
+
+InvitationTable::InvitationTable(uint32_t num_drops) : drops_(num_drops) {
+  if (num_drops == 0) {
+    throw std::invalid_argument("InvitationTable: num_drops must be positive");
+  }
+}
+
+void InvitationTable::Add(uint32_t index, const wire::Invitation& invitation) {
+  drops_[index % drops_.size()].push_back(invitation);
+}
+
+void InvitationTable::AddNoise(std::span<const uint64_t> counts, util::Rng& rng) {
+  if (counts.size() != drops_.size()) {
+    throw std::invalid_argument("AddNoise: counts size mismatch");
+  }
+  for (size_t i = 0; i < counts.size(); ++i) {
+    for (uint64_t j = 0; j < counts[i]; ++j) {
+      wire::Invitation fake;
+      rng.Fill(fake);
+      drops_[i].push_back(fake);
+    }
+  }
+}
+
+const std::vector<wire::Invitation>& InvitationTable::Drop(uint32_t index) const {
+  return drops_.at(index % drops_.size());
+}
+
+std::vector<uint64_t> InvitationTable::DropSizes() const {
+  std::vector<uint64_t> sizes;
+  sizes.reserve(drops_.size());
+  for (const auto& d : drops_) {
+    sizes.push_back(d.size());
+  }
+  return sizes;
+}
+
+uint64_t InvitationTable::DropBytes(uint32_t index) const {
+  return Drop(index).size() * wire::kInvitationSize;
+}
+
+}  // namespace vuvuzela::deaddrop

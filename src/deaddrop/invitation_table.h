@@ -1,0 +1,55 @@
+// Invitation dead drops for the dialing protocol (§5).
+//
+// A dialing round creates m large dead drops; an invitation for public key pk
+// lands in drop H(pk) mod m. Unlike conversation drops, these are
+// downloadable by anyone (recipients are linkable to their drop), so every
+// server adds noise invitations to every drop (§5.3). The table lives on the
+// last server; its per-drop sizes are the round's observable variables.
+
+#ifndef VUVUZELA_SRC_DEADDROP_INVITATION_TABLE_H_
+#define VUVUZELA_SRC_DEADDROP_INVITATION_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/crypto/x25519.h"
+#include "src/util/random.h"
+#include "src/wire/messages.h"
+
+namespace vuvuzela::deaddrop {
+
+// Maps a recipient's long-term public key to its invitation dead drop index
+// (H(pk) mod m, §5.1).
+uint32_t InvitationDropForKey(const crypto::X25519PublicKey& pk, uint32_t num_drops);
+
+class InvitationTable {
+ public:
+  explicit InvitationTable(uint32_t num_drops);
+
+  uint32_t num_drops() const { return static_cast<uint32_t>(drops_.size()); }
+
+  // Deposits one invitation. Out-of-range indices are reduced mod m so a
+  // malformed (or adversarial) request cannot fault the server.
+  void Add(uint32_t index, const wire::Invitation& invitation);
+
+  // Deposits `counts[i]` random noise invitations into drop i. Noise
+  // invitations are random bytes — indistinguishable from sealed boxes
+  // addressed to someone else.
+  void AddNoise(std::span<const uint64_t> counts, util::Rng& rng);
+
+  const std::vector<wire::Invitation>& Drop(uint32_t index) const;
+
+  // Observable variable of the round: invitation count per drop.
+  std::vector<uint64_t> DropSizes() const;
+
+  // Total bytes a client downloading drop `index` transfers (§8.3).
+  uint64_t DropBytes(uint32_t index) const;
+
+ private:
+  std::vector<std::vector<wire::Invitation>> drops_;
+};
+
+}  // namespace vuvuzela::deaddrop
+
+#endif  // VUVUZELA_SRC_DEADDROP_INVITATION_TABLE_H_

@@ -1,0 +1,79 @@
+#include "src/dialing/protocol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/crypto/box.h"
+#include "src/deaddrop/invitation_table.h"
+
+namespace vuvuzela::dialing {
+
+namespace {
+
+const util::ByteSpan kInviteContext() {
+  static constexpr uint8_t kCtx[] = "vuvuzela/invite/v1";
+  return util::ByteSpan(kCtx, sizeof(kCtx) - 1);
+}
+
+}  // namespace
+
+uint32_t OptimalDropCount(uint64_t num_users, double dial_fraction, double noise_mu) {
+  if (noise_mu <= 0.0) {
+    throw std::invalid_argument("OptimalDropCount: noise_mu must be positive");
+  }
+  if (dial_fraction < 0.0 || dial_fraction > 1.0) {
+    throw std::invalid_argument("OptimalDropCount: dial_fraction out of range");
+  }
+  double m = static_cast<double>(num_users) * dial_fraction / noise_mu;
+  return static_cast<uint32_t>(std::max(1.0, std::floor(m)));
+}
+
+uint32_t DropForRecipient(const RoundConfig& config, const crypto::X25519PublicKey& pk) {
+  return deaddrop::InvitationDropForKey(pk, config.num_real_drops);
+}
+
+wire::Invitation SealInvitation(const crypto::X25519PublicKey& caller_pk,
+                                const crypto::X25519PublicKey& recipient_pk, util::Rng& rng) {
+  util::Bytes sealed = crypto::SealedBoxSeal(recipient_pk, kInviteContext(), caller_pk, rng);
+  wire::Invitation invitation;
+  if (sealed.size() != invitation.size()) {
+    throw std::logic_error("SealInvitation: unexpected sealed size");
+  }
+  std::memcpy(invitation.data(), sealed.data(), invitation.size());
+  return invitation;
+}
+
+wire::DialRequest BuildDialRequest(const RoundConfig& config,
+                                   const crypto::X25519PublicKey& caller_pk,
+                                   const crypto::X25519PublicKey& recipient_pk, util::Rng& rng) {
+  wire::DialRequest request;
+  request.dead_drop_index = DropForRecipient(config, recipient_pk);
+  request.invitation = SealInvitation(caller_pk, recipient_pk, rng);
+  return request;
+}
+
+wire::DialRequest BuildIdleDialRequest(const RoundConfig& config, util::Rng& rng) {
+  wire::DialRequest request;
+  request.dead_drop_index = config.noop_index();
+  rng.Fill(request.invitation);  // random bytes: sealed-box-indistinguishable
+  return request;
+}
+
+std::vector<crypto::X25519PublicKey> ScanInvitations(
+    const crypto::X25519KeyPair& recipient, std::span<const wire::Invitation> invitations) {
+  std::vector<crypto::X25519PublicKey> callers;
+  for (const wire::Invitation& invitation : invitations) {
+    auto opened = crypto::SealedBoxOpen(recipient, kInviteContext(), invitation);
+    if (!opened || opened->size() != crypto::kX25519KeySize) {
+      continue;
+    }
+    crypto::X25519PublicKey caller;
+    std::memcpy(caller.data(), opened->data(), caller.size());
+    callers.push_back(caller);
+  }
+  return callers;
+}
+
+}  // namespace vuvuzela::dialing

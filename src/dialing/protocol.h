@@ -1,0 +1,61 @@
+// Dialing protocol, client side (§5).
+//
+// A dialing round has m "real" invitation dead drops plus one no-op drop for
+// idle clients (§5.2). An invitation is the caller's long-term public key
+// sealed to the recipient's long-term public key (sealed box, 80 bytes); the
+// recipient downloads its whole drop and trial-decrypts every invitation —
+// noise and other users' invitations fail decryption and are discarded.
+
+#ifndef VUVUZELA_SRC_DIALING_PROTOCOL_H_
+#define VUVUZELA_SRC_DIALING_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/crypto/x25519.h"
+#include "src/util/bytes.h"
+#include "src/util/random.h"
+#include "src/wire/messages.h"
+
+namespace vuvuzela::dialing {
+
+// Drop layout of one dialing round.
+struct RoundConfig {
+  // Number of real invitation dead drops, m (§5.4).
+  uint32_t num_real_drops = 1;
+
+  // The no-op drop sits after the real drops.
+  uint32_t noop_index() const { return num_real_drops; }
+  // Total drops the servers instantiate and noise (real + no-op).
+  uint32_t total_drops() const { return num_real_drops + 1; }
+};
+
+// §5.4: m = n·f/µ balances server noise volume against client download size;
+// each real drop then carries ≈ µ real and ≈ µ·(#servers) noise invitations.
+uint32_t OptimalDropCount(uint64_t num_users, double dial_fraction, double noise_mu);
+
+// The real drop a recipient with key `pk` polls: H(pk) mod m.
+uint32_t DropForRecipient(const RoundConfig& config, const crypto::X25519PublicKey& pk);
+
+// Seals `caller`'s public key to the recipient (80-byte invitation).
+wire::Invitation SealInvitation(const crypto::X25519PublicKey& caller_pk,
+                                const crypto::X25519PublicKey& recipient_pk, util::Rng& rng);
+
+// Builds the dial request a caller sends through the mixnet.
+wire::DialRequest BuildDialRequest(const RoundConfig& config,
+                                   const crypto::X25519PublicKey& caller_pk,
+                                   const crypto::X25519PublicKey& recipient_pk, util::Rng& rng);
+
+// The request an idle client sends: a random (undecryptable) invitation to
+// the no-op drop.
+wire::DialRequest BuildIdleDialRequest(const RoundConfig& config, util::Rng& rng);
+
+// Trial-decrypts every invitation in the recipient's drop; returns the
+// callers' public keys. Duplicates are preserved (the client layer dedupes).
+std::vector<crypto::X25519PublicKey> ScanInvitations(
+    const crypto::X25519KeyPair& recipient, std::span<const wire::Invitation> invitations);
+
+}  // namespace vuvuzela::dialing
+
+#endif  // VUVUZELA_SRC_DIALING_PROTOCOL_H_

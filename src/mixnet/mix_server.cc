@@ -1,0 +1,408 @@
+#include "src/mixnet/mix_server.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "src/mixnet/shuffler.h"
+#include "src/wire/messages.h"
+
+namespace vuvuzela::mixnet {
+
+namespace {
+
+// Builds the fixed-size plaintext of one fake exchange request (Algorithm 2
+// step 2): a random dead-drop ID and a random envelope. Random bytes are
+// indistinguishable from real AEAD ciphertext.
+wire::ExchangeRequest FakeExchange(util::Rng& rng) {
+  wire::ExchangeRequest req;
+  rng.Fill(req.dead_drop);
+  rng.Fill(req.envelope);
+  return req;
+}
+
+}  // namespace
+
+MixServer::MixServer(const MixServerConfig& config, crypto::X25519KeyPair key_pair,
+                     std::vector<crypto::X25519PublicKey> chain_public_keys,
+                     const crypto::ChaCha20Key& rng_seed)
+    : config_(config),
+      key_pair_(key_pair),
+      chain_public_keys_(std::move(chain_public_keys)),
+      rng_(rng_seed) {
+  if (config_.chain_length == 0 || config_.position >= config_.chain_length) {
+    throw std::invalid_argument("MixServer: bad chain position");
+  }
+  if (chain_public_keys_.size() != config_.chain_length) {
+    throw std::invalid_argument("MixServer: chain key count mismatch");
+  }
+}
+
+std::span<const crypto::X25519PublicKey> MixServer::ChainSuffix() const {
+  return std::span<const crypto::X25519PublicKey>(chain_public_keys_)
+      .subspan(config_.position + 1);
+}
+
+size_t MixServer::ResponseSizeFromNextHop() const {
+  // Servers position+1 .. chain_length-1 each seal once on the return path.
+  size_t seals = config_.chain_length - 1 - config_.position;
+  return wire::kEnvelopeSize + seals * crypto::kOnionResponseLayerOverhead;
+}
+
+MixServer::UnwrapBatchResult MixServer::UnwrapBatch(uint64_t round,
+                                                    const std::vector<util::Bytes>& batch) {
+  std::vector<std::optional<crypto::UnwrappedLayer>> unwrapped(batch.size());
+  auto unwrap_one = [&](size_t i) {
+    unwrapped[i] = crypto::OnionUnwrapLayer(key_pair_.secret_key, round, batch[i]);
+  };
+  if (config_.parallel) {
+    util::GlobalPool().ParallelFor(batch.size(), unwrap_one);
+  } else {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      unwrap_one(i);
+    }
+  }
+
+  UnwrapBatchResult result;
+  result.inners.reserve(batch.size());
+  result.orig_index.reserve(batch.size());
+  result.response_keys.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (!unwrapped[i]) {
+      result.dropped++;
+      continue;
+    }
+    result.inners.push_back(std::move(unwrapped[i]->inner));
+    result.orig_index.push_back(static_cast<uint32_t>(i));
+    result.response_keys.push_back(unwrapped[i]->response_key);
+  }
+  return result;
+}
+
+std::vector<util::Bytes> MixServer::ForwardConversation(uint64_t round,
+                                                        std::vector<util::Bytes> batch,
+                                                        ServerRoundStats* stats) {
+  if (is_last()) {
+    throw std::logic_error("ForwardConversation called on the last server");
+  }
+  ServerRoundStats local;
+  local.requests_in = batch.size();
+  for (const auto& b : batch) {
+    local.bytes_in += b.size();
+  }
+
+  UnwrapBatchResult unwrapped = UnwrapBatch(round, batch);
+  local.requests_dropped = unwrapped.dropped;
+  local.dh_ops += batch.size();
+
+  RoundState state;
+  state.input_size = batch.size();
+  state.orig_index = std::move(unwrapped.orig_index);
+  state.response_keys = std::move(unwrapped.response_keys);
+  state.response_size_in = ResponseSizeFromNextHop();
+
+  // Cover traffic (Algorithm 2 step 2): ⌈n1⌉ singles + ⌈n2/2⌉ pairs, each
+  // onion-wrapped for the rest of the chain so downstream servers cannot tell
+  // them from client requests.
+  noise::ConversationNoisePlan plan = PlanConversationNoise(config_.conversation_noise, rng_);
+  size_t noise_items = plan.singles + 2 * plan.pairs;
+  std::vector<util::Bytes> noise_payloads;
+  noise_payloads.reserve(noise_items);
+  for (uint64_t i = 0; i < plan.singles; ++i) {
+    noise_payloads.push_back(FakeExchange(rng_).Serialize());
+  }
+  for (uint64_t i = 0; i < plan.pairs; ++i) {
+    wire::ExchangeRequest first = FakeExchange(rng_);
+    wire::ExchangeRequest second = FakeExchange(rng_);
+    second.dead_drop = first.dead_drop;  // the pair meets in one dead drop
+    noise_payloads.push_back(first.Serialize());
+    noise_payloads.push_back(second.Serialize());
+  }
+
+  // Wrap noise in parallel; each task gets an independent DRBG seeded from
+  // the server's RNG (ChaChaRng is not thread-safe).
+  std::span<const crypto::X25519PublicKey> suffix = ChainSuffix();
+  std::vector<crypto::ChaCha20Key> seeds(noise_payloads.size());
+  for (auto& seed : seeds) {
+    rng_.Fill(seed);
+  }
+  std::vector<util::Bytes> noise_onions(noise_payloads.size());
+  auto wrap_one = [&](size_t i) {
+    crypto::ChaChaRng task_rng(seeds[i]);
+    noise_onions[i] = crypto::OnionWrap(suffix, round, noise_payloads[i], task_rng).data;
+  };
+  if (config_.parallel) {
+    util::GlobalPool().ParallelFor(noise_onions.size(), wrap_one);
+  } else {
+    for (size_t i = 0; i < noise_onions.size(); ++i) {
+      wrap_one(i);
+    }
+  }
+  local.noise_requests_added = noise_onions.size();
+  local.dh_ops += noise_onions.size() * suffix.size();
+  state.noise_count = noise_onions.size();
+
+  std::vector<util::Bytes> combined = std::move(unwrapped.inners);
+  combined.reserve(combined.size() + noise_onions.size());
+  for (auto& onion : noise_onions) {
+    combined.push_back(std::move(onion));
+  }
+
+  Permutation perm = config_.mix ? Permutation::Random(combined.size(), rng_)
+                                 : Permutation::Identity(combined.size());
+  state.perm = perm.indices();
+  std::vector<util::Bytes> out = perm.Apply(std::move(combined));
+
+  for (const auto& b : out) {
+    local.bytes_out += b.size();
+  }
+  rounds_[round] = std::move(state);
+  if (stats) {
+    *stats = local;
+  }
+  return out;
+}
+
+std::vector<util::Bytes> MixServer::BackwardConversation(uint64_t round,
+                                                         std::vector<util::Bytes> responses,
+                                                         ServerRoundStats* stats) {
+  auto it = rounds_.find(round);
+  if (it == rounds_.end()) {
+    throw std::logic_error("BackwardConversation: unknown round");
+  }
+  RoundState state = std::move(it->second);
+  rounds_.erase(it);
+
+  if (responses.size() != state.perm.size()) {
+    throw std::invalid_argument("BackwardConversation: response count mismatch");
+  }
+  ServerRoundStats local;
+  local.requests_in = responses.size();
+  for (const auto& r : responses) {
+    local.bytes_in += r.size();
+  }
+
+  // Undo the shuffle, then drop the tail: our noise responses.
+  std::vector<util::Bytes> unshuffled(responses.size());
+  for (size_t k = 0; k < state.perm.size(); ++k) {
+    unshuffled[state.perm[k]] = std::move(responses[k]);
+  }
+  size_t num_valid = state.orig_index.size();
+  unshuffled.resize(num_valid);
+
+  // Seal each response with the key retained on the forward pass and place
+  // it at the position the previous hop expects.
+  std::vector<util::Bytes> out(state.input_size);
+  auto seal_one = [&](size_t j) {
+    out[state.orig_index[j]] =
+        crypto::OnionSealResponse(state.response_keys[j], round, unshuffled[j]);
+  };
+  if (config_.parallel) {
+    util::GlobalPool().ParallelFor(num_valid, seal_one);
+  } else {
+    for (size_t j = 0; j < num_valid; ++j) {
+      seal_one(j);
+    }
+  }
+
+  // Requests this server dropped on the forward pass still owe the previous
+  // hop a response slot; synthesize random bytes of the correct size
+  // (indistinguishable from a sealed response).
+  size_t out_size = state.response_size_in + crypto::kOnionResponseLayerOverhead;
+  for (auto& slot : out) {
+    if (slot.empty()) {
+      slot = rng_.RandomBytes(out_size);
+    }
+  }
+
+  for (const auto& r : out) {
+    local.bytes_out += r.size();
+  }
+  if (stats) {
+    *stats = local;
+  }
+  return out;
+}
+
+MixServer::LastServerResult MixServer::ProcessConversationLastHop(uint64_t round,
+                                                                  std::vector<util::Bytes> batch,
+                                                                  ServerRoundStats* stats) {
+  if (!is_last()) {
+    throw std::logic_error("ProcessConversationLastHop called on a non-last server");
+  }
+  ServerRoundStats local;
+  local.requests_in = batch.size();
+  for (const auto& b : batch) {
+    local.bytes_in += b.size();
+  }
+
+  UnwrapBatchResult unwrapped = UnwrapBatch(round, batch);
+  local.dh_ops += batch.size();
+
+  // Parse exchange requests; a valid onion with a malformed payload is
+  // treated like a failed decryption.
+  std::vector<wire::ExchangeRequest> requests;
+  std::vector<uint32_t> orig_index;
+  std::vector<crypto::AeadKey> keys;
+  requests.reserve(unwrapped.inners.size());
+  for (size_t j = 0; j < unwrapped.inners.size(); ++j) {
+    auto parsed = wire::ExchangeRequest::Parse(unwrapped.inners[j]);
+    if (!parsed) {
+      unwrapped.dropped++;
+      continue;
+    }
+    requests.push_back(*parsed);
+    orig_index.push_back(unwrapped.orig_index[j]);
+    keys.push_back(unwrapped.response_keys[j]);
+  }
+  local.requests_dropped = unwrapped.dropped;
+
+  deaddrop::ExchangeOutcome outcome = deaddrop::ExchangeRound(requests);
+
+  LastServerResult result;
+  result.histogram = outcome.histogram;
+  result.messages_exchanged = outcome.messages_exchanged;
+  result.responses.resize(batch.size());
+  auto seal_one = [&](size_t j) {
+    result.responses[orig_index[j]] =
+        crypto::OnionSealResponse(keys[j], round, outcome.results[j]);
+  };
+  if (config_.parallel) {
+    util::GlobalPool().ParallelFor(requests.size(), seal_one);
+  } else {
+    for (size_t j = 0; j < requests.size(); ++j) {
+      seal_one(j);
+    }
+  }
+  size_t response_size = wire::kEnvelopeSize + crypto::kOnionResponseLayerOverhead;
+  for (auto& slot : result.responses) {
+    if (slot.empty()) {
+      slot = rng_.RandomBytes(response_size);
+    }
+  }
+
+  for (const auto& r : result.responses) {
+    local.bytes_out += r.size();
+  }
+  if (stats) {
+    *stats = local;
+  }
+  return result;
+}
+
+std::vector<util::Bytes> MixServer::ForwardDialing(uint64_t round, std::vector<util::Bytes> batch,
+                                                   uint32_t num_drops, ServerRoundStats* stats) {
+  if (is_last()) {
+    throw std::logic_error("ForwardDialing called on the last server");
+  }
+  ServerRoundStats local;
+  local.requests_in = batch.size();
+  for (const auto& b : batch) {
+    local.bytes_in += b.size();
+  }
+
+  UnwrapBatchResult unwrapped = UnwrapBatch(round, batch);
+  local.requests_dropped = unwrapped.dropped;
+  local.dh_ops += batch.size();
+
+  // Per-drop noise invitations (§5.3), wrapped for the chain suffix.
+  std::vector<uint64_t> counts = PlanDialingNoise(config_.dialing_noise, num_drops, rng_);
+  std::vector<util::Bytes> noise_payloads;
+  for (uint32_t d = 0; d < num_drops; ++d) {
+    for (uint64_t j = 0; j < counts[d]; ++j) {
+      wire::DialRequest fake;
+      fake.dead_drop_index = d;
+      rng_.Fill(fake.invitation);
+      noise_payloads.push_back(fake.Serialize());
+    }
+  }
+  std::span<const crypto::X25519PublicKey> suffix = ChainSuffix();
+  std::vector<crypto::ChaCha20Key> seeds(noise_payloads.size());
+  for (auto& seed : seeds) {
+    rng_.Fill(seed);
+  }
+  std::vector<util::Bytes> noise_onions(noise_payloads.size());
+  auto wrap_one = [&](size_t i) {
+    crypto::ChaChaRng task_rng(seeds[i]);
+    noise_onions[i] = crypto::OnionWrap(suffix, round, noise_payloads[i], task_rng).data;
+  };
+  if (config_.parallel) {
+    util::GlobalPool().ParallelFor(noise_onions.size(), wrap_one);
+  } else {
+    for (size_t i = 0; i < noise_onions.size(); ++i) {
+      wrap_one(i);
+    }
+  }
+  local.noise_requests_added = noise_onions.size();
+  local.dh_ops += noise_onions.size() * suffix.size();
+
+  std::vector<util::Bytes> combined = std::move(unwrapped.inners);
+  combined.reserve(combined.size() + noise_onions.size());
+  for (auto& onion : noise_onions) {
+    combined.push_back(std::move(onion));
+  }
+  Permutation perm = config_.mix ? Permutation::Random(combined.size(), rng_)
+                                 : Permutation::Identity(combined.size());
+  std::vector<util::Bytes> out = perm.Apply(std::move(combined));
+
+  for (const auto& b : out) {
+    local.bytes_out += b.size();
+  }
+  if (stats) {
+    *stats = local;
+  }
+  return out;
+}
+
+void MixServer::ExpireRounds(uint64_t newest_round, uint64_t keep) {
+  for (auto it = rounds_.begin(); it != rounds_.end();) {
+    if (it->first + keep < newest_round) {
+      it = rounds_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+deaddrop::InvitationTable MixServer::ProcessDialingLastHop(uint64_t round,
+                                                           std::vector<util::Bytes> batch,
+                                                           uint32_t num_drops,
+                                                           ServerRoundStats* stats) {
+  if (!is_last()) {
+    throw std::logic_error("ProcessDialingLastHop called on a non-last server");
+  }
+  ServerRoundStats local;
+  local.requests_in = batch.size();
+  for (const auto& b : batch) {
+    local.bytes_in += b.size();
+  }
+
+  UnwrapBatchResult unwrapped = UnwrapBatch(round, batch);
+  local.dh_ops += batch.size();
+
+  deaddrop::InvitationTable table(num_drops);
+  for (const auto& inner : unwrapped.inners) {
+    auto parsed = wire::DialRequest::Parse(inner);
+    if (!parsed) {
+      unwrapped.dropped++;
+      continue;
+    }
+    table.Add(parsed->dead_drop_index, parsed->invitation);
+  }
+  local.requests_dropped = unwrapped.dropped;
+
+  // The last server adds its own noise directly — no wrapping needed (§5.3:
+  // "every server (including the last one) must add ... noise invitations").
+  std::vector<uint64_t> counts = PlanDialingNoise(config_.dialing_noise, num_drops, rng_);
+  table.AddNoise(counts, rng_);
+  local.noise_requests_added = 0;
+  for (uint64_t c : counts) {
+    local.noise_requests_added += c;
+  }
+
+  if (stats) {
+    *stats = local;
+  }
+  return table;
+}
+
+}  // namespace vuvuzela::mixnet

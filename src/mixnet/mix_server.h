@@ -1,0 +1,157 @@
+// One Vuvuzela server (Algorithm 2).
+//
+// Every server peels one onion layer off each request. A server that is not
+// the last additionally generates cover traffic, shuffles the round's
+// requests, and forwards them; on the return path it unshuffles, strips its
+// own noise, and seals each response with the per-request key it retained.
+// The last server hosts the dead drops (conversation exchanges / invitation
+// table).
+//
+// The class is deployment-agnostic: the chain driver, the TCP server wrapper
+// in examples, and the benches all call the same ForwardX/BackwardX methods.
+
+#ifndef VUVUZELA_SRC_MIXNET_MIX_SERVER_H_
+#define VUVUZELA_SRC_MIXNET_MIX_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/crypto/drbg.h"
+#include "src/crypto/onion.h"
+#include "src/crypto/x25519.h"
+#include "src/deaddrop/conversation_table.h"
+#include "src/deaddrop/invitation_table.h"
+#include "src/noise/noise_gen.h"
+#include "src/util/bytes.h"
+#include "src/util/thread_pool.h"
+
+namespace vuvuzela::mixnet {
+
+struct MixServerConfig {
+  // Zero-based position in the chain; the server at `chain_length - 1` hosts
+  // the dead drops.
+  size_t position = 0;
+  size_t chain_length = 1;
+  noise::NoiseConfig conversation_noise;
+  noise::NoiseConfig dialing_noise;
+  // When false, skips ParallelFor and processes requests on the calling
+  // thread (deterministic ordering for tests).
+  bool parallel = true;
+  // A server under adversarial control may skip mixing; tests use this to
+  // model compromise (§4.2 attack scenarios). Honest servers always mix.
+  bool mix = true;
+};
+
+// Per-round, per-server counters surfaced to benches (Figures 9-11, §8.2
+// bandwidth table).
+struct ServerRoundStats {
+  uint64_t requests_in = 0;
+  uint64_t requests_dropped = 0;  // failed authentication / malformed
+  uint64_t noise_requests_added = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t dh_ops = 0;  // X25519 operations performed this pass
+};
+
+class MixServer {
+ public:
+  // `chain_public_keys` is the full ordered chain (including this server);
+  // noise onions are wrapped for the suffix after `config.position`.
+  MixServer(const MixServerConfig& config, crypto::X25519KeyPair key_pair,
+            std::vector<crypto::X25519PublicKey> chain_public_keys,
+            const crypto::ChaCha20Key& rng_seed);
+
+  const crypto::X25519PublicKey& public_key() const { return key_pair_.public_key; }
+  const MixServerConfig& config() const { return config_; }
+  bool is_last() const { return config_.position + 1 == config_.chain_length; }
+
+  // --- Conversation rounds ------------------------------------------------
+
+  // Intermediate server: peel one layer from each onion, add cover traffic,
+  // shuffle, and return the batch for the next hop. Stores round state for
+  // the return pass.
+  std::vector<util::Bytes> ForwardConversation(uint64_t round, std::vector<util::Bytes> batch,
+                                               ServerRoundStats* stats = nullptr);
+
+  // Intermediate server, return pass: `responses` aligned with the batch
+  // returned by ForwardConversation. Returns responses aligned with that
+  // call's input batch. Clears the round state.
+  std::vector<util::Bytes> BackwardConversation(uint64_t round,
+                                                std::vector<util::Bytes> responses,
+                                                ServerRoundStats* stats = nullptr);
+
+  // Last server: peel the final layer, run the dead-drop exchange, and seal
+  // each response. Output aligned with the input batch.
+  struct LastServerResult {
+    std::vector<util::Bytes> responses;
+    deaddrop::AccessHistogram histogram;
+    uint64_t messages_exchanged = 0;
+  };
+  LastServerResult ProcessConversationLastHop(uint64_t round, std::vector<util::Bytes> batch,
+                                              ServerRoundStats* stats = nullptr);
+
+  // --- Dialing rounds -----------------------------------------------------
+
+  // Intermediate server: peel, add per-drop noise invitations, shuffle,
+  // forward. Dialing has no return pass through the chain (§5.5): clients
+  // download their invitation drop out-of-band.
+  std::vector<util::Bytes> ForwardDialing(uint64_t round, std::vector<util::Bytes> batch,
+                                          uint32_t num_drops,
+                                          ServerRoundStats* stats = nullptr);
+
+  // Last server: peel, deposit invitations into the table, add this server's
+  // own noise directly.
+  deaddrop::InvitationTable ProcessDialingLastHop(uint64_t round, std::vector<util::Bytes> batch,
+                                                  uint32_t num_drops,
+                                                  ServerRoundStats* stats = nullptr);
+
+  // --- Hygiene --------------------------------------------------------------
+
+  // Number of rounds awaiting their return pass.
+  size_t pending_rounds() const { return rounds_.size(); }
+
+  // Discards state for rounds older than `newest_round - keep`. A downstream
+  // server that never returns responses (a DoS, §2.3) must not pin memory
+  // here forever; dead drops are ephemeral (§3.1), so expired rounds can
+  // never complete anyway.
+  void ExpireRounds(uint64_t newest_round, uint64_t keep);
+
+ private:
+  struct RoundState {
+    // Original batch size (responses owed to the previous hop).
+    size_t input_size = 0;
+    // orig_index[j] = input position of the j-th valid request.
+    std::vector<uint32_t> orig_index;
+    // Response key retained per valid request (same order as orig_index).
+    std::vector<crypto::AeadKey> response_keys;
+    // Number of noise requests appended after the valid requests.
+    size_t noise_count = 0;
+    // Shuffle applied to (valid ‖ noise).
+    std::vector<uint32_t> perm;
+    // Response payload size expected from the next hop.
+    size_t response_size_in = 0;
+  };
+
+  struct UnwrapBatchResult {
+    std::vector<util::Bytes> inners;               // valid only, input order
+    std::vector<uint32_t> orig_index;              // input position per inner
+    std::vector<crypto::AeadKey> response_keys;    // per inner
+    uint64_t dropped = 0;
+  };
+  UnwrapBatchResult UnwrapBatch(uint64_t round, const std::vector<util::Bytes>& batch);
+
+  std::span<const crypto::X25519PublicKey> ChainSuffix() const;
+  size_t ResponseSizeFromNextHop() const;
+
+  MixServerConfig config_;
+  crypto::X25519KeyPair key_pair_;
+  std::vector<crypto::X25519PublicKey> chain_public_keys_;
+  crypto::ChaChaRng rng_;
+  std::unordered_map<uint64_t, RoundState> rounds_;
+};
+
+}  // namespace vuvuzela::mixnet
+
+#endif  // VUVUZELA_SRC_MIXNET_MIX_SERVER_H_

@@ -1,0 +1,28 @@
+#include "src/mixnet/shuffler.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace vuvuzela::mixnet {
+
+Permutation Permutation::Random(size_t n, util::Rng& rng) {
+  if (n > UINT32_MAX) {
+    throw std::invalid_argument("Permutation: too large");
+  }
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  // Fisher-Yates: unbiased given a uniform UniformUint64.
+  for (size_t i = n; i > 1; --i) {
+    size_t j = rng.UniformUint64(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return Permutation(std::move(perm));
+}
+
+Permutation Permutation::Identity(size_t n) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  return Permutation(std::move(perm));
+}
+
+}  // namespace vuvuzela::mixnet

@@ -1,0 +1,65 @@
+// Uniform random permutations for mix servers (Algorithm 2 step 3a).
+//
+// Each server draws a fresh permutation per round from its private CSPRNG,
+// applies it on the forward pass, and applies the inverse on the return
+// pass. The honest server's secret permutation is what unlinks requests from
+// responses (§4.1).
+
+#ifndef VUVUZELA_SRC_MIXNET_SHUFFLER_H_
+#define VUVUZELA_SRC_MIXNET_SHUFFLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace vuvuzela::mixnet {
+
+// A permutation π of [0, n): output[k] = input[perm[k]].
+class Permutation {
+ public:
+  // Uniform permutation via Fisher-Yates over `rng`.
+  static Permutation Random(size_t n, util::Rng& rng);
+
+  // Identity permutation (used by tests and by chain positions configured as
+  // "compromised, does not mix").
+  static Permutation Identity(size_t n);
+
+  size_t size() const { return perm_.size(); }
+  const std::vector<uint32_t>& indices() const { return perm_; }
+
+  // Applies the permutation: returns v' with v'[k] = v[perm[k]].
+  template <typename T>
+  std::vector<T> Apply(std::vector<T> v) const;
+
+  // Applies the inverse: returns v' with v'[perm[k]] = v[k].
+  template <typename T>
+  std::vector<T> ApplyInverse(std::vector<T> v) const;
+
+ private:
+  explicit Permutation(std::vector<uint32_t> perm) : perm_(std::move(perm)) {}
+
+  std::vector<uint32_t> perm_;
+};
+
+template <typename T>
+std::vector<T> Permutation::Apply(std::vector<T> v) const {
+  std::vector<T> out(v.size());
+  for (size_t k = 0; k < perm_.size(); ++k) {
+    out[k] = std::move(v[perm_[k]]);
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> Permutation::ApplyInverse(std::vector<T> v) const {
+  std::vector<T> out(v.size());
+  for (size_t k = 0; k < perm_.size(); ++k) {
+    out[perm_[k]] = std::move(v[k]);
+  }
+  return out;
+}
+
+}  // namespace vuvuzela::mixnet
+
+#endif  // VUVUZELA_SRC_MIXNET_SHUFFLER_H_

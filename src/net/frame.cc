@@ -1,0 +1,78 @@
+#include "src/net/frame.h"
+
+#include "src/wire/serde.h"
+
+namespace vuvuzela::net {
+
+namespace {
+
+bool ValidType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kRoundAnnouncement) &&
+         type <= static_cast<uint8_t>(FrameType::kShutdown);
+}
+
+}  // namespace
+
+util::Bytes EncodeFrame(const Frame& frame) {
+  wire::Writer w(kFrameHeaderBytes + frame.payload.size());
+  w.U8(static_cast<uint8_t>(frame.type));
+  w.U64(frame.round);
+  w.U32(static_cast<uint32_t>(frame.payload.size()));
+  w.Raw(frame.payload);
+  return w.Take();
+}
+
+std::optional<Frame> DecodeFrame(util::ByteSpan data) {
+  wire::Reader r(data);
+  auto type = r.U8();
+  auto round = r.U64();
+  auto len = r.U32();
+  if (!type || !round || !len || !ValidType(*type) || *len > kMaxFramePayload) {
+    return std::nullopt;
+  }
+  auto payload = r.Raw(*len);
+  if (!payload || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(*type);
+  frame.round = *round;
+  frame.payload.assign(payload->begin(), payload->end());
+  return frame;
+}
+
+util::Bytes EncodeBatch(const std::vector<util::Bytes>& items) {
+  size_t total = 4;
+  for (const auto& item : items) {
+    total += 4 + item.size();
+  }
+  wire::Writer w(total);
+  w.U32(static_cast<uint32_t>(items.size()));
+  for (const auto& item : items) {
+    w.Var(item);
+  }
+  return w.Take();
+}
+
+std::optional<std::vector<util::Bytes>> DecodeBatch(util::ByteSpan payload) {
+  wire::Reader r(payload);
+  auto count = r.U32();
+  if (!count) {
+    return std::nullopt;
+  }
+  std::vector<util::Bytes> items;
+  items.reserve(std::min<uint32_t>(*count, 1u << 20));
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto item = r.Var();
+    if (!item) {
+      return std::nullopt;
+    }
+    items.emplace_back(item->begin(), item->end());
+  }
+  if (!r.AtEnd()) {
+    return std::nullopt;
+  }
+  return items;
+}
+
+}  // namespace vuvuzela::net

@@ -1,0 +1,53 @@
+// RPC framing for networked deployments.
+//
+// Every message between clients, the entry server, and chain servers is a
+// typed frame: [u8 type][u64 round][u32 payload_len][payload]. Fixed header,
+// length-prefixed body, hard size cap against adversarial peers.
+
+#ifndef VUVUZELA_SRC_NET_FRAME_H_
+#define VUVUZELA_SRC_NET_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/util/bytes.h"
+
+namespace vuvuzela::net {
+
+enum class FrameType : uint8_t {
+  kRoundAnnouncement = 1,
+  kConversationRequest = 2,
+  kConversationResponse = 3,
+  kDialRequest = 4,
+  kDialAck = 5,
+  kInvitationFetch = 6,   // payload: u32 drop index
+  kInvitationDrop = 7,    // payload: concatenated invitations
+  kBatch = 8,             // server↔server: length-prefixed onion list
+  kBatchResponse = 9,
+  kShutdown = 10,
+};
+
+struct Frame {
+  FrameType type = FrameType::kShutdown;
+  uint64_t round = 0;
+  util::Bytes payload;
+};
+
+inline constexpr size_t kFrameHeaderBytes = 1 + 8 + 4;
+// Cap on a single frame body. A 2M-user batch exceeds this; batches are
+// split by the senders. 256 MB covers every per-round unit we ship.
+inline constexpr size_t kMaxFramePayload = 256u << 20;
+
+util::Bytes EncodeFrame(const Frame& frame);
+
+// Decodes a complete frame; nullopt on truncation, trailing bytes, bad type,
+// or an oversized length.
+std::optional<Frame> DecodeFrame(util::ByteSpan data);
+
+// Encodes a list of byte strings into one payload (for kBatch frames).
+util::Bytes EncodeBatch(const std::vector<util::Bytes>& items);
+std::optional<std::vector<util::Bytes>> DecodeBatch(util::ByteSpan payload);
+
+}  // namespace vuvuzela::net
+
+#endif  // VUVUZELA_SRC_NET_FRAME_H_

@@ -1,0 +1,178 @@
+#include "src/net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vuvuzela::net {
+
+TcpConnection::~TcpConnection() { Close(); }
+
+TcpConnection::TcpConnection(TcpConnection&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<TcpConnection> TcpConnection::Connect(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return std::nullopt;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  std::string ip = (host == "localhost") ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(fd);
+}
+
+bool TcpConnection::SendAll(const uint8_t* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool TcpConnection::RecvAll(uint8_t* data, size_t len) {
+  size_t received = 0;
+  while (received < len) {
+    ssize_t n = ::recv(fd_, data + received, len - received, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    received += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool TcpConnection::SendFrame(const Frame& frame) {
+  if (fd_ < 0) {
+    return false;
+  }
+  util::Bytes encoded = EncodeFrame(frame);
+  uint8_t len_prefix[4];
+  util::StoreBe32(len_prefix, static_cast<uint32_t>(encoded.size()));
+  return SendAll(len_prefix, 4) && SendAll(encoded.data(), encoded.size());
+}
+
+std::optional<Frame> TcpConnection::RecvFrame() {
+  if (fd_ < 0) {
+    return std::nullopt;
+  }
+  uint8_t len_prefix[4];
+  if (!RecvAll(len_prefix, 4)) {
+    return std::nullopt;
+  }
+  uint32_t len = util::LoadBe32(len_prefix);
+  if (len < kFrameHeaderBytes || len > kMaxFramePayload + kFrameHeaderBytes) {
+    return std::nullopt;
+  }
+  util::Bytes buffer(len);
+  if (!RecvAll(buffer.data(), len)) {
+    return std::nullopt;
+  }
+  return DecodeFrame(buffer);
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<TcpListener> TcpListener::Listen(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return std::nullopt;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 128) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+std::optional<TcpConnection> TcpListener::Accept() {
+  if (fd_ < 0) {
+    return std::nullopt;
+  }
+  int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    return std::nullopt;
+  }
+  int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(client);
+}
+
+}  // namespace vuvuzela::net

@@ -1,0 +1,79 @@
+// Blocking TCP transport with length-prefixed frames.
+//
+// The hand-rolled networking substrate for real deployments: the paper's
+// clients connect to the entry server over TCP (§7), and chain servers talk
+// to their successors the same way. Frames are the net::Frame type; each
+// send is [u32 total_len][frame bytes]. Blocking I/O with one thread per
+// connection is plenty for a chain of single-digit servers.
+
+#ifndef VUVUZELA_SRC_NET_TCP_H_
+#define VUVUZELA_SRC_NET_TCP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/net/frame.h"
+
+namespace vuvuzela::net {
+
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+
+  TcpConnection(TcpConnection&& other) noexcept;
+  TcpConnection& operator=(TcpConnection&& other) noexcept;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  // Connects to host:port (IPv4 dotted or "localhost").
+  static std::optional<TcpConnection> Connect(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+
+  // Sends one frame; false on I/O error.
+  bool SendFrame(const Frame& frame);
+
+  // Receives one frame; nullopt on EOF, I/O error, or malformed framing.
+  std::optional<Frame> RecvFrame();
+
+  void Close();
+
+ private:
+  bool SendAll(const uint8_t* data, size_t len);
+  bool RecvAll(uint8_t* data, size_t len);
+
+  int fd_ = -1;
+};
+
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Listens on 127.0.0.1:port; port 0 picks an ephemeral port.
+  static std::optional<TcpListener> Listen(uint16_t port);
+
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  // Blocks for the next connection; nullopt on error/close.
+  std::optional<TcpConnection> Accept();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace vuvuzela::net
+
+#endif  // VUVUZELA_SRC_NET_TCP_H_

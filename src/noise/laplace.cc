@@ -1,0 +1,61 @@
+#include "src/noise/laplace.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vuvuzela::noise {
+
+double SampleLaplace(const LaplaceParams& params, util::Rng& rng) {
+  if (params.b <= 0.0) {
+    throw std::invalid_argument("SampleLaplace: scale must be positive");
+  }
+  // u uniform in (-1/2, 1/2]; x = µ − b·sgn(u)·ln(1 − 2|u|).
+  double u = rng.UniformDouble() - 0.5;
+  double sign = (u >= 0.0) ? 1.0 : -1.0;
+  double mag = std::abs(u);
+  // Guard: log(0) when u == 0.5 exactly; nudge into the open interval.
+  if (mag >= 0.5) {
+    mag = std::nextafter(0.5, 0.0);
+  }
+  return params.mu - params.b * sign * std::log1p(-2.0 * mag);
+}
+
+uint64_t SampleCeilTruncatedLaplace(const LaplaceParams& params, util::Rng& rng) {
+  double x = SampleLaplace(params, rng);
+  if (x <= 0.0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(std::ceil(x));
+}
+
+double LaplaceCdf(const LaplaceParams& params, double x) {
+  if (params.b <= 0.0) {
+    throw std::invalid_argument("LaplaceCdf: scale must be positive");
+  }
+  double z = (x - params.mu) / params.b;
+  if (z < 0.0) {
+    return 0.5 * std::exp(z);
+  }
+  return 1.0 - 0.5 * std::exp(-z);
+}
+
+double CeilTruncatedLaplacePmf(const LaplaceParams& params, uint64_t n) {
+  if (n == 0) {
+    return LaplaceCdf(params, 0.0);
+  }
+  return LaplaceCdf(params, static_cast<double>(n)) -
+         LaplaceCdf(params, static_cast<double>(n) - 1.0);
+}
+
+double CeilTruncatedLaplaceMean(const LaplaceParams& params) {
+  // Sum n·pmf(n) until the tail mass is negligible. The Laplace tail decays
+  // exponentially, so µ + 60b covers it beyond double precision.
+  uint64_t limit = static_cast<uint64_t>(std::max(1.0, std::ceil(params.mu + 60.0 * params.b)));
+  double mean = 0.0;
+  for (uint64_t n = 1; n <= limit; ++n) {
+    mean += static_cast<double>(n) * CeilTruncatedLaplacePmf(params, n);
+  }
+  return mean;
+}
+
+}  // namespace vuvuzela::noise

@@ -1,0 +1,36 @@
+#include "src/noise/noise_gen.h"
+
+#include <cmath>
+
+namespace vuvuzela::noise {
+
+namespace {
+
+uint64_t DrawCount(const NoiseConfig& config, util::Rng& rng) {
+  if (config.deterministic) {
+    return static_cast<uint64_t>(std::llround(std::max(0.0, config.params.mu)));
+  }
+  return SampleCeilTruncatedLaplace(config.params, rng);
+}
+
+}  // namespace
+
+ConversationNoisePlan PlanConversationNoise(const NoiseConfig& config, util::Rng& rng) {
+  // Algorithm 2: n1 and n2 both drawn from Laplace(µ, b) capped below at 0;
+  // ⌈n1⌉ singles and ⌈n2/2⌉ pairs. ⌈n2/2⌉ is distributed as
+  // ⌈max(0, Laplace(µ/2, b/2))⌉, which is what Theorem 1 assumes for m2.
+  uint64_t n1 = DrawCount(config, rng);
+  uint64_t n2 = DrawCount(config, rng);
+  return ConversationNoisePlan{.singles = n1, .pairs = (n2 + 1) / 2};
+}
+
+std::vector<uint64_t> PlanDialingNoise(const NoiseConfig& config, size_t num_dead_drops,
+                                       util::Rng& rng) {
+  std::vector<uint64_t> counts(num_dead_drops);
+  for (auto& c : counts) {
+    c = DrawCount(config, rng);
+  }
+  return counts;
+}
+
+}  // namespace vuvuzela::noise

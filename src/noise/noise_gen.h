@@ -1,0 +1,48 @@
+// Cover-traffic planning for mix servers (Algorithm 2 step 2, §5.3).
+//
+// Each server that is not the last in the chain draws how many fake
+// single-access requests and fake paired-access requests to add to a
+// conversation round; every server (including the last) draws per-dead-drop
+// fake invitation counts for a dialing round. The *counts* are computed here;
+// the actual onion-wrapped requests are built by the mixnet module, which is
+// also where deterministic mode (§8.1: "always add exactly µ noise") hooks
+// in for benches.
+
+#ifndef VUVUZELA_SRC_NOISE_NOISE_GEN_H_
+#define VUVUZELA_SRC_NOISE_NOISE_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/noise/laplace.h"
+#include "src/util/random.h"
+
+namespace vuvuzela::noise {
+
+struct NoiseConfig {
+  LaplaceParams params;
+  // When true, skip sampling and always add exactly ⌈µ⌉ (the paper's
+  // evaluation setting, §8.1: same mean, zero variance).
+  bool deterministic = false;
+};
+
+// Conversation-round cover traffic: `singles` fake requests each accessing a
+// random dead drop once, and `pairs` pairs of fake requests accessing one
+// random dead drop twice.
+struct ConversationNoisePlan {
+  uint64_t singles = 0;
+  uint64_t pairs = 0;
+
+  uint64_t total_requests() const { return singles + 2 * pairs; }
+};
+
+ConversationNoisePlan PlanConversationNoise(const NoiseConfig& config, util::Rng& rng);
+
+// Dialing-round cover traffic: fake invitation counts for each of the m
+// invitation dead drops.
+std::vector<uint64_t> PlanDialingNoise(const NoiseConfig& config, size_t num_dead_drops,
+                                       util::Rng& rng);
+
+}  // namespace vuvuzela::noise
+
+#endif  // VUVUZELA_SRC_NOISE_NOISE_GEN_H_

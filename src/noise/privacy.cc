@@ -1,0 +1,118 @@
+#include "src/noise/privacy.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vuvuzela::noise {
+
+PrivacyBound SingleCounterRound(const LaplaceParams& noise, double sensitivity) {
+  if (noise.b <= 0.0 || sensitivity < 0.0) {
+    throw std::invalid_argument("SingleCounterRound: invalid parameters");
+  }
+  return PrivacyBound{
+      .epsilon = sensitivity / noise.b,
+      .delta = 0.5 * std::exp((sensitivity - noise.mu) / noise.b),
+  };
+}
+
+PrivacyBound ConversationRound(const LaplaceParams& noise) {
+  // m1 uses (µ, b) with |Δ| ≤ 2; m2 uses (µ/2, b/2) with |Δ| ≤ 1. Epsilons
+  // add; the two delta terms are equal, so their sum collapses to
+  // exp((2−µ)/b), exactly Theorem 1.
+  PrivacyBound m1 = SingleCounterRound(noise, 2.0);
+  PrivacyBound m2 = SingleCounterRound(noise.Halved(), 1.0);
+  return PrivacyBound{.epsilon = m1.epsilon + m2.epsilon, .delta = m1.delta + m2.delta};
+}
+
+PrivacyBound DialingRound(const LaplaceParams& noise) {
+  // Changing one user's dialing action moves one invitation from one dead
+  // drop to another: two counters change by 1 each. Epsilons add (1/b each).
+  // For delta the paper reports ½·exp((1−µ)/b): only the counter that
+  // *increases* can produce an observation impossible under the cover story
+  // (noise cannot be subtracted), so a single tail term applies.
+  if (noise.b <= 0.0) {
+    throw std::invalid_argument("DialingRound: invalid parameters");
+  }
+  return PrivacyBound{
+      .epsilon = 2.0 / noise.b,
+      .delta = 0.5 * std::exp((1.0 - noise.mu) / noise.b),
+  };
+}
+
+PrivacyBound Compose(const PrivacyBound& per_round, uint64_t k, double d) {
+  if (d <= 0.0) {
+    throw std::invalid_argument("Compose: d must be positive");
+  }
+  double kd = static_cast<double>(k);
+  double eps = per_round.epsilon;
+  double eps_prime =
+      std::sqrt(2.0 * kd * std::log(1.0 / d)) * eps + kd * eps * (std::exp(eps) - 1.0);
+  double delta_prime = kd * per_round.delta + d;
+  return PrivacyBound{.epsilon = eps_prime, .delta = delta_prime};
+}
+
+uint64_t MaxRounds(const PrivacyBound& per_round, double target_epsilon, double target_delta,
+                   double d) {
+  auto ok = [&](uint64_t k) {
+    PrivacyBound composed = Compose(per_round, k, d);
+    return composed.epsilon <= target_epsilon && composed.delta <= target_delta;
+  };
+  if (!ok(1)) {
+    return 0;
+  }
+  // Exponential search for an upper bound, then binary search. Both ε' and δ'
+  // are monotone in k.
+  uint64_t lo = 1, hi = 2;
+  while (ok(hi)) {
+    lo = hi;
+    if (hi > (1ULL << 40)) {
+      return hi;  // effectively unbounded for any practical deployment
+    }
+    hi *= 2;
+  }
+  while (lo + 1 < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (ok(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+NoiseSweepResult BestScaleForMu(double mu, double target_epsilon, double target_delta, double d,
+                                bool dialing) {
+  // ε' shrinks as b grows, but δ (per round) grows with b (for fixed µ), so
+  // rounds(b) is unimodal in practice; a fine geometric sweep is robust and
+  // fast enough (the accountant is closed-form).
+  NoiseSweepResult best;
+  for (double b = 1.0; b <= mu; b *= 1.01) {
+    LaplaceParams params{mu, b};
+    PrivacyBound per_round = dialing ? DialingRound(params) : ConversationRound(params);
+    uint64_t rounds = MaxRounds(per_round, target_epsilon, target_delta, d);
+    if (rounds > best.rounds) {
+      best = NoiseSweepResult{b, rounds};
+    }
+  }
+  return best;
+}
+
+LaplaceParams ConversationNoiseForTarget(double epsilon, double delta) {
+  if (epsilon <= 0.0 || delta <= 0.0 || delta >= 1.0) {
+    throw std::invalid_argument("ConversationNoiseForTarget: invalid target");
+  }
+  double b = 4.0 / epsilon;
+  double mu = 2.0 - 4.0 * std::log(delta) / epsilon;
+  return LaplaceParams{mu, b};
+}
+
+double MaxPosterior(double prior, double epsilon) {
+  if (prior < 0.0 || prior > 1.0) {
+    throw std::invalid_argument("MaxPosterior: prior out of range");
+  }
+  double lifted = prior * std::exp(epsilon);
+  return lifted / (lifted + (1.0 - prior));
+}
+
+}  // namespace vuvuzela::noise

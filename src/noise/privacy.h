@@ -1,0 +1,70 @@
+// Privacy accountant: the (ε, δ) arithmetic of §6.
+//
+// Theorem 1 (conversation): noise ⌈max(0,Laplace(µ,b))⌉ on m1 and
+// ⌈max(0,Laplace(µ/2,b/2))⌉ on m2 gives per-round ε = 4/b and
+// δ = exp((2−µ)/b), for sensitivity |Δm1| ≤ 2, |Δm2| ≤ 1 (Figure 6).
+//
+// Dialing (§6.5): a user's action changes up to two invitation dead-drop
+// counts by 1 each, giving ε = 2/b and δ = ½·exp((1−µ)/b)·2 — the paper
+// reports δ = ½·exp((1−µ)/b); see DialingRound() below for the exact form we
+// use and EXPERIMENTS.md for the reconciliation.
+//
+// Theorem 2 (advanced composition, from Dwork–Roth Thm 3.20): over k rounds,
+//   ε' = √(2k·ln(1/d))·ε + k·ε·(e^ε − 1),   δ' = k·δ + d   for any d > 0.
+
+#ifndef VUVUZELA_SRC_NOISE_PRIVACY_H_
+#define VUVUZELA_SRC_NOISE_PRIVACY_H_
+
+#include <cstdint>
+
+#include "src/noise/laplace.h"
+
+namespace vuvuzela::noise {
+
+// An (ε, δ) differential-privacy guarantee.
+struct PrivacyBound {
+  double epsilon = 0.0;
+  double delta = 0.0;
+};
+
+// Per-round guarantee for a single noised counter with sensitivity t
+// (Lemma 3): ε = t/b, δ = ½·exp((t−µ)/b).
+PrivacyBound SingleCounterRound(const LaplaceParams& noise, double sensitivity);
+
+// Per-round guarantee of the conversation protocol (Theorem 1).
+PrivacyBound ConversationRound(const LaplaceParams& noise);
+
+// Per-round guarantee of the dialing protocol (§6.5): ε = 2/b,
+// δ = ½·exp((1−µ)/b).
+PrivacyBound DialingRound(const LaplaceParams& noise);
+
+// Advanced composition over k rounds with slack parameter d (Theorem 2).
+PrivacyBound Compose(const PrivacyBound& per_round, uint64_t k, double d);
+
+// Largest k such that Compose(per_round, k, d) still satisfies
+// (target_epsilon, target_delta). Returns 0 if even one round exceeds the
+// target.
+uint64_t MaxRounds(const PrivacyBound& per_round, double target_epsilon, double target_delta,
+                   double d);
+
+// The paper's methodology (§6.4): for a given µ, sweep the scale b to find
+// the value that maximizes the number of rounds supported at the target
+// (ε', δ'). Returns the best b and the number of rounds it supports.
+struct NoiseSweepResult {
+  double b = 0.0;
+  uint64_t rounds = 0;
+};
+NoiseSweepResult BestScaleForMu(double mu, double target_epsilon, double target_delta, double d,
+                                bool dialing = false);
+
+// Inverse of Theorem 1 (Equation 1): the (µ, b) needed for a target
+// per-round (ε, δ): b = 4/ε, µ = 2 − 4·ln(δ)/ε (conversation form).
+LaplaceParams ConversationNoiseForTarget(double epsilon, double delta);
+
+// Bayes-rule posterior bound (§6.4): an adversary with prior p observing an
+// ε-DP system ends with posterior at most p·e^ε / (p·e^ε + 1 − p).
+double MaxPosterior(double prior, double epsilon);
+
+}  // namespace vuvuzela::noise
+
+#endif  // VUVUZELA_SRC_NOISE_PRIVACY_H_

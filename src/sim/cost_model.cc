@@ -1,0 +1,197 @@
+#include "src/sim/cost_model.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "src/crypto/onion.h"
+#include "src/crypto/x25519.h"
+#include "src/util/random.h"
+#include "src/util/thread_pool.h"
+#include "src/wire/constants.h"
+
+namespace vuvuzela::sim {
+
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+CostModel CostModel::Measure(size_t sample_size) {
+  CostModel model;
+  util::Xoshiro256Rng rng(0xca11b8a7e);
+  util::ThreadPool& pool = util::GlobalPool();
+
+  crypto::X25519KeyPair server = crypto::X25519KeyPair::Generate(rng);
+  std::vector<crypto::X25519PublicKey> chain1 = {server.public_key};
+
+  // Pre-build a batch of onions (one layer) around exchange-sized payloads.
+  std::vector<util::Bytes> onions(sample_size);
+  std::vector<crypto::AeadKey> keys(sample_size);
+  pool.ParallelFor(sample_size, [&](size_t i) {
+    util::Xoshiro256Rng task_rng(i + 1);
+    util::Bytes payload = task_rng.RandomBytes(wire::kExchangeRequestSize);
+    auto wrapped = crypto::OnionWrap(chain1, 1, payload, task_rng);
+    onions[i] = std::move(wrapped.data);
+    keys[i] = wrapped.layer_keys[0];
+  });
+
+  // t_unwrap: parallel unwrap of the whole batch (the hot loop of Algorithm 2
+  // step 1).
+  double start = Now();
+  pool.ParallelFor(sample_size, [&](size_t i) {
+    auto result = crypto::OnionUnwrapLayer(server.secret_key, 1, onions[i]);
+    if (!result) {
+      std::abort();  // calibration batch must be valid
+    }
+  });
+  model.seconds_per_unwrap = (Now() - start) / static_cast<double>(sample_size);
+  model.dh_ops_per_sec = 1.0 / model.seconds_per_unwrap;
+
+  // t_wrap: wrapping one onion layer (noise generation cost per layer).
+  start = Now();
+  pool.ParallelFor(sample_size, [&](size_t i) {
+    util::Xoshiro256Rng task_rng(i + 7);
+    util::Bytes payload = task_rng.RandomBytes(wire::kExchangeRequestSize);
+    crypto::OnionWrap(chain1, 2, payload, task_rng);
+  });
+  model.seconds_per_noise_layer_wrap = (Now() - start) / static_cast<double>(sample_size);
+
+  // t_seal: response sealing on the return path (AEAD only, no DH).
+  util::Bytes response = rng.RandomBytes(wire::kEnvelopeSize);
+  start = Now();
+  pool.ParallelFor(sample_size, [&](size_t i) {
+    crypto::OnionSealResponse(keys[i], 1, response);
+  });
+  model.seconds_per_response_seal = (Now() - start) / static_cast<double>(sample_size);
+
+  return model;
+}
+
+double CostModel::ConversationRoundLatency(uint64_t users, size_t servers, double mu) const {
+  // Each non-last server adds 2µ noise requests (µ singles + µ in pairs).
+  double noise_per_server = 2.0 * mu;
+  double total = 0.0;
+  double requests = static_cast<double>(users);
+  size_t request_bytes = crypto::OnionRequestSize(wire::kExchangeRequestSize, servers);
+
+  for (size_t i = 0; i < servers; ++i) {
+    // Forward: unwrap everything that arrives.
+    total += requests * seconds_per_unwrap;
+    // Link transfer into this server (requests shrink by 48 B per hop; use
+    // the entry size as a conservative constant).
+    total += requests * static_cast<double>(request_bytes) / bandwidth_bytes_per_sec;
+    if (i + 1 < servers) {
+      // Noise wrapping for the chain suffix.
+      double layers = static_cast<double>(servers - 1 - i);
+      total += noise_per_server * layers * seconds_per_noise_layer_wrap;
+      requests += noise_per_server;
+    }
+  }
+  // Return path: every server seals each response it forwards; response
+  // transfer uses the final response size.
+  size_t response_bytes = crypto::OnionResponseSize(wire::kEnvelopeSize, servers);
+  double back_requests = requests;
+  for (size_t i = servers; i-- > 0;) {
+    total += back_requests * seconds_per_response_seal;
+    total += back_requests * static_cast<double>(response_bytes) / bandwidth_bytes_per_sec;
+    if (i + 1 < servers) {
+      back_requests -= noise_per_server;  // each hop strips its own noise
+    }
+  }
+  return total;
+}
+
+double CostModel::DialingRoundLatency(uint64_t users, size_t servers, double mu,
+                                      uint32_t total_drops) const {
+  double noise_per_server = mu * static_cast<double>(total_drops);
+  double total = 0.0;
+  double requests = static_cast<double>(users);
+  size_t request_bytes = crypto::OnionRequestSize(wire::kDialRequestSize, servers);
+
+  for (size_t i = 0; i < servers; ++i) {
+    total += requests * seconds_per_unwrap;
+    total += requests * static_cast<double>(request_bytes) / bandwidth_bytes_per_sec;
+    if (i + 1 < servers) {
+      double layers = static_cast<double>(servers - 1 - i);
+      total += noise_per_server * layers * seconds_per_noise_layer_wrap;
+      requests += noise_per_server;
+    }
+  }
+  // No return path through the chain (§5.5): drops are downloaded from the
+  // distributor.
+  return total;
+}
+
+double CostModel::ConversationCryptoLowerBound(uint64_t users, size_t servers, double mu) const {
+  // All requests (real + noise from every earlier server) must be DH-peeled
+  // at each server they traverse, strictly sequentially.
+  double noise_per_server = 2.0 * mu;
+  double total_ops = 0.0;
+  double requests = static_cast<double>(users);
+  for (size_t i = 0; i < servers; ++i) {
+    total_ops += requests;
+    if (i + 1 < servers) {
+      requests += noise_per_server;
+    }
+  }
+  return total_ops / dh_ops_per_sec;
+}
+
+double CostModel::ConversationMaxStageSeconds(uint64_t users, size_t servers, double mu) const {
+  double noise_per_server = 2.0 * mu;
+  size_t request_bytes = crypto::OnionRequestSize(wire::kExchangeRequestSize, servers);
+  size_t response_bytes = crypto::OnionResponseSize(wire::kEnvelopeSize, servers);
+
+  double max_stage = 0.0;
+  double requests = static_cast<double>(users);
+  for (size_t i = 0; i < servers; ++i) {
+    double forward = requests * seconds_per_unwrap +
+                     requests * static_cast<double>(request_bytes) / bandwidth_bytes_per_sec;
+    if (i + 1 < servers) {
+      forward += noise_per_server * static_cast<double>(servers - 1 - i) *
+                 seconds_per_noise_layer_wrap;
+      requests += noise_per_server;
+    }
+    double backward = requests * seconds_per_response_seal +
+                      requests * static_cast<double>(response_bytes) / bandwidth_bytes_per_sec;
+    max_stage = std::max(max_stage, std::max(forward, backward));
+  }
+  return max_stage;
+}
+
+double CostModel::ConversationPipelinedThroughput(uint64_t users, size_t servers,
+                                                  double mu) const {
+  double stage = ConversationMaxStageSeconds(users, servers, mu);
+  if (stage <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(users) / stage;
+}
+
+uint64_t CostModel::ConversationServerBytes(uint64_t users, size_t servers, double mu,
+                                            size_t position) const {
+  double noise_per_server = 2.0 * mu;
+  double requests_in = static_cast<double>(users) + static_cast<double>(position) *
+                                                        noise_per_server;
+  double requests_out =
+      requests_in + ((position + 1 < servers) ? noise_per_server : 0.0);
+
+  // Forward: request-sized frames in and out (sizes shrink 48 B per hop; we
+  // charge the entry size for a conservative figure). Backward: response
+  // frames both directions.
+  size_t request_bytes = crypto::OnionRequestSize(wire::kExchangeRequestSize, servers);
+  size_t response_bytes = crypto::OnionResponseSize(wire::kEnvelopeSize, servers);
+  double total = requests_in * static_cast<double>(request_bytes) +
+                 requests_out * static_cast<double>(request_bytes) +
+                 requests_out * static_cast<double>(response_bytes) +
+                 requests_in * static_cast<double>(response_bytes);
+  return static_cast<uint64_t>(total);
+}
+
+}  // namespace vuvuzela::sim

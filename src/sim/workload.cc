@@ -1,0 +1,85 @@
+#include "src/sim/workload.h"
+
+#include "src/crypto/onion.h"
+#include "src/util/random.h"
+#include "src/util/thread_pool.h"
+#include "src/wire/messages.h"
+
+namespace vuvuzela::sim {
+
+namespace {
+
+// Runs fn(i, rng) for i in [0, n) with a per-iteration deterministic RNG, in
+// parallel when configured.
+void ForEachUser(uint64_t n, uint64_t seed, bool parallel,
+                 const std::function<void(size_t, util::Rng&)>& fn) {
+  auto run_one = [&](size_t i) {
+    // splitmix-style per-user stream: independent and reproducible.
+    util::Xoshiro256Rng rng(seed * 0x9e3779b97f4a7c15ULL + i);
+    fn(i, rng);
+  };
+  if (parallel) {
+    util::GlobalPool().ParallelFor(n, run_one);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      run_one(i);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<util::Bytes> GenerateConversationWorkload(
+    const WorkloadConfig& config, std::span<const crypto::X25519PublicKey> chain,
+    uint64_t round) {
+  uint64_t paired_users = static_cast<uint64_t>(
+      static_cast<double>(config.num_users) * config.pairing_fraction);
+  paired_users &= ~1ULL;  // pairs need two users
+
+  std::vector<util::Bytes> onions(config.num_users);
+  ForEachUser(config.num_users, config.seed ^ round, config.parallel,
+              [&](size_t i, util::Rng& rng) {
+                wire::ExchangeRequest request;
+                if (i < paired_users) {
+                  // Users 2k and 2k+1 converse: both derive the pair's drop.
+                  uint64_t pair = i / 2;
+                  util::Xoshiro256Rng pair_rng((config.seed ^ round) * 0xd1342543de82ef95ULL +
+                                               pair);
+                  pair_rng.Fill(request.dead_drop);
+                } else {
+                  rng.Fill(request.dead_drop);  // idle: random drop
+                }
+                rng.Fill(request.envelope);  // sealed contents: random-equivalent
+                onions[i] = crypto::OnionWrap(chain, round, request.Serialize(), rng).data;
+              });
+  return onions;
+}
+
+std::vector<util::Bytes> GenerateDialingWorkload(const WorkloadConfig& config,
+                                                 std::span<const crypto::X25519PublicKey> chain,
+                                                 uint64_t round,
+                                                 const dialing::RoundConfig& dial_config,
+                                                 double dial_fraction) {
+  uint64_t dialers = static_cast<uint64_t>(
+      static_cast<double>(config.num_users) * dial_fraction);
+
+  std::vector<util::Bytes> onions(config.num_users);
+  ForEachUser(config.num_users, config.seed ^ round ^ 0xdddd, config.parallel,
+              [&](size_t i, util::Rng& rng) {
+                wire::DialRequest request;
+                if (i < dialers) {
+                  // A real invitation to a random recipient's drop. The
+                  // invitation bytes are random-equivalent (sealed boxes are
+                  // indistinguishable from random), so skip the seal cost.
+                  request.dead_drop_index =
+                      static_cast<uint32_t>(rng.UniformUint64(dial_config.num_real_drops));
+                } else {
+                  request.dead_drop_index = dial_config.noop_index();
+                }
+                rng.Fill(request.invitation);
+                onions[i] = crypto::OnionWrap(chain, round, request.Serialize(), rng).data;
+              });
+  return onions;
+}
+
+}  // namespace vuvuzela::sim

@@ -1,0 +1,57 @@
+// Minimal leveled logger.
+//
+// Servers and the simulation harness log round lifecycle events; benches and
+// tests usually run with the level raised to kWarn to keep output clean.
+
+#ifndef VUVUZELA_SRC_UTIL_LOGGING_H_
+#define VUVUZELA_SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace vuvuzela::util {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Sets / reads the process-wide minimum level. Thread-safe (atomic).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line to stderr with a timestamp and level tag.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= GetLogLevel()) {
+      LogMessage(level_, stream_.str());
+    }
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace vuvuzela::util
+
+#define VZ_LOG_DEBUG ::vuvuzela::util::internal::LogLine(::vuvuzela::util::LogLevel::kDebug)
+#define VZ_LOG_INFO ::vuvuzela::util::internal::LogLine(::vuvuzela::util::LogLevel::kInfo)
+#define VZ_LOG_WARN ::vuvuzela::util::internal::LogLine(::vuvuzela::util::LogLevel::kWarn)
+#define VZ_LOG_ERROR ::vuvuzela::util::internal::LogLine(::vuvuzela::util::LogLevel::kError)
+
+#endif  // VUVUZELA_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,101 @@
+#include "src/util/random.h"
+
+#include <sys/random.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace vuvuzela::util {
+
+uint64_t Rng::UniformUint64(uint64_t bound) {
+  if (bound == 0) {
+    throw std::invalid_argument("UniformUint64: bound must be positive");
+  }
+  // Rejection sampling: draw until the value falls below the largest multiple
+  // of `bound` representable in 64 bits.
+  uint64_t limit = UINT64_MAX - (UINT64_MAX % bound);
+  uint64_t v;
+  do {
+    v = NextUint64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+double Rng::UniformDouble() {
+  // Top 53 bits give a uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+Bytes Rng::RandomBytes(size_t n) {
+  Bytes out(n);
+  Fill(out);
+  return out;
+}
+
+void SystemRng::Fill(MutableByteSpan out) {
+  size_t off = 0;
+  while (off < out.size()) {
+    ssize_t n = getrandom(out.data() + off, out.size() - off, 0);
+    if (n < 0) {
+      throw std::runtime_error("getrandom failed");
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+uint64_t SystemRng::NextUint64() {
+  uint8_t buf[8];
+  Fill(buf);
+  return LoadLe64(buf);
+}
+
+SystemRng& GlobalRng() {
+  static SystemRng rng;
+  return rng;
+}
+
+namespace {
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Xoshiro256Rng::Xoshiro256Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Xoshiro256Rng::NextUint64() {
+  uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256Rng::Fill(MutableByteSpan out) {
+  size_t i = 0;
+  while (i + 8 <= out.size()) {
+    StoreLe64(out.data() + i, NextUint64());
+    i += 8;
+  }
+  if (i < out.size()) {
+    uint8_t buf[8];
+    StoreLe64(buf, NextUint64());
+    std::memcpy(out.data() + i, buf, out.size() - i);
+  }
+}
+
+}  // namespace vuvuzela::util

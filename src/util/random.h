@@ -1,0 +1,68 @@
+// Randomness sources.
+//
+// Two kinds of randomness appear in Vuvuzela:
+//  * security-critical randomness (keys, dead-drop choices, mix permutations),
+//    served by `SystemRng` (OS entropy) or `crypto::ChaChaRng` (a seeded DRBG
+//    that tests use for reproducibility), and
+//  * simulation randomness (workload generation, Laplace noise in benches),
+//    served by the fast deterministic `Xoshiro256Rng`.
+// Both implement the `Rng` interface so protocol code is agnostic.
+
+#ifndef VUVUZELA_SRC_UTIL_RANDOM_H_
+#define VUVUZELA_SRC_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/util/bytes.h"
+
+namespace vuvuzela::util {
+
+class Rng {
+ public:
+  virtual ~Rng() = default;
+
+  // Fills `out` with random bytes.
+  virtual void Fill(MutableByteSpan out) = 0;
+
+  // Returns a uniformly random 64-bit value.
+  virtual uint64_t NextUint64() = 0;
+
+  // Returns a uniform value in [0, bound). `bound` must be > 0. Uses rejection
+  // sampling, so there is no modulo bias.
+  uint64_t UniformUint64(uint64_t bound);
+
+  // Returns a uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble();
+
+  // Returns `n` random bytes.
+  Bytes RandomBytes(size_t n);
+};
+
+// Reads from the operating system entropy source (getrandom(2)).
+class SystemRng final : public Rng {
+ public:
+  void Fill(MutableByteSpan out) override;
+  uint64_t NextUint64() override;
+};
+
+// Returns a process-wide SystemRng. Thread-safe (the syscall path is
+// reentrant; no state is shared).
+SystemRng& GlobalRng();
+
+// xoshiro256** — fast, high-quality, deterministic. NOT cryptographically
+// secure; used only by the simulation and benchmark harnesses.
+class Xoshiro256Rng final : public Rng {
+ public:
+  explicit Xoshiro256Rng(uint64_t seed);
+
+  void Fill(MutableByteSpan out) override;
+  uint64_t NextUint64() override;
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace vuvuzela::util
+
+#endif  // VUVUZELA_SRC_UTIL_RANDOM_H_

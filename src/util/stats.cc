@@ -1,0 +1,70 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vuvuzela::util {
+
+void Summary::Add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) {
+    acc += (s - m) * (s - m);
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::min() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double Summary::max() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double Summary::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("Percentile: p out of range");
+  }
+  EnsureSorted();
+  double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+void Summary::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+}  // namespace vuvuzela::util

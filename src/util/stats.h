@@ -1,0 +1,34 @@
+// Small statistics helpers for benches and the simulation harness.
+
+#ifndef VUVUZELA_SRC_UTIL_STATS_H_
+#define VUVUZELA_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace vuvuzela::util {
+
+// Accumulates samples and answers summary queries. Not thread-safe.
+class Summary {
+ public:
+  void Add(double x);
+
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  // Linear-interpolated percentile, p in [0, 100].
+  double Percentile(double p) const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace vuvuzela::util
+
+#endif  // VUVUZELA_SRC_UTIL_STATS_H_

@@ -1,0 +1,122 @@
+#include "src/util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace vuvuzela::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task.fn();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(Task{std::move(fn)});
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  size_t shards = std::min(n, threads_.size() * 4);
+  if (shards <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  struct Shared {
+    std::atomic<size_t> next_shard{0};
+    std::atomic<size_t> done{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto shared = std::make_shared<Shared>();
+  size_t chunk = (n + shards - 1) / shards;
+
+  auto worker = [shared, chunk, n, shards, &fn]() {
+    for (;;) {
+      size_t shard = shared->next_shard.fetch_add(1);
+      if (shard >= shards) {
+        break;
+      }
+      size_t begin = shard * chunk;
+      size_t end = std::min(n, begin + chunk);
+      try {
+        for (size_t i = begin; i < end; ++i) {
+          fn(i);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->error_mutex);
+        if (!shared->error) {
+          shared->error = std::current_exception();
+        }
+      }
+      size_t done = shared->done.fetch_add(1) + 1;
+      if (done == shards) {
+        std::lock_guard<std::mutex> lock(shared->done_mutex);
+        shared->done_cv.notify_all();
+      }
+    }
+  };
+
+  // The calling thread participates too, so ParallelFor works even when called
+  // from inside another pool task.
+  size_t helpers = std::min(shards - 1, threads_.size());
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit(worker);
+  }
+  worker();
+
+  std::unique_lock<std::mutex> lock(shared->done_mutex);
+  shared->done_cv.wait(lock, [&] { return shared->done.load() == shards; });
+  if (shared->error) {
+    std::rethrow_exception(shared->error);
+  }
+}
+
+ThreadPool& GlobalPool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace vuvuzela::util

@@ -1,0 +1,57 @@
+// Fixed-size worker pool used to parallelize per-request crypto.
+//
+// The paper's servers spend almost all CPU time on Curve25519 operations, one
+// per request per server (§8.2, "Dominant costs"). A mix server hands each
+// round's batch to `ParallelFor`, which is the same batching structure the Go
+// prototype gets from goroutines across 36 cores.
+
+#ifndef VUVUZELA_SRC_UTIL_THREAD_POOL_H_
+#define VUVUZELA_SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vuvuzela::util {
+
+class ThreadPool {
+ public:
+  // Creates `num_threads` workers (defaults to hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  // Runs fn(i) for i in [0, n), sharded over the workers, and blocks until all
+  // iterations complete. Exceptions from `fn` propagate to the caller (the
+  // first one wins).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void WorkerLoop();
+  void Submit(std::function<void()> fn);
+
+  std::vector<std::thread> threads_;
+  std::queue<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+// Process-wide pool sized to hardware concurrency.
+ThreadPool& GlobalPool();
+
+}  // namespace vuvuzela::util
+
+#endif  // VUVUZELA_SRC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,40 @@
+// Protocol constants (§8.1 experimental setup).
+//
+//   conversation message payload   240 bytes (the paper's "up to 240 bytes")
+//   conversation envelope          256 bytes = 240 + 16 AEAD tag
+//   dead-drop ID                   16 bytes (128-bit, §3.1)
+//   exchange request               272 bytes = ID + envelope
+//   invitation plaintext           32 bytes (sender's public key, §5.1)
+//   invitation (sealed)            80 bytes = 32 + 48 sealed-box overhead
+//   onion layer overhead           48 bytes per server (request direction)
+
+#ifndef VUVUZELA_SRC_WIRE_CONSTANTS_H_
+#define VUVUZELA_SRC_WIRE_CONSTANTS_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace vuvuzela::wire {
+
+inline constexpr size_t kMessageSize = 240;
+inline constexpr size_t kEnvelopeSize = 256;  // kMessageSize + 16-byte AEAD tag
+inline constexpr size_t kDeadDropIdSize = 16;
+inline constexpr size_t kExchangeRequestSize = kDeadDropIdSize + kEnvelopeSize;  // 272
+
+inline constexpr size_t kInvitationPlaintextSize = 32;
+inline constexpr size_t kInvitationSize = 80;  // 32 + 48 sealed-box overhead
+inline constexpr size_t kDialRequestSize = 4 + kInvitationSize;  // drop index + invitation
+
+using DeadDropId = std::array<uint8_t, kDeadDropIdSize>;
+
+// Round types carried in announcements: the two protocols run on independent
+// round schedules (§3.1, §5.2).
+enum class RoundType : uint8_t {
+  kConversation = 1,
+  kDialing = 2,
+};
+
+}  // namespace vuvuzela::wire
+
+#endif  // VUVUZELA_SRC_WIRE_CONSTANTS_H_

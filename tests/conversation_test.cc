@@ -1,0 +1,133 @@
+// Conversation protocol unit tests (Algorithm 1 client logic).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/conversation/protocol.h"
+#include "src/util/random.h"
+
+namespace vuvuzela::conversation {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  util::Xoshiro256Rng rng_{77};
+  crypto::X25519KeyPair alice_ = crypto::X25519KeyPair::Generate(rng_);
+  crypto::X25519KeyPair bob_ = crypto::X25519KeyPair::Generate(rng_);
+  Session alice_session_ = Session::Derive(alice_, bob_.public_key);
+  Session bob_session_ = Session::Derive(bob_, alice_.public_key);
+};
+
+TEST_F(SessionTest, SharedSecretsAgree) {
+  EXPECT_EQ(alice_session_.shared, bob_session_.shared);
+}
+
+TEST_F(SessionTest, DirectionalKeysCross) {
+  // Alice's send key is Bob's receive key and vice versa; the two directions
+  // differ (no key/nonce reuse between the two envelopes of a round).
+  EXPECT_EQ(alice_session_.send_key, bob_session_.recv_key);
+  EXPECT_EQ(alice_session_.recv_key, bob_session_.send_key);
+  EXPECT_NE(alice_session_.send_key, alice_session_.recv_key);
+}
+
+TEST_F(SessionTest, DeadDropsAgreeAndVaryPerRound) {
+  auto a1 = DeadDropForRound(alice_session_.shared, 1);
+  auto b1 = DeadDropForRound(bob_session_.shared, 1);
+  EXPECT_EQ(a1, b1);
+  auto a2 = DeadDropForRound(alice_session_.shared, 2);
+  EXPECT_NE(a1, a2);  // pseudorandom per round (§4.1)
+}
+
+TEST_F(SessionTest, DeadDropsDifferAcrossPairs) {
+  auto charlie = crypto::X25519KeyPair::Generate(rng_);
+  Session other = Session::Derive(alice_, charlie.public_key);
+  EXPECT_NE(DeadDropForRound(alice_session_.shared, 5), DeadDropForRound(other.shared, 5));
+}
+
+TEST_F(SessionTest, MessageRoundTrip) {
+  std::string text = "the crow flies at midnight";
+  auto req = BuildExchangeRequest(
+      alice_session_, 3, util::ByteSpan(reinterpret_cast<const uint8_t*>(text.data()), text.size()));
+  auto opened = OpenExchangeResponse(bob_session_, 3, req.envelope);
+  EXPECT_EQ(opened.kind, ResponseKind::kPartnerMessage);
+  EXPECT_EQ(std::string(opened.text.begin(), opened.text.end()), text);
+}
+
+TEST_F(SessionTest, EmptyMessageRoundTrip) {
+  auto req = BuildExchangeRequest(alice_session_, 4, {});
+  auto opened = OpenExchangeResponse(bob_session_, 4, req.envelope);
+  EXPECT_EQ(opened.kind, ResponseKind::kPartnerMessage);
+  EXPECT_TRUE(opened.text.empty());
+}
+
+TEST_F(SessionTest, EchoDetected) {
+  auto req = BuildExchangeRequest(alice_session_, 5, {});
+  // Alice receives her own envelope back (partner absent).
+  auto opened = OpenExchangeResponse(alice_session_, 5, req.envelope);
+  EXPECT_EQ(opened.kind, ResponseKind::kEcho);
+}
+
+TEST_F(SessionTest, WrongRoundUndecryptable) {
+  auto req = BuildExchangeRequest(alice_session_, 6, {});
+  auto opened = OpenExchangeResponse(bob_session_, 7, req.envelope);
+  EXPECT_EQ(opened.kind, ResponseKind::kUndecryptable);
+}
+
+TEST_F(SessionTest, ThirdPartyCannotRead) {
+  auto charlie = crypto::X25519KeyPair::Generate(rng_);
+  Session eavesdropper = Session::Derive(charlie, alice_.public_key);
+  auto req = BuildExchangeRequest(alice_session_, 8, {});
+  EXPECT_EQ(OpenExchangeResponse(eavesdropper, 8, req.envelope).kind,
+            ResponseKind::kUndecryptable);
+}
+
+TEST_F(SessionTest, FakeRequestLooksStructurallyIdentical) {
+  auto fake = BuildFakeExchangeRequest(alice_, 9, rng_);
+  auto real = BuildExchangeRequest(alice_session_, 9, {});
+  // Same sizes; the fake request's drop is pseudorandom and its envelope
+  // undecryptable by anyone.
+  EXPECT_EQ(fake.Serialize().size(), real.Serialize().size());
+  EXPECT_NE(fake.dead_drop, real.dead_drop);
+  EXPECT_EQ(OpenExchangeResponse(alice_session_, 9, fake.envelope).kind,
+            ResponseKind::kUndecryptable);
+}
+
+TEST_F(SessionTest, FakeRequestsUseFreshDrops) {
+  auto f1 = BuildFakeExchangeRequest(alice_, 10, rng_);
+  auto f2 = BuildFakeExchangeRequest(alice_, 10, rng_);
+  EXPECT_NE(f1.dead_drop, f2.dead_drop);
+}
+
+TEST(Padding, RoundTripsAllLengths) {
+  util::Xoshiro256Rng rng(11);
+  for (size_t len : {size_t{0}, size_t{1}, size_t{100}, kMaxTextLength}) {
+    util::Bytes text = rng.RandomBytes(len);
+    util::Bytes padded = PadMessage(text);
+    EXPECT_EQ(padded.size(), wire::kMessageSize);
+    auto unpadded = UnpadMessage(padded);
+    ASSERT_TRUE(unpadded.has_value()) << len;
+    EXPECT_EQ(*unpadded, text);
+  }
+}
+
+TEST(Padding, RejectsOversizedText) {
+  util::Bytes text(kMaxTextLength + 1, 'x');
+  EXPECT_THROW(PadMessage(text), std::invalid_argument);
+}
+
+TEST(Padding, RejectsMalformedLength) {
+  util::Bytes padded(wire::kMessageSize, 0);
+  padded[0] = 0xff;  // claims length 0xff00 > kMaxTextLength
+  EXPECT_FALSE(UnpadMessage(padded).has_value());
+  EXPECT_FALSE(UnpadMessage(util::Bytes(10)).has_value());
+}
+
+TEST(Padding, PaddedSizeIsConstant) {
+  // Identical envelope size for any message length — the observable property
+  // that makes message content invisible (§3.2).
+  EXPECT_EQ(PadMessage({}).size(), PadMessage(util::Bytes(kMaxTextLength, 1)).size());
+}
+
+}  // namespace
+}  // namespace vuvuzela::conversation

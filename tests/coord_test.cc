@@ -1,0 +1,211 @@
+// Coordination layer tests: round schedule, entry server mux/demux,
+// invitation distributor accounting.
+
+#include <gtest/gtest.h>
+
+#include "src/conversation/protocol.h"
+#include "src/coord/coordinator.h"
+#include "src/coord/distributor.h"
+#include "src/coord/entry_server.h"
+#include "src/coord/keydir.h"
+#include "src/crypto/onion.h"
+#include "src/util/random.h"
+
+namespace vuvuzela::coord {
+namespace {
+
+TEST(RoundSchedule, InterleavesDialingRounds) {
+  RoundSchedule schedule(ScheduleConfig{.conversation_rounds_per_dialing_round = 3,
+                                        .dial_dead_drops = 5});
+  std::vector<wire::RoundType> types;
+  for (int i = 0; i < 8; ++i) {
+    types.push_back(schedule.Next().type);
+  }
+  EXPECT_EQ(types, (std::vector<wire::RoundType>{
+                       wire::RoundType::kConversation, wire::RoundType::kConversation,
+                       wire::RoundType::kConversation, wire::RoundType::kDialing,
+                       wire::RoundType::kConversation, wire::RoundType::kConversation,
+                       wire::RoundType::kConversation, wire::RoundType::kDialing}));
+  EXPECT_EQ(schedule.conversation_rounds_announced(), 6u);
+  EXPECT_EQ(schedule.dialing_rounds_announced(), 2u);
+}
+
+TEST(RoundSchedule, RoundNumberSpacesDisjoint) {
+  RoundSchedule schedule(ScheduleConfig{.conversation_rounds_per_dialing_round = 1,
+                                        .dial_dead_drops = 1});
+  for (int i = 0; i < 10; ++i) {
+    wire::RoundAnnouncement ann = schedule.Next();
+    if (ann.type == wire::RoundType::kDialing) {
+      EXPECT_GE(ann.round, kDialingRoundBase);
+      EXPECT_EQ(ann.num_dial_dead_drops, 1u);
+    } else {
+      EXPECT_LT(ann.round, kDialingRoundBase);
+    }
+  }
+}
+
+TEST(RoundSchedule, MonotoneRoundNumbers) {
+  RoundSchedule schedule(ScheduleConfig{.conversation_rounds_per_dialing_round = 2,
+                                        .dial_dead_drops = 1});
+  uint64_t last_conv = 0, last_dial = kDialingRoundBase - 1;
+  for (int i = 0; i < 20; ++i) {
+    wire::RoundAnnouncement ann = schedule.Next();
+    if (ann.type == wire::RoundType::kConversation) {
+      EXPECT_GT(ann.round, last_conv);
+      last_conv = ann.round;
+    } else {
+      EXPECT_GT(ann.round, last_dial);
+      last_dial = ann.round;
+    }
+  }
+}
+
+class EntryServerTest : public ::testing::Test {
+ protected:
+  EntryServerTest() {
+    mixnet::ChainConfig config;
+    config.num_servers = 2;
+    config.conversation_noise = {.params = {2.0, 1.0}, .deterministic = true};
+    config.dialing_noise = {.params = {2.0, 1.0}, .deterministic = true};
+    config.parallel = false;
+    chain_ = std::make_unique<mixnet::Chain>(mixnet::Chain::Create(config, rng_));
+    entry_ = std::make_unique<EntryServer>(chain_.get());
+  }
+
+  util::Bytes MakeOnion(uint64_t round, const crypto::X25519KeyPair& user) {
+    auto request = conversation::BuildFakeExchangeRequest(user, round, rng_);
+    return crypto::OnionWrap(chain_->public_keys(), round, request.Serialize(), rng_).data;
+  }
+
+  util::Xoshiro256Rng rng_{42};
+  std::unique_ptr<mixnet::Chain> chain_;
+  std::unique_ptr<EntryServer> entry_;
+};
+
+TEST_F(EntryServerTest, MuxAndDemux) {
+  auto user1 = crypto::X25519KeyPair::Generate(rng_);
+  auto user2 = crypto::X25519KeyPair::Generate(rng_);
+  size_t slot1 = entry_->Submit(7, MakeOnion(7, user1));
+  size_t slot2 = entry_->Submit(7, MakeOnion(7, user2));
+  EXPECT_EQ(entry_->PendingCount(7), 2u);
+
+  auto result = entry_->CloseConversationRound(7);
+  EXPECT_EQ(result.responses.size(), 2u);
+  util::Bytes r1 = entry_->TakeResponse(7, slot1);
+  util::Bytes r2 = entry_->TakeResponse(7, slot2);
+  EXPECT_FALSE(r1.empty());
+  EXPECT_FALSE(r2.empty());
+}
+
+TEST_F(EntryServerTest, SubmitAfterCloseThrows) {
+  auto user = crypto::X25519KeyPair::Generate(rng_);
+  entry_->Submit(8, MakeOnion(8, user));
+  entry_->CloseConversationRound(8);
+  EXPECT_THROW(entry_->Submit(8, MakeOnion(8, user)), std::logic_error);
+  EXPECT_THROW(entry_->CloseConversationRound(8), std::logic_error);
+}
+
+TEST_F(EntryServerTest, TakeResponseValidation) {
+  EXPECT_THROW(entry_->TakeResponse(99, 0), std::logic_error);  // round not closed
+  auto user = crypto::X25519KeyPair::Generate(rng_);
+  entry_->Submit(9, MakeOnion(9, user));
+  entry_->CloseConversationRound(9);
+  EXPECT_THROW(entry_->TakeResponse(9, 5), std::out_of_range);  // bad slot
+}
+
+TEST(InvitationDistributor, ServesAndAccounts) {
+  InvitationDistributor distributor;
+  deaddrop::InvitationTable table(2);
+  util::Xoshiro256Rng rng(1);
+  std::vector<uint64_t> counts = {3, 1};
+  table.AddNoise(counts, rng);
+  distributor.Publish(100, std::move(table));
+
+  ASSERT_TRUE(distributor.HasRound(100));
+  const auto& drop = distributor.Fetch(100, 0);
+  EXPECT_EQ(drop.size(), 3u);
+  EXPECT_EQ(distributor.bytes_served(), 3 * wire::kInvitationSize);
+  EXPECT_EQ(distributor.downloads_served(), 1u);
+
+  distributor.Fetch(100, 1);
+  EXPECT_EQ(distributor.bytes_served(), 4 * wire::kInvitationSize);
+}
+
+TEST(InvitationDistributor, UnknownRoundThrows) {
+  InvitationDistributor distributor;
+  EXPECT_THROW(distributor.Fetch(1, 0), std::out_of_range);
+}
+
+TEST(InvitationDistributor, ExpiresOldRounds) {
+  InvitationDistributor distributor;
+  for (uint64_t r = 1; r <= 5; ++r) {
+    distributor.Publish(r, deaddrop::InvitationTable(1));
+  }
+  distributor.Expire(/*keep_latest=*/2);
+  EXPECT_FALSE(distributor.HasRound(1));
+  EXPECT_FALSE(distributor.HasRound(3));
+  EXPECT_TRUE(distributor.HasRound(4));
+  EXPECT_TRUE(distributor.HasRound(5));
+}
+
+class KeyDirectoryTest : public ::testing::Test {
+ protected:
+  util::Xoshiro256Rng rng_{314};
+  crypto::X25519PublicKey KeyOf(uint64_t seed) {
+    util::Xoshiro256Rng rng(seed);
+    return crypto::X25519KeyPair::Generate(rng).public_key;
+  }
+  KeyDirectory dir_;
+};
+
+TEST_F(KeyDirectoryTest, ForwardAndReverseLookup) {
+  auto bob_key = KeyOf(1);
+  ASSERT_TRUE(dir_.AddContact("bob", bob_key));
+  EXPECT_EQ(dir_.Lookup("bob"), bob_key);
+  EXPECT_EQ(dir_.IdentifyCaller(bob_key), "bob");
+  EXPECT_EQ(dir_.size(), 1u);
+}
+
+TEST_F(KeyDirectoryTest, UnknownLookupsEmpty) {
+  EXPECT_FALSE(dir_.Lookup("nobody").has_value());
+  EXPECT_FALSE(dir_.IdentifyCaller(KeyOf(2)).has_value());
+}
+
+TEST_F(KeyDirectoryTest, KeyRotationReplacesBinding) {
+  auto old_key = KeyOf(3);
+  auto new_key = KeyOf(4);
+  ASSERT_TRUE(dir_.AddContact("carol", old_key));
+  ASSERT_TRUE(dir_.AddContact("carol", new_key));
+  EXPECT_EQ(dir_.Lookup("carol"), new_key);
+  // The old key no longer identifies carol — stale invitations sealed to the
+  // rotated-away key are anonymous (forward-secrecy hygiene, §9).
+  EXPECT_FALSE(dir_.IdentifyCaller(old_key).has_value());
+  EXPECT_EQ(dir_.IdentifyCaller(new_key), "carol");
+}
+
+TEST_F(KeyDirectoryTest, RejectsAmbiguousKey) {
+  auto key = KeyOf(5);
+  ASSERT_TRUE(dir_.AddContact("dave", key));
+  EXPECT_FALSE(dir_.AddContact("impostor", key));
+  EXPECT_EQ(dir_.IdentifyCaller(key), "dave");
+  EXPECT_FALSE(dir_.Lookup("impostor").has_value());
+}
+
+TEST_F(KeyDirectoryTest, RemoveContact) {
+  auto key = KeyOf(6);
+  dir_.AddContact("erin", key);
+  EXPECT_TRUE(dir_.RemoveContact("erin"));
+  EXPECT_FALSE(dir_.RemoveContact("erin"));
+  EXPECT_FALSE(dir_.Lookup("erin").has_value());
+  EXPECT_FALSE(dir_.IdentifyCaller(key).has_value());
+}
+
+TEST_F(KeyDirectoryTest, ContactNamesSorted) {
+  dir_.AddContact("zoe", KeyOf(7));
+  dir_.AddContact("abe", KeyOf(8));
+  dir_.AddContact("mia", KeyOf(9));
+  EXPECT_EQ(dir_.ContactNames(), (std::vector<std::string>{"abe", "mia", "zoe"}));
+}
+
+}  // namespace
+}  // namespace vuvuzela::coord

@@ -1,0 +1,122 @@
+// HMAC-SHA256 against RFC 4231 and HKDF against RFC 5869 vectors.
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/hkdf.h"
+#include "src/util/bytes.h"
+
+namespace vuvuzela::crypto {
+namespace {
+
+using util::Bytes;
+using util::HexDecode;
+using util::HexEncode;
+
+TEST(HmacSha256, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Bytes data = HexDecode("4869205468657265");  // "Hi There"
+  EXPECT_EQ(HexEncode(HmacSha256(key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  // Key shorter than block, data "what do ya want for nothing?".
+  Bytes key = HexDecode("4a656665");  // "Jefe"
+  Bytes data = HexDecode("7768617420646f2079612077616e7420666f72206e6f7468696e673f");
+  EXPECT_EQ(HexEncode(HmacSha256(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(HexEncode(HmacSha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6KeyLongerThanBlock) {
+  Bytes key(131, 0xaa);
+  Bytes data = HexDecode(
+      "54657374205573696e67204c6172676572205468616e20426c6f636b2d53697a"
+      "65204b6579202d2048617368204b6579204669727374");
+  EXPECT_EQ(HexEncode(HmacSha256(key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, Rfc4231Case7KeyAndDataLongerThanBlock) {
+  Bytes key(131, 0xaa);
+  Bytes data = HexDecode(
+      "5468697320697320612074657374207573696e672061206c6172676572207468"
+      "616e20626c6f636b2d73697a65206b657920616e642061206c61726765722074"
+      "68616e20626c6f636b2d73697a6520646174612e20546865206b6579206e6565"
+      "647320746f20626520686173686564206265666f7265206265696e6720757365"
+      "642062792074686520484d414320616c676f726974686d2e");
+  EXPECT_EQ(HexEncode(HmacSha256(key, data)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt = HexDecode("000102030405060708090a0b0c");
+  Bytes info = HexDecode("f0f1f2f3f4f5f6f7f8f9");
+  Bytes okm = Hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(HexEncode(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case2LongInputs) {
+  Bytes ikm, salt, info;
+  for (int i = 0x00; i <= 0x4f; ++i) {
+    ikm.push_back(static_cast<uint8_t>(i));
+  }
+  for (int i = 0x60; i <= 0xaf; ++i) {
+    salt.push_back(static_cast<uint8_t>(i));
+  }
+  for (int i = 0xb0; i <= 0xff; ++i) {
+    info.push_back(static_cast<uint8_t>(i));
+  }
+  Bytes okm = Hkdf(salt, ikm, info, 82);
+  EXPECT_EQ(HexEncode(okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"
+            "59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71"
+            "cc30c58179ec3e87c14c01d5c1f3434f1d87");
+}
+
+TEST(Hkdf, Rfc5869Case3EmptySaltAndInfo) {
+  Bytes ikm(22, 0x0b);
+  Bytes okm = Hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(HexEncode(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, ExpandRejectsOversizedOutput) {
+  Bytes prk(32, 0x42);
+  EXPECT_THROW(HkdfExpand(prk, {}, 255 * 32 + 1), std::invalid_argument);
+}
+
+TEST(Hkdf, DistinctInfoGivesDistinctKeys) {
+  Bytes ikm(32, 0x01);
+  Bytes a = Hkdf({}, ikm, HexDecode("aa"), 32);
+  Bytes b = Hkdf({}, ikm, HexDecode("bb"), 32);
+  EXPECT_NE(a, b);
+}
+
+TEST(Hkdf, OutputLengthRespected) {
+  Bytes ikm(32, 0x01);
+  for (size_t len : {0u, 1u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(Hkdf({}, ikm, {}, len).size(), len);
+  }
+}
+
+// Expand is a prefix-consistent stream: okm(64)[0:32] == okm(32).
+TEST(Hkdf, ExpandIsPrefixConsistent) {
+  Bytes ikm(32, 0x07);
+  Bytes long_out = Hkdf({}, ikm, {}, 64);
+  Bytes short_out = Hkdf({}, ikm, {}, 32);
+  EXPECT_EQ(Bytes(long_out.begin(), long_out.begin() + 32), short_out);
+}
+
+}  // namespace
+}  // namespace vuvuzela::crypto

@@ -1,0 +1,106 @@
+// Poly1305 against RFC 8439 §2.5.2 and §A.3 vectors.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/crypto/poly1305.h"
+#include "src/util/bytes.h"
+#include "src/util/random.h"
+
+namespace vuvuzela::crypto {
+namespace {
+
+using util::Bytes;
+using util::HexDecode;
+using util::HexEncode;
+
+Poly1305Key KeyFromHex(const std::string& hex) {
+  Bytes raw = HexDecode(hex);
+  Poly1305Key key;
+  std::memcpy(key.data(), raw.data(), key.size());
+  return key;
+}
+
+TEST(Poly1305, Rfc8439Vector) {
+  Poly1305Key key =
+      KeyFromHex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  const char* text = "Cryptographic Forum Research Group";
+  Poly1305Tag tag =
+      Poly1305::Compute(key, util::ByteSpan(reinterpret_cast<const uint8_t*>(text), 34));
+  EXPECT_EQ(HexEncode(tag), "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Poly1305, A3ZeroKeyZeroMessage) {
+  Poly1305Key key{};
+  Bytes msg(64, 0);
+  EXPECT_EQ(HexEncode(Poly1305::Compute(key, msg)), "00000000000000000000000000000000");
+}
+
+TEST(Poly1305, A3Test2) {
+  // r = 0, s = 36e5f6b5c5e06070f0efca96227a863e; msg = 64-byte text block.
+  Poly1305Key key =
+      KeyFromHex("0000000000000000000000000000000036e5f6b5c5e06070f0efca96227a863e");
+  const char* text =
+      "Any submission to the IETF intended by the Contributor for publi"
+      "cation as all or part of an IETF Internet-Draft or RFC and any s"
+      "tatement made within the context of an IETF activity is consider"
+      "ed an \"IETF Contribution\". Such statements include oral statemen"
+      "ts in IETF sessions, as well as written and electronic communica"
+      "tions made at any time or place, which are addressed to";
+  util::ByteSpan msg(reinterpret_cast<const uint8_t*>(text), std::strlen(text));
+  EXPECT_EQ(HexEncode(Poly1305::Compute(key, msg)), "36e5f6b5c5e06070f0efca96227a863e");
+}
+
+TEST(Poly1305, A3Test3) {
+  // r = 36e5f6b5c5e06070f0efca96227a863e, s = 0; same message.
+  Poly1305Key key =
+      KeyFromHex("36e5f6b5c5e06070f0efca96227a863e00000000000000000000000000000000");
+  const char* text =
+      "Any submission to the IETF intended by the Contributor for publi"
+      "cation as all or part of an IETF Internet-Draft or RFC and any s"
+      "tatement made within the context of an IETF activity is consider"
+      "ed an \"IETF Contribution\". Such statements include oral statemen"
+      "ts in IETF sessions, as well as written and electronic communica"
+      "tions made at any time or place, which are addressed to";
+  util::ByteSpan msg(reinterpret_cast<const uint8_t*>(text), std::strlen(text));
+  EXPECT_EQ(HexEncode(Poly1305::Compute(key, msg)), "f3477e7cd95417af89a6b8794c310cf0");
+}
+
+TEST(Poly1305, A3Test5CarryEdge) {
+  // Tests a carry in the final addition: r = 2..0, msg = ff..ff.
+  Poly1305Key key =
+      KeyFromHex("0200000000000000000000000000000000000000000000000000000000000000");
+  Bytes msg(16, 0xff);
+  EXPECT_EQ(HexEncode(Poly1305::Compute(key, msg)), "03000000000000000000000000000000");
+}
+
+TEST(Poly1305, IncrementalMatchesOneShot) {
+  Poly1305Key key =
+      KeyFromHex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  util::Xoshiro256Rng rng(11);
+  Bytes data = rng.RandomBytes(259);
+  for (size_t chunk : {1u, 5u, 15u, 16u, 17u, 100u}) {
+    Poly1305 p(key);
+    for (size_t off = 0; off < data.size(); off += chunk) {
+      p.Update(util::ByteSpan(data.data() + off, std::min(chunk, data.size() - off)));
+    }
+    EXPECT_EQ(p.Finish(), Poly1305::Compute(key, data)) << "chunk=" << chunk;
+  }
+}
+
+TEST(Poly1305, EmptyMessage) {
+  Poly1305Key key =
+      KeyFromHex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  // For an empty message the tag is just s (the pad).
+  EXPECT_EQ(HexEncode(Poly1305::Compute(key, {})), "0103808afb0db2fd4abff6af4149f51b");
+}
+
+TEST(Poly1305, FinishTwiceThrows) {
+  Poly1305 p(Poly1305Key{});
+  p.Finish();
+  EXPECT_THROW(p.Finish(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace vuvuzela::crypto

@@ -1,0 +1,207 @@
+// Cross-cutting crypto property tests: algebraic identities and
+// distributional properties that the protocol's privacy arguments lean on.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/conversation/protocol.h"
+#include "src/crypto/box.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/onion.h"
+#include "src/deaddrop/invitation_table.h"
+#include "src/util/random.h"
+
+namespace vuvuzela::crypto {
+namespace {
+
+TEST(X25519Property, GroupActionCommutes) {
+  // X25519(a, g^b) == X25519(b, g^a) for many random pairs — the property
+  // conversation sessions and dead-drop agreement rest on.
+  util::Xoshiro256Rng rng(1);
+  for (int i = 0; i < 16; ++i) {
+    auto a = X25519KeyPair::Generate(rng);
+    auto b = X25519KeyPair::Generate(rng);
+    EXPECT_EQ(X25519(a.secret_key, b.public_key), X25519(b.secret_key, a.public_key));
+  }
+}
+
+TEST(X25519Property, SharedSecretsPairwiseDistinct) {
+  util::Xoshiro256Rng rng(2);
+  auto alice = X25519KeyPair::Generate(rng);
+  std::set<X25519SharedSecret> secrets;
+  for (int i = 0; i < 32; ++i) {
+    auto partner = X25519KeyPair::Generate(rng);
+    secrets.insert(X25519(alice.secret_key, partner.public_key));
+  }
+  EXPECT_EQ(secrets.size(), 32u);
+}
+
+TEST(DeadDropProperty, UniformAcrossSpace) {
+  // Dead-drop IDs from distinct sessions must spread uniformly — collisions
+  // would create spurious pairs in m2. Bucket the first byte and chi-square.
+  util::Xoshiro256Rng rng(3);
+  auto alice = X25519KeyPair::Generate(rng);
+  std::vector<int> buckets(16, 0);
+  constexpr int kSamples = 4096;
+  for (int i = 0; i < kSamples; ++i) {
+    auto partner = X25519KeyPair::Generate(rng);
+    auto session = conversation::Session::Derive(alice, partner.public_key);
+    wire::DeadDropId id = conversation::DeadDropForRound(session.shared, 1);
+    buckets[id[0] >> 4]++;
+  }
+  double expected = kSamples / 16.0;
+  double chi2 = 0;
+  for (int c : buckets) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 37.7);  // 15 dof, p=0.001
+}
+
+TEST(DeadDropProperty, RoundsDecorrelate) {
+  // Consecutive rounds of the same session give unrelated IDs: equal prefix
+  // bytes would let an adversary track a conversation across rounds (§4.1).
+  util::Xoshiro256Rng rng(4);
+  auto a = X25519KeyPair::Generate(rng);
+  auto b = X25519KeyPair::Generate(rng);
+  auto session = conversation::Session::Derive(a, b.public_key);
+  std::set<wire::DeadDropId> ids;
+  for (uint64_t round = 0; round < 256; ++round) {
+    ids.insert(conversation::DeadDropForRound(session.shared, round));
+  }
+  EXPECT_EQ(ids.size(), 256u);
+}
+
+TEST(OnionProperty, LayerSizesTelescope) {
+  util::Xoshiro256Rng rng(5);
+  for (size_t chain_len : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    std::vector<X25519PublicKey> chain;
+    std::vector<X25519KeyPair> keys;
+    for (size_t i = 0; i < chain_len; ++i) {
+      keys.push_back(X25519KeyPair::Generate(rng));
+      chain.push_back(keys.back().public_key);
+    }
+    for (size_t payload_size : {1u, 64u, 272u, 1024u}) {
+      util::Bytes payload = rng.RandomBytes(payload_size);
+      WrappedOnion onion = OnionWrap(chain, 1, payload, rng);
+      util::Bytes current = onion.data;
+      for (size_t i = 0; i < chain_len; ++i) {
+        EXPECT_EQ(current.size(),
+                  OnionRequestSize(payload_size, chain_len - i));
+        auto unwrapped = OnionUnwrapLayer(keys[i].secret_key, 1, current);
+        ASSERT_TRUE(unwrapped.has_value());
+        current = std::move(unwrapped->inner);
+      }
+      EXPECT_EQ(current, payload);
+    }
+  }
+}
+
+TEST(OnionProperty, LayerKeysPairwiseDistinct) {
+  util::Xoshiro256Rng rng(6);
+  std::vector<X25519PublicKey> chain;
+  for (int i = 0; i < 4; ++i) {
+    chain.push_back(X25519KeyPair::Generate(rng).public_key);
+  }
+  std::set<AeadKey> keys;
+  for (int w = 0; w < 8; ++w) {
+    WrappedOnion onion = OnionWrap(chain, 1, rng.RandomBytes(16), rng);
+    for (const auto& key : onion.layer_keys) {
+      keys.insert(key);
+    }
+  }
+  EXPECT_EQ(keys.size(), 32u);  // 8 wraps × 4 layers, all fresh
+}
+
+TEST(DrbgProperty, StreamsDoNotOverlap) {
+  // Distinct seeds yield streams with no shared 16-byte windows (sampled).
+  ChaCha20Key s1{}, s2{};
+  s2[31] = 1;
+  ChaChaRng a(s1), b(s2);
+  util::Bytes stream_a = a.RandomBytes(4096);
+  util::Bytes stream_b = b.RandomBytes(4096);
+  std::set<std::array<uint8_t, 16>> windows;
+  for (size_t i = 0; i + 16 <= stream_a.size(); i += 16) {
+    std::array<uint8_t, 16> w;
+    std::copy_n(stream_a.begin() + static_cast<ptrdiff_t>(i), 16, w.begin());
+    windows.insert(w);
+  }
+  for (size_t i = 0; i + 16 <= stream_b.size(); i += 16) {
+    std::array<uint8_t, 16> w;
+    std::copy_n(stream_b.begin() + static_cast<ptrdiff_t>(i), 16, w.begin());
+    EXPECT_FALSE(windows.contains(w));
+  }
+}
+
+TEST(DrbgProperty, ByteHistogramUniform) {
+  ChaChaRng rng = ChaChaRng::FromSystem();
+  std::vector<int> counts(256, 0);
+  constexpr int kSamples = 1 << 16;
+  util::Bytes data = rng.RandomBytes(kSamples);
+  for (uint8_t byte : data) {
+    counts[byte]++;
+  }
+  double expected = kSamples / 256.0;
+  double chi2 = 0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 400.0);  // 255 dof, p≈0.001 is ~330; generous margin
+}
+
+TEST(SealedBoxProperty, CiphertextsLookRandomToNonRecipients) {
+  // Noise invitations are raw random bytes; real invitations must be
+  // indistinguishable from them by simple statistics: byte histogram of many
+  // sealed boxes matches uniform.
+  util::Xoshiro256Rng rng(7);
+  auto recipient = X25519KeyPair::Generate(rng);
+  auto caller = X25519KeyPair::Generate(rng);
+  std::vector<int> counts(256, 0);
+  constexpr int kBoxes = 1024;
+  static constexpr uint8_t kCtx[] = "vuvuzela/invite/v1";
+  for (int i = 0; i < kBoxes; ++i) {
+    util::Bytes sealed = SealedBoxSeal(recipient.public_key,
+                                       util::ByteSpan(kCtx, sizeof(kCtx) - 1),
+                                       caller.public_key, rng);
+    // Skip the ephemeral pk (a curve point, slightly structured top bit) and
+    // histogram the ciphertext+tag portion.
+    for (size_t j = kX25519KeySize; j < sealed.size(); ++j) {
+      counts[sealed[j]]++;
+    }
+  }
+  double total = kBoxes * 48.0;
+  double expected = total / 256.0;
+  double chi2 = 0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 400.0);
+}
+
+TEST(EnvelopeProperty, SameMessageDifferentRoundsUnlinkable) {
+  // The same plaintext sent in different rounds yields unrelated envelopes.
+  util::Xoshiro256Rng rng(8);
+  auto a = X25519KeyPair::Generate(rng);
+  auto b = X25519KeyPair::Generate(rng);
+  auto session = conversation::Session::Derive(a, b.public_key);
+  util::Bytes text = {'s', 'a', 'm', 'e'};
+  auto r1 = conversation::BuildExchangeRequest(session, 1, text);
+  auto r2 = conversation::BuildExchangeRequest(session, 2, text);
+  EXPECT_NE(r1.envelope, r2.envelope);
+  EXPECT_NE(r1.dead_drop, r2.dead_drop);
+}
+
+TEST(InvitationDropProperty, KeyToDropIsStableUnderDropCountChange) {
+  // Changing m (the per-round drop count, §5.4) changes assignments, but for
+  // fixed m the mapping is a pure function of the key.
+  util::Xoshiro256Rng rng(9);
+  auto pk = X25519KeyPair::Generate(rng).public_key;
+  for (uint32_t m : {1u, 2u, 3u, 10u, 1000u}) {
+    EXPECT_EQ(deaddrop::InvitationDropForKey(pk, m), deaddrop::InvitationDropForKey(pk, m));
+    EXPECT_LT(deaddrop::InvitationDropForKey(pk, m), m);
+  }
+}
+
+}  // namespace
+}  // namespace vuvuzela::crypto

@@ -1,0 +1,101 @@
+// SHA-256 against FIPS 180-4 / NIST CAVP vectors plus incremental-API
+// properties.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/crypto/sha256.h"
+#include "src/util/bytes.h"
+#include "src/util/random.h"
+
+namespace vuvuzela::crypto {
+namespace {
+
+using util::Bytes;
+using util::ByteSpan;
+using util::HexEncode;
+
+std::string HashHex(const std::string& input) {
+  auto digest = Sha256::Hash(ByteSpan(reinterpret_cast<const uint8_t*>(input.data()), input.size()));
+  return HexEncode(digest);
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(HashHex(""), "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(HashHex("abc"), "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(HashHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, FourBlockMessage) {
+  EXPECT_EQ(HashHex("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+                    "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(ByteSpan(reinterpret_cast<const uint8_t*>(chunk.data()), chunk.size()));
+  }
+  EXPECT_EQ(HexEncode(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64-byte input exercises the padding path that appends a whole extra block.
+  std::string input(64, 'x');
+  Sha256 h;
+  h.Update(ByteSpan(reinterpret_cast<const uint8_t*>(input.data()), input.size()));
+  EXPECT_EQ(HexEncode(h.Finish()), HashHex(input));
+}
+
+TEST(Sha256, FinishTwiceThrows) {
+  Sha256 h;
+  h.Finish();
+  EXPECT_THROW(h.Finish(), std::logic_error);
+}
+
+TEST(Sha256, UpdateAfterFinishThrows) {
+  Sha256 h;
+  h.Finish();
+  uint8_t b = 0;
+  EXPECT_THROW(h.Update(ByteSpan(&b, 1)), std::logic_error);
+}
+
+// Property: any chunking of the input produces the same digest.
+class Sha256ChunkingTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Sha256ChunkingTest, IncrementalMatchesOneShot) {
+  size_t chunk_size = GetParam();
+  util::Xoshiro256Rng rng(1234);
+  Bytes data = rng.RandomBytes(1021);  // deliberately not a multiple of 64
+
+  Sha256 h;
+  for (size_t off = 0; off < data.size(); off += chunk_size) {
+    size_t take = std::min(chunk_size, data.size() - off);
+    h.Update(ByteSpan(data.data() + off, take));
+  }
+  EXPECT_EQ(h.Finish(), Sha256::Hash(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunkings, Sha256ChunkingTest,
+                         ::testing::Values(1, 3, 7, 16, 63, 64, 65, 128, 500, 1021));
+
+// Property: distinct lengths of the same repeated byte hash differently
+// (regression guard on length padding).
+TEST(Sha256, LengthAffectsDigest) {
+  Bytes a(100, 0xaa), b(101, 0xaa);
+  EXPECT_NE(Sha256::Hash(a), Sha256::Hash(b));
+}
+
+}  // namespace
+}  // namespace vuvuzela::crypto

@@ -1,0 +1,129 @@
+// X25519 against RFC 7748 §5.2 scalar-multiplication vectors (including the
+// 1,000-iteration vector) and the §6.1 Diffie-Hellman vector.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/crypto/x25519.h"
+#include "src/util/bytes.h"
+#include "src/util/random.h"
+
+namespace vuvuzela::crypto {
+namespace {
+
+using util::Bytes;
+using util::HexDecode;
+using util::HexEncode;
+
+template <typename Array>
+Array FromHex(const std::string& hex) {
+  Bytes raw = HexDecode(hex);
+  Array out;
+  EXPECT_EQ(raw.size(), out.size());
+  std::memcpy(out.data(), raw.data(), out.size());
+  return out;
+}
+
+TEST(X25519, Rfc7748Vector1) {
+  auto scalar = FromHex<X25519SecretKey>(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  auto point = FromHex<X25519PublicKey>(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  EXPECT_EQ(HexEncode(X25519(scalar, point)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519, Rfc7748Vector2) {
+  auto scalar = FromHex<X25519SecretKey>(
+      "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  auto point = FromHex<X25519PublicKey>(
+      "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  EXPECT_EQ(HexEncode(X25519(scalar, point)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+TEST(X25519, Rfc7748IteratedOnce) {
+  X25519SecretKey k{};
+  k[0] = 9;
+  X25519PublicKey u{};
+  u[0] = 9;
+  auto result = X25519(k, u);
+  EXPECT_EQ(HexEncode(result),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+}
+
+TEST(X25519, Rfc7748Iterated1000) {
+  X25519SecretKey k{};
+  k[0] = 9;
+  X25519PublicKey u{};
+  u[0] = 9;
+  for (int i = 0; i < 1000; ++i) {
+    auto result = X25519(k, u);
+    std::memcpy(u.data(), k.data(), 32);
+    std::memcpy(k.data(), result.data(), 32);
+  }
+  EXPECT_EQ(HexEncode(k), "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51");
+}
+
+TEST(X25519, Rfc7748DiffieHellman) {
+  auto alice_sk = FromHex<X25519SecretKey>(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  auto bob_sk = FromHex<X25519SecretKey>(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+
+  X25519PublicKey alice_pk = X25519BasePoint(alice_sk);
+  X25519PublicKey bob_pk = X25519BasePoint(bob_sk);
+  EXPECT_EQ(HexEncode(alice_pk),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(HexEncode(bob_pk),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+
+  auto shared_ab = X25519(alice_sk, bob_pk);
+  auto shared_ba = X25519(bob_sk, alice_pk);
+  EXPECT_EQ(shared_ab, shared_ba);
+  EXPECT_EQ(HexEncode(shared_ab),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519, GeneratedKeyPairsAgree) {
+  util::Xoshiro256Rng rng(2024);
+  for (int i = 0; i < 8; ++i) {
+    auto a = X25519KeyPair::Generate(rng);
+    auto b = X25519KeyPair::Generate(rng);
+    EXPECT_EQ(X25519(a.secret_key, b.public_key), X25519(b.secret_key, a.public_key));
+  }
+}
+
+TEST(X25519, DistinctSecretsDistinctPublics) {
+  util::Xoshiro256Rng rng(55);
+  auto a = X25519KeyPair::Generate(rng);
+  auto b = X25519KeyPair::Generate(rng);
+  EXPECT_NE(a.public_key, b.public_key);
+}
+
+TEST(X25519, ClampingIgnoresScalarNoiseBits) {
+  // The three low bits and the top bit of the scalar are clamped, so flipping
+  // them must not change the result.
+  util::Xoshiro256Rng rng(66);
+  auto kp = X25519KeyPair::Generate(rng);
+  X25519SecretKey noisy = kp.secret_key;
+  noisy[0] ^= 0x07;
+  noisy[31] ^= 0x80;
+  EXPECT_EQ(X25519BasePoint(noisy), kp.public_key);
+}
+
+TEST(X25519, HighBitOfPointIsMasked) {
+  // RFC 7748: implementations MUST mask the most significant bit of u.
+  util::Xoshiro256Rng rng(67);
+  auto kp = X25519KeyPair::Generate(rng);
+  X25519PublicKey point = kp.public_key;
+  X25519PublicKey masked = point;
+  masked[31] |= 0x80;
+  X25519SecretKey s;
+  rng.Fill(s);
+  EXPECT_EQ(X25519(s, point), X25519(s, masked));
+}
+
+}  // namespace
+}  // namespace vuvuzela::crypto

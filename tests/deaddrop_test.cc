@@ -1,0 +1,166 @@
+// Dead-drop table tests: exchange semantics (Algorithm 2 step 3b), the
+// m1/m2 histogram, and the invitation table.
+
+#include <gtest/gtest.h>
+
+#include "src/deaddrop/conversation_table.h"
+#include "src/deaddrop/invitation_table.h"
+#include "src/util/random.h"
+
+namespace vuvuzela::deaddrop {
+namespace {
+
+wire::ExchangeRequest MakeRequest(uint8_t drop_tag, uint8_t envelope_tag) {
+  wire::ExchangeRequest req;
+  req.dead_drop.fill(drop_tag);
+  req.envelope.fill(envelope_tag);
+  return req;
+}
+
+TEST(ExchangeRound, PairSwapsEnvelopes) {
+  std::vector<wire::ExchangeRequest> requests = {MakeRequest(1, 0xaa), MakeRequest(1, 0xbb)};
+  ExchangeOutcome out = ExchangeRound(requests);
+  EXPECT_EQ(out.results[0], requests[1].envelope);
+  EXPECT_EQ(out.results[1], requests[0].envelope);
+  EXPECT_EQ(out.histogram.pairs, 1u);
+  EXPECT_EQ(out.histogram.singles, 0u);
+  EXPECT_EQ(out.messages_exchanged, 2u);
+}
+
+TEST(ExchangeRound, SingleEchoesBack) {
+  std::vector<wire::ExchangeRequest> requests = {MakeRequest(7, 0xcc)};
+  ExchangeOutcome out = ExchangeRound(requests);
+  EXPECT_EQ(out.results[0], requests[0].envelope);
+  EXPECT_EQ(out.histogram.singles, 1u);
+  EXPECT_EQ(out.messages_exchanged, 0u);
+}
+
+TEST(ExchangeRound, MixedDrops) {
+  std::vector<wire::ExchangeRequest> requests = {
+      MakeRequest(1, 0x01), MakeRequest(2, 0x02), MakeRequest(1, 0x03),
+      MakeRequest(3, 0x04), MakeRequest(3, 0x05),
+  };
+  ExchangeOutcome out = ExchangeRound(requests);
+  EXPECT_EQ(out.results[0], requests[2].envelope);
+  EXPECT_EQ(out.results[2], requests[0].envelope);
+  EXPECT_EQ(out.results[1], requests[1].envelope);  // lone → echo
+  EXPECT_EQ(out.results[3], requests[4].envelope);
+  EXPECT_EQ(out.results[4], requests[3].envelope);
+  EXPECT_EQ(out.histogram.pairs, 2u);
+  EXPECT_EQ(out.histogram.singles, 1u);
+  EXPECT_EQ(out.messages_exchanged, 4u);
+}
+
+TEST(ExchangeRound, CrowdedDropPairsInOrderOddEchoes) {
+  // Only adversarial clients share a drop 3+ ways; behavior must stay sane.
+  std::vector<wire::ExchangeRequest> requests = {MakeRequest(9, 0x01), MakeRequest(9, 0x02),
+                                                 MakeRequest(9, 0x03)};
+  ExchangeOutcome out = ExchangeRound(requests);
+  EXPECT_EQ(out.results[0], requests[1].envelope);
+  EXPECT_EQ(out.results[1], requests[0].envelope);
+  EXPECT_EQ(out.results[2], requests[2].envelope);  // odd one out echoes
+  EXPECT_EQ(out.histogram.crowded, 1u);
+  EXPECT_EQ(out.messages_exchanged, 2u);
+}
+
+TEST(ExchangeRound, EmptyRound) {
+  ExchangeOutcome out = ExchangeRound({});
+  EXPECT_TRUE(out.results.empty());
+  EXPECT_EQ(out.histogram.singles + out.histogram.pairs + out.histogram.crowded, 0u);
+}
+
+TEST(ExchangeRound, LargeRoundHistogramAddsUp) {
+  util::Xoshiro256Rng rng(5);
+  std::vector<wire::ExchangeRequest> requests;
+  // 100 paired drops + 50 singles.
+  for (int i = 0; i < 100; ++i) {
+    wire::ExchangeRequest a, b;
+    rng.Fill(a.dead_drop);
+    b.dead_drop = a.dead_drop;
+    rng.Fill(a.envelope);
+    rng.Fill(b.envelope);
+    requests.push_back(a);
+    requests.push_back(b);
+  }
+  for (int i = 0; i < 50; ++i) {
+    wire::ExchangeRequest a;
+    rng.Fill(a.dead_drop);
+    rng.Fill(a.envelope);
+    requests.push_back(a);
+  }
+  ExchangeOutcome out = ExchangeRound(requests);
+  EXPECT_EQ(out.histogram.pairs, 100u);
+  EXPECT_EQ(out.histogram.singles, 50u);
+  EXPECT_EQ(out.messages_exchanged, 200u);
+}
+
+TEST(InvitationDropForKey, StableAndInRange) {
+  util::Xoshiro256Rng rng(6);
+  crypto::X25519PublicKey pk;
+  rng.Fill(pk);
+  uint32_t d1 = InvitationDropForKey(pk, 10);
+  uint32_t d2 = InvitationDropForKey(pk, 10);
+  EXPECT_EQ(d1, d2);
+  EXPECT_LT(d1, 10u);
+  EXPECT_THROW(InvitationDropForKey(pk, 0), std::invalid_argument);
+}
+
+TEST(InvitationDropForKey, SpreadsAcrossDrops) {
+  util::Xoshiro256Rng rng(7);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 800; ++i) {
+    crypto::X25519PublicKey pk;
+    rng.Fill(pk);
+    hits[InvitationDropForKey(pk, 8)]++;
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, 50);  // expect ≈100 each; catastrophic skew would fail
+  }
+}
+
+TEST(InvitationTable, AddAndFetch) {
+  InvitationTable table(3);
+  wire::Invitation inv;
+  inv.fill(0x11);
+  table.Add(1, inv);
+  EXPECT_EQ(table.Drop(1).size(), 1u);
+  EXPECT_EQ(table.Drop(0).size(), 0u);
+  EXPECT_EQ(table.Drop(1)[0], inv);
+}
+
+TEST(InvitationTable, OutOfRangeIndexWraps) {
+  InvitationTable table(3);
+  wire::Invitation inv;
+  inv.fill(0x22);
+  table.Add(4, inv);  // adversarial index: 4 mod 3 = 1
+  EXPECT_EQ(table.Drop(1).size(), 1u);
+}
+
+TEST(InvitationTable, NoiseCountsApplied) {
+  InvitationTable table(4);
+  util::Xoshiro256Rng rng(8);
+  std::vector<uint64_t> counts = {5, 0, 2, 7};
+  table.AddNoise(counts, rng);
+  EXPECT_EQ(table.DropSizes(), (std::vector<uint64_t>{5, 0, 2, 7}));
+}
+
+TEST(InvitationTable, NoiseSizeMismatchThrows) {
+  InvitationTable table(4);
+  util::Xoshiro256Rng rng(9);
+  std::vector<uint64_t> counts = {1, 2};
+  EXPECT_THROW(table.AddNoise(counts, rng), std::invalid_argument);
+}
+
+TEST(InvitationTable, DropBytesCountsInvitationSize) {
+  InvitationTable table(2);
+  util::Xoshiro256Rng rng(10);
+  std::vector<uint64_t> counts = {3, 0};
+  table.AddNoise(counts, rng);
+  EXPECT_EQ(table.DropBytes(0), 3 * wire::kInvitationSize);
+  EXPECT_EQ(table.DropBytes(1), 0u);
+}
+
+TEST(InvitationTable, ZeroDropsThrows) { EXPECT_THROW(InvitationTable(0), std::invalid_argument); }
+
+}  // namespace
+}  // namespace vuvuzela::deaddrop

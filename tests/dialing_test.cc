@@ -1,0 +1,100 @@
+// Dialing protocol unit tests (§5 client logic).
+
+#include <gtest/gtest.h>
+
+#include "src/dialing/protocol.h"
+#include "src/util/random.h"
+
+namespace vuvuzela::dialing {
+namespace {
+
+class DialingTest : public ::testing::Test {
+ protected:
+  util::Xoshiro256Rng rng_{88};
+  crypto::X25519KeyPair alice_ = crypto::X25519KeyPair::Generate(rng_);
+  crypto::X25519KeyPair bob_ = crypto::X25519KeyPair::Generate(rng_);
+  crypto::X25519KeyPair eve_ = crypto::X25519KeyPair::Generate(rng_);
+  RoundConfig config_{.num_real_drops = 8};
+};
+
+TEST_F(DialingTest, InvitationRoundTrip) {
+  wire::Invitation inv = SealInvitation(alice_.public_key, bob_.public_key, rng_);
+  auto callers = ScanInvitations(bob_, std::span(&inv, 1));
+  ASSERT_EQ(callers.size(), 1u);
+  EXPECT_EQ(callers[0], alice_.public_key);
+}
+
+TEST_F(DialingTest, WrongRecipientCannotRead) {
+  wire::Invitation inv = SealInvitation(alice_.public_key, bob_.public_key, rng_);
+  EXPECT_TRUE(ScanInvitations(eve_, std::span(&inv, 1)).empty());
+}
+
+TEST_F(DialingTest, NoiseInvitationsAreSkipped) {
+  std::vector<wire::Invitation> drop;
+  for (int i = 0; i < 20; ++i) {
+    wire::Invitation fake;
+    rng_.Fill(fake);
+    drop.push_back(fake);
+  }
+  drop.push_back(SealInvitation(alice_.public_key, bob_.public_key, rng_));
+  for (int i = 0; i < 20; ++i) {
+    wire::Invitation fake;
+    rng_.Fill(fake);
+    drop.push_back(fake);
+  }
+  auto callers = ScanInvitations(bob_, drop);
+  ASSERT_EQ(callers.size(), 1u);
+  EXPECT_EQ(callers[0], alice_.public_key);
+}
+
+TEST_F(DialingTest, MultipleCallersAllFound) {
+  std::vector<wire::Invitation> drop;
+  drop.push_back(SealInvitation(alice_.public_key, bob_.public_key, rng_));
+  drop.push_back(SealInvitation(eve_.public_key, bob_.public_key, rng_));
+  auto callers = ScanInvitations(bob_, drop);
+  ASSERT_EQ(callers.size(), 2u);
+  EXPECT_EQ(callers[0], alice_.public_key);
+  EXPECT_EQ(callers[1], eve_.public_key);
+}
+
+TEST_F(DialingTest, DialRequestTargetsRecipientsDrop) {
+  wire::DialRequest req = BuildDialRequest(config_, alice_.public_key, bob_.public_key, rng_);
+  EXPECT_EQ(req.dead_drop_index, DropForRecipient(config_, bob_.public_key));
+  EXPECT_LT(req.dead_drop_index, config_.num_real_drops);
+}
+
+TEST_F(DialingTest, IdleRequestUsesNoopDrop) {
+  wire::DialRequest req = BuildIdleDialRequest(config_, rng_);
+  EXPECT_EQ(req.dead_drop_index, config_.noop_index());
+  EXPECT_EQ(req.dead_drop_index, config_.num_real_drops);
+  // The random invitation decrypts for nobody.
+  EXPECT_TRUE(ScanInvitations(bob_, std::span(&req.invitation, 1)).empty());
+}
+
+TEST_F(DialingTest, RealAndIdleRequestsSameSize) {
+  wire::DialRequest real = BuildDialRequest(config_, alice_.public_key, bob_.public_key, rng_);
+  wire::DialRequest idle = BuildIdleDialRequest(config_, rng_);
+  EXPECT_EQ(real.Serialize().size(), idle.Serialize().size());
+}
+
+TEST(OptimalDropCount, PaperFormula) {
+  // §5.4: m = n·f/µ. 1M users, 5% dialing, µ=13000 → m = 50000/13000 ≈ 3.
+  EXPECT_EQ(OptimalDropCount(1000000, 0.05, 13000), 3u);
+  // §7: at small experimental scale the optimal number of drops is one.
+  EXPECT_EQ(OptimalDropCount(1000, 0.05, 13000), 1u);
+  EXPECT_EQ(OptimalDropCount(0, 0.05, 13000), 1u);  // floor at 1
+}
+
+TEST(OptimalDropCount, Validation) {
+  EXPECT_THROW(OptimalDropCount(1000, 0.05, 0.0), std::invalid_argument);
+  EXPECT_THROW(OptimalDropCount(1000, 1.5, 100.0), std::invalid_argument);
+}
+
+TEST(RoundConfig, DropLayout) {
+  RoundConfig config{.num_real_drops = 5};
+  EXPECT_EQ(config.noop_index(), 5u);
+  EXPECT_EQ(config.total_drops(), 6u);
+}
+
+}  // namespace
+}  // namespace vuvuzela::dialing

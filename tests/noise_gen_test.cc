@@ -1,0 +1,82 @@
+// Cover-traffic planning tests (Algorithm 2 step 2).
+
+#include <gtest/gtest.h>
+
+#include "src/noise/noise_gen.h"
+#include "src/util/random.h"
+
+namespace vuvuzela::noise {
+namespace {
+
+TEST(PlanConversationNoise, DeterministicModeIsExactlyMu) {
+  NoiseConfig config{.params = {300.0, 20.0}, .deterministic = true};
+  util::Xoshiro256Rng rng(1);
+  ConversationNoisePlan plan = PlanConversationNoise(config, rng);
+  EXPECT_EQ(plan.singles, 300u);
+  EXPECT_EQ(plan.pairs, 150u);  // ⌈300/2⌉
+  EXPECT_EQ(plan.total_requests(), 600u);
+}
+
+TEST(PlanConversationNoise, DeterministicOddMuRoundsPairsUp) {
+  NoiseConfig config{.params = {301.0, 20.0}, .deterministic = true};
+  util::Xoshiro256Rng rng(1);
+  ConversationNoisePlan plan = PlanConversationNoise(config, rng);
+  EXPECT_EQ(plan.singles, 301u);
+  EXPECT_EQ(plan.pairs, 151u);  // ⌈301/2⌉
+}
+
+TEST(PlanConversationNoise, SampledMeanTracksMu) {
+  NoiseConfig config{.params = {200.0, 10.0}, .deterministic = false};
+  util::Xoshiro256Rng rng(42);
+  double singles_sum = 0, pairs_sum = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    ConversationNoisePlan plan = PlanConversationNoise(config, rng);
+    singles_sum += static_cast<double>(plan.singles);
+    pairs_sum += static_cast<double>(plan.pairs);
+  }
+  EXPECT_NEAR(singles_sum / kTrials, 200.5, 1.0);
+  // pairs = ⌈n2/2⌉ with n2 centered at 200 → ≈ 100.
+  EXPECT_NEAR(pairs_sum / kTrials, 100.5, 1.0);
+}
+
+TEST(PlanConversationNoise, SampledHasVariance) {
+  NoiseConfig config{.params = {200.0, 10.0}, .deterministic = false};
+  util::Xoshiro256Rng rng(43);
+  uint64_t first = PlanConversationNoise(config, rng).singles;
+  bool varied = false;
+  for (int i = 0; i < 50 && !varied; ++i) {
+    varied = PlanConversationNoise(config, rng).singles != first;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(PlanDialingNoise, OneCountPerDeadDrop) {
+  NoiseConfig config{.params = {50.0, 5.0}, .deterministic = true};
+  util::Xoshiro256Rng rng(2);
+  std::vector<uint64_t> counts = PlanDialingNoise(config, 7, rng);
+  ASSERT_EQ(counts.size(), 7u);
+  for (uint64_t c : counts) {
+    EXPECT_EQ(c, 50u);
+  }
+}
+
+TEST(PlanDialingNoise, IndependentDrawsPerDrop) {
+  NoiseConfig config{.params = {50.0, 8.0}, .deterministic = false};
+  util::Xoshiro256Rng rng(3);
+  std::vector<uint64_t> counts = PlanDialingNoise(config, 100, rng);
+  bool varied = false;
+  for (size_t i = 1; i < counts.size(); ++i) {
+    varied |= counts[i] != counts[0];
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(PlanDialingNoise, EmptyDropListIsEmpty) {
+  NoiseConfig config{.params = {50.0, 8.0}, .deterministic = false};
+  util::Xoshiro256Rng rng(4);
+  EXPECT_TRUE(PlanDialingNoise(config, 0, rng).empty());
+}
+
+}  // namespace
+}  // namespace vuvuzela::noise

@@ -1,0 +1,132 @@
+// Laplace sampler and pmf tests: analytic CDF identities, pmf normalization,
+// and sampled moments against closed forms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/noise/laplace.h"
+#include "src/util/random.h"
+
+namespace vuvuzela::noise {
+namespace {
+
+TEST(LaplaceCdf, KnownValues) {
+  LaplaceParams p{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(LaplaceCdf(p, 0.0), 0.5);
+  EXPECT_NEAR(LaplaceCdf(p, 1.0), 1.0 - 0.5 * std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(LaplaceCdf(p, -1.0), 0.5 * std::exp(-1.0), 1e-12);
+}
+
+TEST(LaplaceCdf, ShiftAndScale) {
+  LaplaceParams p{10.0, 3.0};
+  EXPECT_DOUBLE_EQ(LaplaceCdf(p, 10.0), 0.5);
+  // Symmetry about the mean.
+  EXPECT_NEAR(LaplaceCdf(p, 10.0 + 4.0), 1.0 - LaplaceCdf(p, 10.0 - 4.0), 1e-12);
+}
+
+TEST(LaplaceCdf, RejectsNonPositiveScale) {
+  EXPECT_THROW(LaplaceCdf(LaplaceParams{0.0, 0.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(SampleLaplace(LaplaceParams{0.0, -1.0}, util::GlobalRng()),
+               std::invalid_argument);
+}
+
+TEST(CeilTruncatedLaplacePmf, SumsToOne) {
+  for (LaplaceParams p : {LaplaceParams{5.0, 2.0}, LaplaceParams{20.0, 4.0},
+                          LaplaceParams{0.0, 1.0}, LaplaceParams{100.0, 10.0}}) {
+    double total = 0.0;
+    uint64_t limit = static_cast<uint64_t>(p.mu + 60.0 * p.b) + 1;
+    for (uint64_t n = 0; n <= limit; ++n) {
+      total += CeilTruncatedLaplacePmf(p, n);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "mu=" << p.mu << " b=" << p.b;
+  }
+}
+
+TEST(CeilTruncatedLaplacePmf, ZeroMassEqualsNegativeTail) {
+  LaplaceParams p{5.0, 2.0};
+  EXPECT_NEAR(CeilTruncatedLaplacePmf(p, 0), 0.5 * std::exp(-2.5), 1e-12);
+}
+
+TEST(CeilTruncatedLaplaceMean, ApproachesMuForLargeMu) {
+  // When the truncation at 0 is negligible, the mean of the ceiled variable
+  // is µ + 1/2 ± O(tail): ceiling adds about half a unit.
+  LaplaceParams p{100.0, 5.0};
+  double mean = CeilTruncatedLaplaceMean(p);
+  EXPECT_NEAR(mean, 100.5, 0.05);
+}
+
+TEST(CeilTruncatedLaplaceMean, TruncationRaisesSmallMuMean) {
+  // With µ = 0 half the mass truncates to zero and the positive half remains:
+  // mean = E[ceil(L)·1{L>0}] ∈ (0, b).
+  LaplaceParams p{0.0, 4.0};
+  double mean = CeilTruncatedLaplaceMean(p);
+  EXPECT_GT(mean, 1.0);
+  EXPECT_LT(mean, 4.0);
+}
+
+TEST(SampleLaplace, MomentsMatch) {
+  LaplaceParams p{50.0, 10.0};
+  util::Xoshiro256Rng rng(31337);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    double x = SampleLaplace(p, rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / kSamples;
+  double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 50.0, 0.2);
+  // Var of Laplace = 2b².
+  EXPECT_NEAR(var, 200.0, 8.0);
+}
+
+TEST(SampleCeilTruncatedLaplace, MatchesAnalyticMean) {
+  LaplaceParams p{30.0, 6.0};
+  util::Xoshiro256Rng rng(99);
+  double analytic = CeilTruncatedLaplaceMean(p);
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(SampleCeilTruncatedLaplace(p, rng));
+  }
+  EXPECT_NEAR(sum / kSamples, analytic, 0.15);
+}
+
+TEST(SampleCeilTruncatedLaplace, NeverNegativeAndTruncates) {
+  // With µ well below zero almost every draw should truncate to 0.
+  LaplaceParams p{-50.0, 2.0};
+  util::Xoshiro256Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(SampleCeilTruncatedLaplace(p, rng), 0u);
+  }
+}
+
+TEST(SampleCeilTruncatedLaplace, EmpiricalPmfMatchesAnalytic) {
+  LaplaceParams p{8.0, 2.0};
+  util::Xoshiro256Rng rng(4242);
+  constexpr int kSamples = 300000;
+  std::vector<int> histogram(64, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    uint64_t v = SampleCeilTruncatedLaplace(p, rng);
+    if (v < histogram.size()) {
+      histogram[v]++;
+    }
+  }
+  for (uint64_t n = 0; n < 24; ++n) {
+    double expected = CeilTruncatedLaplacePmf(p, n);
+    double observed = static_cast<double>(histogram[n]) / kSamples;
+    EXPECT_NEAR(observed, expected, 0.004) << "n=" << n;
+  }
+}
+
+TEST(LaplaceParams, HalvedMatchesScalingProperty) {
+  LaplaceParams p{300000.0, 13800.0};
+  LaplaceParams h = p.Halved();
+  EXPECT_DOUBLE_EQ(h.mu, 150000.0);
+  EXPECT_DOUBLE_EQ(h.b, 6900.0);
+}
+
+}  // namespace
+}  // namespace vuvuzela::noise

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include "src/util/bytes.h"
+#include "src/util/random.h"
+#include "src/util/stats.h"
+#include "src/util/thread_pool.h"
+
+namespace vuvuzela::util {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  std::string hex = HexEncode(data);
+  EXPECT_EQ(hex, "0001abff7f");
+  EXPECT_EQ(HexDecode(hex), data);
+}
+
+TEST(Hex, EmptyInput) {
+  EXPECT_EQ(HexEncode({}), "");
+  EXPECT_TRUE(HexDecode("").empty());
+}
+
+TEST(Hex, UppercaseAccepted) { EXPECT_EQ(HexDecode("AB"), Bytes{0xab}); }
+
+TEST(Hex, RejectsOddLength) { EXPECT_THROW(HexDecode("abc"), std::invalid_argument); }
+
+TEST(Hex, RejectsNonHex) { EXPECT_THROW(HexDecode("zz"), std::invalid_argument); }
+
+TEST(ConstantTimeEqual, Basics) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, d));
+  EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+TEST(SecureZero, Zeroes) {
+  Bytes buf = {1, 2, 3, 4};
+  SecureZero(buf);
+  EXPECT_EQ(buf, Bytes(4, 0));
+}
+
+TEST(Concat, MultipleSpans) {
+  Bytes a = {1, 2};
+  Bytes b = {3};
+  Bytes c = {4, 5, 6};
+  EXPECT_EQ(Concat(a, b, c), (Bytes{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(Endian, RoundTrips) {
+  uint8_t buf[8];
+  StoreLe64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(LoadLe64(buf), 0x0123456789abcdefULL);
+  StoreBe64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(LoadBe64(buf), 0x0123456789abcdefULL);
+  EXPECT_EQ(buf[0], 0x01);  // big-endian: most significant byte first
+  StoreLe32(buf, 0xdeadbeef);
+  EXPECT_EQ(LoadLe32(buf), 0xdeadbeefu);
+  StoreBe32(buf, 0xdeadbeef);
+  EXPECT_EQ(LoadBe32(buf), 0xdeadbeefu);
+}
+
+TEST(SystemRng, ProducesDistinctValues) {
+  SystemRng rng;
+  uint64_t a = rng.NextUint64();
+  uint64_t b = rng.NextUint64();
+  // Probability of collision is 2^-64; a failure here means the RNG is broken.
+  EXPECT_NE(a, b);
+}
+
+TEST(SystemRng, FillsWholeBuffer) {
+  SystemRng rng;
+  Bytes buf(1024, 0);
+  rng.Fill(buf);
+  int zeros = 0;
+  for (uint8_t x : buf) {
+    zeros += (x == 0);
+  }
+  // Expected ~4 zero bytes out of 1024; 100 would indicate a short fill.
+  EXPECT_LT(zeros, 100);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  Xoshiro256Rng a2(42);
+  EXPECT_NE(a2.NextUint64(), c.NextUint64());
+}
+
+TEST(Xoshiro, UniformBoundedNoModuloBias) {
+  Xoshiro256Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformUint64(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(Xoshiro, UniformBoundRejectsZero) {
+  Xoshiro256Rng rng(7);
+  EXPECT_THROW(rng.UniformUint64(0), std::invalid_argument);
+}
+
+TEST(Xoshiro, UniformDoubleInRange) {
+  Xoshiro256Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.UniformDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, FillMatchesNextUint64Stream) {
+  Xoshiro256Rng a(5), b(5);
+  Bytes buf(16);
+  a.Fill(buf);
+  uint8_t expect[16];
+  StoreLe64(expect, b.NextUint64());
+  StoreLe64(expect + 8, b.NextUint64());
+  EXPECT_EQ(0, memcmp(buf.data(), expect, 16));
+}
+
+TEST(Summary, BasicStats) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 5.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  Summary s;
+  s.Add(0.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 2.5);
+}
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.Percentile(50), 0.0);
+}
+
+TEST(Summary, PercentileRejectsOutOfRange) {
+  Summary s;
+  s.Add(1.0);
+  EXPECT_THROW(s.Percentile(-1), std::invalid_argument);
+  EXPECT_THROW(s.Percentile(101), std::invalid_argument);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ZeroIterations) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, SingleIterationRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(1, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [](size_t i) {
+                                  if (i == 37) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(4, [&](size_t) {
+    GlobalPool().ParallelFor(8, [&](size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+}  // namespace
+}  // namespace vuvuzela::util

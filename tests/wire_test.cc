@@ -1,0 +1,134 @@
+// Wire format tests: fixed sizes, round trips, malformed-input rejection.
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+#include "src/wire/messages.h"
+#include "src/wire/serde.h"
+
+namespace vuvuzela::wire {
+namespace {
+
+TEST(Constants, MatchPaperSizes) {
+  // §8.1: 256-byte conversation messages (16 bytes overhead), 80-byte
+  // invitations (48 bytes overhead).
+  EXPECT_EQ(kMessageSize, 240u);
+  EXPECT_EQ(kEnvelopeSize, 256u);
+  EXPECT_EQ(kInvitationSize, 80u);
+  EXPECT_EQ(kInvitationPlaintextSize + 48, kInvitationSize);
+  EXPECT_EQ(kDeadDropIdSize * 8, 128u);  // §3.1: 128-bit dead drop IDs
+}
+
+TEST(ExchangeRequest, RoundTrip) {
+  util::Xoshiro256Rng rng(1);
+  ExchangeRequest req;
+  rng.Fill(req.dead_drop);
+  rng.Fill(req.envelope);
+
+  util::Bytes data = req.Serialize();
+  EXPECT_EQ(data.size(), kExchangeRequestSize);
+  auto parsed = ExchangeRequest::Parse(data);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dead_drop, req.dead_drop);
+  EXPECT_EQ(parsed->envelope, req.envelope);
+}
+
+TEST(ExchangeRequest, RejectsWrongSize) {
+  EXPECT_FALSE(ExchangeRequest::Parse(util::Bytes(kExchangeRequestSize - 1)).has_value());
+  EXPECT_FALSE(ExchangeRequest::Parse(util::Bytes(kExchangeRequestSize + 1)).has_value());
+  EXPECT_FALSE(ExchangeRequest::Parse({}).has_value());
+}
+
+TEST(DialRequest, RoundTrip) {
+  util::Xoshiro256Rng rng(2);
+  DialRequest req;
+  req.dead_drop_index = 0xdeadbeef;
+  rng.Fill(req.invitation);
+
+  util::Bytes data = req.Serialize();
+  EXPECT_EQ(data.size(), kDialRequestSize);
+  auto parsed = DialRequest::Parse(data);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->dead_drop_index, req.dead_drop_index);
+  EXPECT_EQ(parsed->invitation, req.invitation);
+}
+
+TEST(DialRequest, RejectsWrongSize) {
+  EXPECT_FALSE(DialRequest::Parse(util::Bytes(kDialRequestSize + 4)).has_value());
+}
+
+TEST(RoundAnnouncement, RoundTrip) {
+  RoundAnnouncement ann{.round = 77, .type = RoundType::kDialing, .num_dial_dead_drops = 12};
+  auto parsed = RoundAnnouncement::Parse(ann.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->round, 77u);
+  EXPECT_EQ(parsed->type, RoundType::kDialing);
+  EXPECT_EQ(parsed->num_dial_dead_drops, 12u);
+}
+
+TEST(RoundAnnouncement, RejectsBadType) {
+  RoundAnnouncement ann{.round = 1, .type = RoundType::kConversation, .num_dial_dead_drops = 0};
+  util::Bytes data = ann.Serialize();
+  data[8] = 99;  // type byte
+  EXPECT_FALSE(RoundAnnouncement::Parse(data).has_value());
+}
+
+TEST(RoundAnnouncement, RejectsTrailingBytes) {
+  RoundAnnouncement ann{.round = 1, .type = RoundType::kConversation, .num_dial_dead_drops = 0};
+  util::Bytes data = ann.Serialize();
+  data.push_back(0);
+  EXPECT_FALSE(RoundAnnouncement::Parse(data).has_value());
+}
+
+TEST(Serde, IntegersRoundTrip) {
+  Writer w;
+  w.U8(0xab);
+  w.U16(0x1234);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefULL);
+  util::Bytes data = w.Take();
+  EXPECT_EQ(data.size(), 1u + 2 + 4 + 8);
+
+  Reader r(data);
+  EXPECT_EQ(r.U8().value(), 0xab);
+  EXPECT_EQ(r.U16().value(), 0x1234);
+  EXPECT_EQ(r.U32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64().value(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Serde, VarBytesRoundTrip) {
+  Writer w;
+  util::Bytes payload = {1, 2, 3, 4, 5};
+  w.Var(payload);
+  util::Bytes data = w.Take();
+
+  Reader r(data);
+  auto out = r.Var();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(util::Bytes(out->begin(), out->end()), payload);
+}
+
+TEST(Serde, ReadPastEndFailsSoft) {
+  util::Bytes data = {1, 2};
+  Reader r(data);
+  EXPECT_TRUE(r.U8().has_value());
+  EXPECT_FALSE(r.U32().has_value());
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads keep failing; no UB, no throw.
+  EXPECT_FALSE(r.U64().has_value());
+}
+
+TEST(Serde, VarWithLyingLengthFails) {
+  Writer w;
+  w.U32(1000);  // claims 1000 bytes follow
+  w.U8(1);
+  util::Bytes data = w.Take();
+  Reader r(data);
+  EXPECT_FALSE(r.Var().has_value());
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace vuvuzela::wire

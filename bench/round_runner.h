@@ -1,15 +1,25 @@
-// Shared driver: run one real protocol round at a given scale and time it.
+// Shared driver: run real protocol rounds at a given scale and time them.
 // Workload (client-side onion wrapping) is generated outside the timed
 // region, mirroring §8.1 ("to ensure that clients are not the bottleneck").
+//
+// Two drivers share one workload shape:
+//  * the lock-step driver runs rounds one at a time through Chain — each
+//    round occupies every server for its whole duration (the seed behavior);
+//  * the pipelined driver pushes the same rounds through
+//    engine::RoundScheduler with K rounds in flight (§8.3), which is how the
+//    deployed system reaches its throughput numbers.
 
 #ifndef VUVUZELA_BENCH_ROUND_RUNNER_H_
 #define VUVUZELA_BENCH_ROUND_RUNNER_H_
 
 #include <chrono>
+#include <thread>
 
+#include "src/engine/round_scheduler.h"
 #include "src/mixnet/chain.h"
 #include "src/sim/workload.h"
 #include "src/util/random.h"
+#include "src/util/thread_pool.h"
 
 namespace vuvuzela::bench {
 
@@ -18,6 +28,17 @@ struct RealRound {
   mixnet::RoundStats stats;
   uint64_t requests_at_last_server = 0;
   uint64_t messages_exchanged = 0;
+};
+
+// Multi-round run through either driver.
+struct MultiRound {
+  uint64_t rounds = 0;
+  uint64_t messages_exchanged = 0;
+  double wall_seconds = 0.0;
+  double messages_per_second = 0.0;
+  // Mean submit→complete latency of one round (pipelined: rounds overlap, so
+  // this exceeds wall_seconds / rounds; that gap is the pipelining win).
+  double mean_round_seconds = 0.0;
 };
 
 inline mixnet::Chain MakeBenchChain(size_t servers, double mu, uint64_t seed,
@@ -29,8 +50,22 @@ inline mixnet::Chain MakeBenchChain(size_t servers, double mu, uint64_t seed,
   config.conversation_noise = {.params = {mu, mu / 20.0 + 1.0}, .deterministic = true};
   config.dialing_noise = {.params = {dial_mu, dial_mu / 20.0 + 1.0}, .deterministic = true};
   config.parallel = true;
+  config.exchange_shards = 0;  // one dead-drop shard per pool worker
   util::Xoshiro256Rng rng(seed);
   return mixnet::Chain::Create(config, rng);
+}
+
+// Pre-wraps `rounds` per-round onion batches (round numbers 1..rounds).
+inline std::vector<std::vector<util::Bytes>> MakeConversationBatches(
+    uint64_t users, const mixnet::Chain& chain, uint64_t rounds, uint64_t seed) {
+  std::vector<std::vector<util::Bytes>> batches;
+  batches.reserve(rounds);
+  for (uint64_t round = 1; round <= rounds; ++round) {
+    sim::WorkloadConfig workload{
+        .num_users = users, .pairing_fraction = 1.0, .seed = seed + round, .parallel = true};
+    batches.push_back(sim::GenerateConversationWorkload(workload, chain.public_keys(), round));
+  }
+  return batches;
 }
 
 inline RealRound RunRealConversationRound(uint64_t users, size_t servers, double mu,
@@ -50,6 +85,74 @@ inline RealRound RunRealConversationRound(uint64_t users, size_t servers, double
   out.stats = std::move(result.stats);
   out.requests_at_last_server = out.stats.forward.back().requests_in;
   out.messages_exchanged = result.messages_exchanged;
+  return out;
+}
+
+// Lock-step baseline: one round at a time, the whole chain per round.
+// `collection_window_seconds` models the per-round client-submission epoch
+// (§3.1: the first server "announces the round and collects requests" for a
+// fixed window before closing the batch); the lock-step chain sits idle for
+// it, which is exactly the §8.3 motivation for pipelining.
+inline MultiRound RunLockStepConversationRounds(uint64_t users, size_t servers, double mu,
+                                                uint64_t rounds, uint64_t seed,
+                                                double collection_window_seconds = 0.0) {
+  mixnet::Chain chain = MakeBenchChain(servers, mu, seed);
+  auto batches = MakeConversationBatches(users, chain, rounds, seed);
+
+  MultiRound out;
+  out.rounds = rounds;
+  auto start = std::chrono::steady_clock::now();
+  for (uint64_t round = 1; round <= rounds; ++round) {
+    if (collection_window_seconds > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(collection_window_seconds));
+    }
+    auto result = chain.RunConversationRound(round, std::move(batches[round - 1]));
+    out.messages_exchanged += result.messages_exchanged;
+    out.mean_round_seconds += result.stats.total_seconds();
+  }
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  out.messages_per_second = out.messages_exchanged / out.wall_seconds;
+  out.mean_round_seconds /= rounds;
+  return out;
+}
+
+// Pipelined driver: same chain configuration, workload shape, and per-round
+// collection window, K rounds in flight through the engine. The window
+// overlaps with earlier rounds' processing — "while the first server is
+// collecting messages for one round, other servers process previous rounds"
+// (§8.3).
+inline MultiRound RunPipelinedConversationRounds(uint64_t users, size_t servers, double mu,
+                                                 uint64_t rounds, size_t max_in_flight,
+                                                 uint64_t seed,
+                                                 double collection_window_seconds = 0.0) {
+  mixnet::Chain chain = MakeBenchChain(servers, mu, seed);
+  auto batches = MakeConversationBatches(users, chain, rounds, seed);
+  engine::RoundScheduler scheduler(chain, {.max_in_flight = max_in_flight});
+
+  MultiRound out;
+  out.rounds = rounds;
+  std::vector<std::future<mixnet::Chain::ConversationResult>> futures;
+  futures.reserve(rounds);
+  auto start = std::chrono::steady_clock::now();
+  for (uint64_t round = 1; round <= rounds; ++round) {
+    if (collection_window_seconds > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(collection_window_seconds));
+    }
+    futures.push_back(scheduler.SubmitConversation(round, std::move(batches[round - 1])));
+  }
+  scheduler.Drain();
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  for (auto& f : futures) {
+    out.messages_exchanged += f.get().messages_exchanged;
+  }
+  out.messages_per_second = out.messages_exchanged / out.wall_seconds;
+  auto stats = scheduler.stats();
+  out.mean_round_seconds =
+      stats.conversation_rounds_completed > 0
+          ? stats.total_conversation_latency_seconds / stats.conversation_rounds_completed
+          : 0.0;
   return out;
 }
 

@@ -1,16 +1,26 @@
-// Networked deployment over real TCP sockets (the §7 topology on loopback):
+// Networked deployment over real TCP sockets (the §7 topology on loopback),
+// running the engine's pipelined scheduling discipline (§8.3):
 //
 //   clients ──TCP── entry server ──TCP── server0 ──TCP── server1 ──TCP── server2
 //
 //   $ ./build/examples/tcp_demo
 //
-// Each chain server runs in its own thread behind a TCP listener, speaking
-// the net::Frame protocol: batches of onions forward, batches of sealed
-// responses back. The entry server multiplexes two real clients. The clients
-// are the same VuvuzelaClient the in-process harness drives — only the
-// transport differs.
+// Each chain server runs behind a TCP listener speaking the net::Frame
+// protocol. Unlike a lock-step driver — which would hold every server idle
+// until one round completes its return pass — the entry server ships round
+// r+1's batch down the chain while round r is still on its way back: the
+// same cross-round overlap engine::RoundScheduler provides in-process,
+// expressed over sockets. Each intermediate server splits into a forward
+// thread and a return thread (one per traffic direction), with passes
+// serialized per server by a mutex — the engine's one-stage-worker-per-
+// server rule. The clients are the same VuvuzelaClient the in-process
+// harness drives; its per-round state already supports §8.3 client-side
+// pipelining ("sending a new message every round even before receiving
+// responses from previous rounds").
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -25,35 +35,20 @@ using namespace vuvuzela;
 namespace {
 
 constexpr size_t kNumServers = 3;
-constexpr int kRounds = 3;
+constexpr int kRounds = 6;
 
 struct ServerHandle {
   std::unique_ptr<mixnet::MixServer> server;
   net::TcpListener listener;
-  std::thread thread;
+  std::thread forward_thread;
 };
 
-// One chain server: accept the upstream connection, process batches until
-// shutdown. Non-last servers own a client connection to the next hop.
-void RunChainServer(mixnet::MixServer* server, net::TcpListener* listener, uint16_t next_port) {
-  auto upstream = listener->Accept();
-  if (!upstream) {
-    return;
-  }
-  std::optional<net::TcpConnection> downstream;
-  if (!server->is_last()) {
-    downstream = net::TcpConnection::Connect("127.0.0.1", next_port);
-    if (!downstream) {
-      return;
-    }
-  }
-
+// The last server: one thread is enough — the dead-drop exchange produces
+// responses immediately, so its forward pass and return pass are one step.
+void RunLastServer(mixnet::MixServer* server, net::TcpConnection upstream) {
   for (;;) {
-    auto frame = upstream->RecvFrame();
+    auto frame = upstream.RecvFrame();
     if (!frame || frame->type == net::FrameType::kShutdown) {
-      if (downstream) {
-        downstream->SendFrame(net::Frame{net::FrameType::kShutdown, 0, {}});
-      }
       return;
     }
     if (frame->type != net::FrameType::kBatch) {
@@ -63,41 +58,99 @@ void RunChainServer(mixnet::MixServer* server, net::TcpListener* listener, uint1
     if (!batch) {
       continue;
     }
-
-    std::vector<util::Bytes> responses;
-    if (server->is_last()) {
-      auto result = server->ProcessConversationLastHop(frame->round, std::move(*batch));
-      std::printf("    [server %zu] round %llu: %llu paired drops, %llu singles\n",
-                  server->config().position, static_cast<unsigned long long>(frame->round),
-                  static_cast<unsigned long long>(result.histogram.pairs),
-                  static_cast<unsigned long long>(result.histogram.singles));
-      responses = std::move(result.responses);
-    } else {
-      mixnet::ServerRoundStats stats;
-      auto forwarded = server->ForwardConversation(frame->round, std::move(*batch), &stats);
-      std::printf("    [server %zu] round %llu: %llu in, +%llu noise, forwarding %zu\n",
-                  server->config().position, static_cast<unsigned long long>(frame->round),
-                  static_cast<unsigned long long>(stats.requests_in),
-                  static_cast<unsigned long long>(stats.noise_requests_added), forwarded.size());
-      downstream->SendFrame(
-          net::Frame{net::FrameType::kBatch, frame->round, net::EncodeBatch(forwarded)});
-      auto reply = downstream->RecvFrame();
-      if (!reply || reply->type != net::FrameType::kBatchResponse) {
-        return;
-      }
-      auto reply_batch = net::DecodeBatch(reply->payload);
-      if (!reply_batch) {
-        return;
-      }
-      responses = server->BackwardConversation(frame->round, std::move(*reply_batch));
-    }
-    upstream->SendFrame(
-        net::Frame{net::FrameType::kBatchResponse, frame->round, net::EncodeBatch(responses)});
+    auto result = server->ProcessConversationLastHop(frame->round, std::move(*batch));
+    std::printf("    [server %zu] round %llu: %llu paired drops, %llu singles\n",
+                server->config().position, static_cast<unsigned long long>(frame->round),
+                static_cast<unsigned long long>(result.histogram.pairs),
+                static_cast<unsigned long long>(result.histogram.singles));
+    upstream.SendFrame(net::Frame{net::FrameType::kBatchResponse, frame->round,
+                                  net::EncodeBatch(result.responses)});
   }
 }
 
-// Entry server: per round, collect one onion from each client connection,
-// ship the batch down the chain, demux responses.
+// An intermediate server: the forward thread moves batches downstream while
+// the return thread moves earlier rounds' responses upstream — two rounds
+// can occupy the same server's sockets at once. `pass_mutex` serializes the
+// actual mix passes (MixServer is single-round-at-a-time per pass, exactly
+// like one engine stage worker).
+void RunForwardPass(mixnet::MixServer* server, net::TcpConnection* upstream,
+                    net::TcpConnection* downstream, std::mutex* pass_mutex) {
+  for (;;) {
+    auto frame = upstream->RecvFrame();
+    if (!frame || frame->type == net::FrameType::kShutdown) {
+      downstream->SendFrame(net::Frame{net::FrameType::kShutdown, 0, {}});
+      return;
+    }
+    if (frame->type != net::FrameType::kBatch) {
+      continue;
+    }
+    auto batch = net::DecodeBatch(frame->payload);
+    if (!batch) {
+      continue;
+    }
+    std::vector<util::Bytes> forwarded;
+    mixnet::ServerRoundStats stats;
+    size_t in_flight_here;
+    {
+      std::lock_guard<std::mutex> lock(*pass_mutex);
+      forwarded = server->ForwardConversation(frame->round, std::move(*batch), &stats);
+      in_flight_here = server->pending_rounds();  // read under the pass lock
+    }
+    std::printf("    [server %zu] round %llu: %llu in, +%llu noise, forwarding %zu "
+                "(%zu rounds in flight here)\n",
+                server->config().position, static_cast<unsigned long long>(frame->round),
+                static_cast<unsigned long long>(stats.requests_in),
+                static_cast<unsigned long long>(stats.noise_requests_added), forwarded.size(),
+                in_flight_here);
+    downstream->SendFrame(
+        net::Frame{net::FrameType::kBatch, frame->round, net::EncodeBatch(forwarded)});
+  }
+}
+
+void RunReturnPass(mixnet::MixServer* server, net::TcpConnection* upstream,
+                   net::TcpConnection* downstream, std::mutex* pass_mutex) {
+  for (;;) {
+    auto reply = downstream->RecvFrame();
+    if (!reply || reply->type != net::FrameType::kBatchResponse) {
+      return;  // downstream closed after shutdown drained
+    }
+    auto reply_batch = net::DecodeBatch(reply->payload);
+    if (!reply_batch) {
+      return;
+    }
+    std::vector<util::Bytes> responses;
+    {
+      std::lock_guard<std::mutex> lock(*pass_mutex);
+      responses = server->BackwardConversation(reply->round, std::move(*reply_batch));
+    }
+    upstream->SendFrame(
+        net::Frame{net::FrameType::kBatchResponse, reply->round, net::EncodeBatch(responses)});
+  }
+}
+
+void RunChainServer(mixnet::MixServer* server, net::TcpListener* listener, uint16_t next_port) {
+  auto upstream = listener->Accept();
+  if (!upstream) {
+    return;
+  }
+  if (server->is_last()) {
+    RunLastServer(server, std::move(*upstream));
+    return;
+  }
+  auto downstream = net::TcpConnection::Connect("127.0.0.1", next_port);
+  if (!downstream) {
+    return;
+  }
+  std::mutex pass_mutex;
+  std::thread return_thread(RunReturnPass, server, &*upstream, &*downstream, &pass_mutex);
+  RunForwardPass(server, &*upstream, &*downstream, &pass_mutex);
+  return_thread.join();
+}
+
+// Entry server: pushes every round's batch down the chain without waiting
+// for earlier rounds' responses (the §8.3 overlap), demuxing responses as
+// they surface. Client sockets carry announcements and responses from two
+// threads, hence the per-client send locks.
 void RunEntryServer(net::TcpListener* listener, uint16_t chain_port, size_t num_clients) {
   std::vector<net::TcpConnection> clients;
   for (size_t i = 0; i < num_clients; ++i) {
@@ -111,41 +164,73 @@ void RunEntryServer(net::TcpListener* listener, uint16_t chain_port, size_t num_
   if (!chain) {
     return;
   }
+  std::vector<std::mutex> client_send_mutexes(num_clients);
+  std::atomic<int> rounds_completed{0};
 
-  for (uint64_t round = 1; round <= kRounds; ++round) {
-    for (auto& c : clients) {
-      c.SendFrame(net::Frame{net::FrameType::kRoundAnnouncement, round, {}});
+  // Collector: demux chain responses to clients as they surface.
+  std::thread collector([&] {
+    for (int done = 0; done < kRounds; ++done) {
+      auto reply = chain->RecvFrame();
+      if (!reply || reply->type != net::FrameType::kBatchResponse) {
+        return;
+      }
+      auto responses = net::DecodeBatch(reply->payload);
+      if (!responses || responses->size() != clients.size()) {
+        return;
+      }
+      rounds_completed.fetch_add(1);
+      for (size_t i = 0; i < clients.size(); ++i) {
+        std::lock_guard<std::mutex> lock(client_send_mutexes[i]);
+        clients[i].SendFrame(
+            net::Frame{net::FrameType::kConversationResponse, reply->round, (*responses)[i]});
+      }
+    }
+  });
+
+  // Submitter: announce and ship rounds back-to-back; round r+1 enters the
+  // chain while round r is still on its return pass.
+  bool submit_ok = true;
+  for (uint64_t round = 1; round <= kRounds && submit_ok; ++round) {
+    for (size_t i = 0; i < clients.size(); ++i) {
+      std::lock_guard<std::mutex> lock(client_send_mutexes[i]);
+      clients[i].SendFrame(net::Frame{net::FrameType::kRoundAnnouncement, round, {}});
     }
     std::vector<util::Bytes> batch;
     for (auto& c : clients) {
       auto frame = c.RecvFrame();
       if (!frame || frame->type != net::FrameType::kConversationRequest) {
-        return;
+        submit_ok = false;
+        break;
       }
       batch.push_back(std::move(frame->payload));
     }
+    if (!submit_ok) {
+      break;
+    }
     chain->SendFrame(net::Frame{net::FrameType::kBatch, round, net::EncodeBatch(batch)});
-    auto reply = chain->RecvFrame();
-    if (!reply) {
-      return;
-    }
-    auto responses = net::DecodeBatch(reply->payload);
-    if (!responses || responses->size() != clients.size()) {
-      return;
-    }
-    for (size_t i = 0; i < clients.size(); ++i) {
-      clients[i].SendFrame(
-          net::Frame{net::FrameType::kConversationResponse, round, (*responses)[i]});
-    }
+    int in_flight = static_cast<int>(round) - rounds_completed.load();
+    std::printf("  [entry] round %llu submitted (%d rounds in flight)\n",
+                static_cast<unsigned long long>(round), in_flight);
   }
-  chain->SendFrame(net::Frame{net::FrameType::kShutdown, 0, {}});
-  for (auto& c : clients) {
-    c.SendFrame(net::Frame{net::FrameType::kShutdown, 0, {}});
+
+  if (!submit_ok) {
+    // Unblock the collector (it may be waiting on responses that will never
+    // come) before this frame goes out of scope with a joinable thread.
+    chain->Close();
+  }
+  collector.join();
+  if (submit_ok) {
+    chain->SendFrame(net::Frame{net::FrameType::kShutdown, 0, {}});
+  }
+  for (size_t i = 0; i < clients.size(); ++i) {
+    std::lock_guard<std::mutex> lock(client_send_mutexes[i]);
+    clients[i].SendFrame(net::Frame{net::FrameType::kShutdown, 0, {}});
   }
 }
 
 // A real client over TCP: drives a VuvuzelaClient against round
-// announcements.
+// announcements; responses for earlier rounds may arrive after later rounds'
+// announcements (client-side pipelining, §8.3).
 void RunClient(const char* name, client::VuvuzelaClient* vuvuzela, uint16_t entry_port,
                const crypto::X25519PublicKey& partner, const char* to_send) {
   auto conn = net::TcpConnection::Connect("127.0.0.1", entry_port);
@@ -179,8 +264,9 @@ void RunClient(const char* name, client::VuvuzelaClient* vuvuzela, uint16_t entr
 }  // namespace
 
 int main() {
-  std::printf("Vuvuzela over TCP: entry + %zu chain servers + 2 clients on loopback\n\n",
-              kNumServers);
+  std::printf("Vuvuzela over TCP: entry + %zu chain servers + 2 clients on loopback,\n"
+              "rounds pipelined through the chain (%d rounds)\n\n",
+              kNumServers, kRounds);
   util::Xoshiro256Rng rng(20151005);
 
   // Build the chain key material and servers.
@@ -197,6 +283,7 @@ int main() {
     config.chain_length = kNumServers;
     config.conversation_noise = {.params = {8.0, 2.0}, .deterministic = false};
     config.parallel = true;
+    config.exchange_shards = 0;
     crypto::ChaCha20Key seed;
     rng.Fill(seed);
     servers[i].server = std::make_unique<mixnet::MixServer>(config, keys[i], chain_pks, seed);
@@ -209,8 +296,8 @@ int main() {
   }
   for (size_t i = 0; i < kNumServers; ++i) {
     uint16_t next_port = (i + 1 < kNumServers) ? servers[i + 1].listener.port() : 0;
-    servers[i].thread = std::thread(RunChainServer, servers[i].server.get(),
-                                    &servers[i].listener, next_port);
+    servers[i].forward_thread = std::thread(RunChainServer, servers[i].server.get(),
+                                            &servers[i].listener, next_port);
   }
 
   auto entry_listener = net::TcpListener::Listen(0);
@@ -240,8 +327,9 @@ int main() {
   bob_thread.join();
   entry_thread.join();
   for (auto& s : servers) {
-    s.thread.join();
+    s.forward_thread.join();
   }
-  std::printf("\nall %d rounds completed over real sockets.\n", kRounds);
+  std::printf("\nall %d rounds completed over real sockets, pipelined through the chain.\n",
+              kRounds);
   return 0;
 }

@@ -1,7 +1,10 @@
 #include "src/deaddrop/conversation_table.h"
 
+#include <algorithm>
 #include <cstring>
 #include <unordered_map>
+
+#include "src/util/thread_pool.h"
 
 namespace vuvuzela::deaddrop {
 
@@ -17,36 +20,85 @@ struct IdHash {
   }
 };
 
+// Exchanges among the requests named by `indices`, writing each result at its
+// request's global position. Both the sequential and the sharded path funnel
+// through here, so their pairing semantics cannot drift apart.
+void ExchangeSubset(std::span<const wire::ExchangeRequest> requests,
+                    std::span<const uint32_t> indices, std::vector<wire::Envelope>& results,
+                    AccessHistogram& histogram, uint64_t& messages_exchanged) {
+  std::unordered_map<wire::DeadDropId, std::vector<uint32_t>, IdHash> table;
+  table.reserve(indices.size());
+  for (uint32_t i : indices) {
+    table[requests[i].dead_drop].push_back(i);
+  }
+
+  for (const auto& [id, accesses] : table) {
+    if (accesses.size() == 1) {
+      histogram.singles++;
+    } else if (accesses.size() == 2) {
+      histogram.pairs++;
+    } else {
+      histogram.crowded++;
+    }
+    // Swap within consecutive pairs; an odd trailing access echoes back.
+    size_t i = 0;
+    for (; i + 1 < accesses.size(); i += 2) {
+      results[accesses[i]] = requests[accesses[i + 1]].envelope;
+      results[accesses[i + 1]] = requests[accesses[i]].envelope;
+      messages_exchanged += 2;
+    }
+    if (i < accesses.size()) {
+      results[accesses[i]] = requests[accesses[i]].envelope;
+    }
+  }
+}
+
 }  // namespace
 
 ExchangeOutcome ExchangeRound(std::span<const wire::ExchangeRequest> requests) {
   ExchangeOutcome out;
   out.results.resize(requests.size());
 
-  std::unordered_map<wire::DeadDropId, std::vector<size_t>, IdHash> table;
-  table.reserve(requests.size());
-  for (size_t i = 0; i < requests.size(); ++i) {
-    table[requests[i].dead_drop].push_back(i);
+  std::vector<uint32_t> all(requests.size());
+  for (uint32_t i = 0; i < all.size(); ++i) {
+    all[i] = i;
+  }
+  ExchangeSubset(requests, all, out.results, out.histogram, out.messages_exchanged);
+  return out;
+}
+
+ExchangeOutcome ShardedExchangeRound(std::span<const wire::ExchangeRequest> requests,
+                                     size_t num_shards) {
+  if (num_shards <= 1 || requests.size() < 2 * num_shards) {
+    return ExchangeRound(requests);
+  }
+  // Partition on the leading 16 bits of the ID so every access to a drop
+  // lands in exactly one shard.
+  num_shards = std::min<size_t>(num_shards, 1u << 16);
+  std::vector<std::vector<uint32_t>> buckets(num_shards);
+  for (auto& b : buckets) {
+    b.reserve(requests.size() / num_shards + 1);
+  }
+  for (uint32_t i = 0; i < requests.size(); ++i) {
+    const wire::DeadDropId& id = requests[i].dead_drop;
+    size_t prefix = (static_cast<size_t>(id[0]) << 8) | id[1];
+    buckets[prefix * num_shards >> 16].push_back(i);
   }
 
-  for (const auto& [id, accesses] : table) {
-    if (accesses.size() == 1) {
-      out.histogram.singles++;
-    } else if (accesses.size() == 2) {
-      out.histogram.pairs++;
-    } else {
-      out.histogram.crowded++;
-    }
-    // Swap within consecutive pairs; an odd trailing access echoes back.
-    size_t i = 0;
-    for (; i + 1 < accesses.size(); i += 2) {
-      out.results[accesses[i]] = requests[accesses[i + 1]].envelope;
-      out.results[accesses[i + 1]] = requests[accesses[i]].envelope;
-      out.messages_exchanged += 2;
-    }
-    if (i < accesses.size()) {
-      out.results[accesses[i]] = requests[accesses[i]].envelope;
-    }
+  ExchangeOutcome out;
+  out.results.resize(requests.size());
+  std::vector<AccessHistogram> histograms(num_shards);
+  std::vector<uint64_t> exchanged(num_shards, 0);
+  // Shards write disjoint slots of out.results, so no locking is needed.
+  util::GlobalPool().ParallelFor(num_shards, [&](size_t s) {
+    ExchangeSubset(requests, buckets[s], out.results, histograms[s], exchanged[s]);
+  });
+
+  for (size_t s = 0; s < num_shards; ++s) {
+    out.histogram.singles += histograms[s].singles;
+    out.histogram.pairs += histograms[s].pairs;
+    out.histogram.crowded += histograms[s].crowded;
+    out.messages_exchanged += exchanged[s];
   }
   return out;
 }

@@ -41,6 +41,16 @@ struct ExchangeOutcome {
 // paired in input order; an odd request out receives its own envelope.
 ExchangeOutcome ExchangeRound(std::span<const wire::ExchangeRequest> requests);
 
+// Same exchange, partitioned by dead-drop ID prefix across `num_shards`
+// workers of the global thread pool. IDs are uniform hash outputs, so prefix
+// sharding balances the load; all accesses to one drop land in one shard, so
+// the outcome (results, histogram, messages_exchanged) is byte-identical to
+// the sequential path. This is what keeps the last-hop server from being
+// single-threaded at the dead-drop stage (the one stage §8.2's per-request
+// parallelism does not cover). `num_shards <= 1` falls back to ExchangeRound.
+ExchangeOutcome ShardedExchangeRound(std::span<const wire::ExchangeRequest> requests,
+                                     size_t num_shards);
+
 }  // namespace vuvuzela::deaddrop
 
 #endif  // VUVUZELA_SRC_DEADDROP_CONVERSATION_TABLE_H_

@@ -1,0 +1,395 @@
+#include "src/engine/round_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace vuvuzela::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+// --- StageWorker ------------------------------------------------------------
+
+RoundScheduler::StageWorker::StageWorker() : thread_([this] { Loop(); }) {}
+
+RoundScheduler::StageWorker::~StageWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void RoundScheduler::StageWorker::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void RoundScheduler::StageWorker::Loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop requested and queue drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+// --- Round contexts ---------------------------------------------------------
+
+struct RoundScheduler::ConversationContext {
+  uint64_t round = 0;
+  std::vector<util::Bytes> batch;
+  mixnet::Chain::ConversationResult result;
+  std::promise<mixnet::Chain::ConversationResult> promise;
+  Clock::time_point submitted;
+  Clock::time_point forward_start;
+  Clock::time_point backward_start;
+};
+
+struct RoundScheduler::DialingContext {
+  uint64_t round = 0;
+  uint32_t num_drops = 0;
+  std::vector<util::Bytes> batch;
+  // DialingResult has no default constructor (the table needs a drop
+  // count), so its parts live here until the last hop assembles it.
+  mixnet::RoundStats stats;
+  std::promise<mixnet::Chain::DialingResult> promise;
+  Clock::time_point forward_start;
+};
+
+// --- RoundScheduler ---------------------------------------------------------
+
+RoundScheduler::RoundScheduler(mixnet::Chain& chain, SchedulerConfig config)
+    : chain_(chain), config_(config) {
+  if (config_.max_in_flight == 0) {
+    throw std::invalid_argument("RoundScheduler: max_in_flight must be >= 1");
+  }
+  if (config_.expire_keep == 0) {
+    config_.expire_keep = 2 * config_.max_in_flight + 2;
+  }
+  if (config_.expire_keep < config_.max_in_flight) {
+    throw std::invalid_argument("RoundScheduler: expire_keep must cover the in-flight window");
+  }
+  workers_.reserve(chain_.size());
+  for (size_t i = 0; i < chain_.size(); ++i) {
+    workers_.push_back(std::make_unique<StageWorker>());
+  }
+}
+
+RoundScheduler::~RoundScheduler() {
+  Drain();
+  workers_.clear();  // joins the stage threads
+}
+
+void RoundScheduler::Admit() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  admit_cv_.wait(lock, [this] { return in_flight_ < config_.max_in_flight; });
+  ++in_flight_;
+  stats_.max_observed_in_flight = std::max(stats_.max_observed_in_flight, in_flight_);
+}
+
+void RoundScheduler::Release(bool failed, double latency_seconds, bool dialing) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_;
+    if (failed) {
+      ++stats_.rounds_failed;
+    } else if (dialing) {
+      ++stats_.dialing_rounds_completed;
+    } else {
+      ++stats_.conversation_rounds_completed;
+      stats_.total_conversation_latency_seconds += latency_seconds;
+    }
+  }
+  admit_cv_.notify_one();
+  drain_cv_.notify_all();
+}
+
+void RoundScheduler::RemoveActiveRound(uint64_t round) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = active_conversation_rounds_.find(round);
+  if (it != active_conversation_rounds_.end()) {
+    active_conversation_rounds_.erase(it);
+  }
+}
+
+uint64_t RoundScheduler::ExpiryHorizon() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_conversation_rounds_.empty() ? newest_conversation_round_
+                                             : *active_conversation_rounds_.begin();
+}
+
+void RoundScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+size_t RoundScheduler::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+SchedulerStats RoundScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+// Failure paths mirror the completion path's ordering: account the round
+// first, then surface the exception, so future.get() never observes stale
+// scheduler state.
+void RoundScheduler::FailConversation(std::shared_ptr<ConversationContext> ctx,
+                                      std::exception_ptr error) {
+  RemoveActiveRound(ctx->round);
+  Release(/*failed=*/true, 0.0, /*dialing=*/false);
+  ctx->promise.set_exception(std::move(error));
+}
+
+void RoundScheduler::FailDialing(std::shared_ptr<DialingContext> ctx, std::exception_ptr error) {
+  Release(/*failed=*/true, 0.0, /*dialing=*/true);
+  ctx->promise.set_exception(std::move(error));
+}
+
+// --- Conversation pipeline --------------------------------------------------
+
+std::future<mixnet::Chain::ConversationResult> RoundScheduler::SubmitConversation(
+    uint64_t round, std::vector<util::Bytes> onions) {
+  Admit();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    newest_conversation_round_ = std::max(newest_conversation_round_, round);
+    active_conversation_rounds_.insert(round);
+  }
+
+  auto ctx = std::make_shared<ConversationContext>();
+  ctx->round = round;
+  ctx->batch = std::move(onions);
+  ctx->result.stats.forward.resize(chain_.size());
+  ctx->result.stats.backward.resize(chain_.size() > 0 ? chain_.size() - 1 : 0);
+  ctx->submitted = Clock::now();
+  ctx->forward_start = ctx->submitted;
+  std::future<mixnet::Chain::ConversationResult> future = ctx->promise.get_future();
+
+  if (chain_.size() == 1) {
+    PostConversationLastHop(std::move(ctx));
+  } else {
+    PostConversationForward(std::move(ctx), 0);
+  }
+  return future;
+}
+
+void RoundScheduler::PostConversationForward(std::shared_ptr<ConversationContext> ctx,
+                                             size_t position) {
+  workers_[position]->Post([this, ctx = std::move(ctx), position]() mutable {
+    mixnet::MixServer& server = chain_.server(position);
+    try {
+      // Shed state from rounds abandoned mid-pipeline before taking on
+      // more. The horizon is the oldest round still in flight, so a live
+      // round can never be expired, whatever the round numbering gaps.
+      server.ExpireRounds(ExpiryHorizon(), config_.expire_keep);
+
+      mixnet::ChainObserver* observer = chain_.observer();
+      std::vector<util::Bytes> input_copy;
+      if (observer) {
+        input_copy = ctx->batch;
+      }
+      ctx->batch = server.ForwardConversation(ctx->round, std::move(ctx->batch),
+                                              &ctx->result.stats.forward[position]);
+      if (observer) {
+        observer->OnForwardPass(position, ctx->round, input_copy, ctx->batch);
+      }
+    } catch (...) {
+      FailConversation(std::move(ctx), std::current_exception());
+      return;
+    }
+    if (position + 2 == chain_.size()) {
+      PostConversationLastHop(std::move(ctx));
+    } else {
+      PostConversationForward(std::move(ctx), position + 1);
+    }
+  });
+}
+
+void RoundScheduler::PostConversationLastHop(std::shared_ptr<ConversationContext> ctx) {
+  size_t last = chain_.size() - 1;
+  workers_[last]->Post([this, ctx = std::move(ctx), last]() mutable {
+    try {
+      mixnet::ChainObserver* observer = chain_.observer();
+      std::vector<util::Bytes> input_copy;
+      if (observer) {
+        input_copy = ctx->batch;
+      }
+      mixnet::MixServer::LastServerResult last_result =
+          chain_.server(last).ProcessConversationLastHop(ctx->round, std::move(ctx->batch),
+                                                         &ctx->result.stats.forward[last]);
+      ctx->result.histogram = last_result.histogram;
+      ctx->result.messages_exchanged = last_result.messages_exchanged;
+      ctx->batch = std::move(last_result.responses);
+      if (observer) {
+        observer->OnForwardPass(last, ctx->round, input_copy, ctx->batch);
+        observer->OnDeadDrops(ctx->round, ctx->result.histogram);
+      }
+      ctx->result.stats.forward_seconds = SecondsSince(ctx->forward_start);
+      ctx->backward_start = Clock::now();
+    } catch (...) {
+      FailConversation(std::move(ctx), std::current_exception());
+      return;
+    }
+    if (last == 0) {
+      CompleteConversation(std::move(ctx));
+    } else {
+      PostConversationBackward(std::move(ctx), last - 1);
+    }
+  });
+}
+
+void RoundScheduler::PostConversationBackward(std::shared_ptr<ConversationContext> ctx,
+                                              size_t position) {
+  workers_[position]->Post([this, ctx = std::move(ctx), position]() mutable {
+    try {
+      ctx->batch = chain_.server(position).BackwardConversation(
+          ctx->round, std::move(ctx->batch), &ctx->result.stats.backward[position]);
+    } catch (...) {
+      FailConversation(std::move(ctx), std::current_exception());
+      return;
+    }
+    if (position == 0) {
+      CompleteConversation(std::move(ctx));
+    } else {
+      PostConversationBackward(std::move(ctx), position - 1);
+    }
+  });
+}
+
+void RoundScheduler::CompleteConversation(std::shared_ptr<ConversationContext> ctx) {
+  ctx->result.stats.backward_seconds = SecondsSince(ctx->backward_start);
+  ctx->result.responses = std::move(ctx->batch);
+  double latency = SecondsSince(ctx->submitted);
+  // Release before fulfilling the promise: a caller woken by future.get()
+  // must observe the round already counted in stats() and in_flight().
+  RemoveActiveRound(ctx->round);
+  Release(/*failed=*/false, latency, /*dialing=*/false);
+  ctx->promise.set_value(std::move(ctx->result));
+}
+
+// --- Dialing pipeline -------------------------------------------------------
+
+std::future<mixnet::Chain::DialingResult> RoundScheduler::SubmitDialing(
+    uint64_t round, std::vector<util::Bytes> onions, uint32_t num_drops) {
+  Admit();
+
+  auto ctx = std::make_shared<DialingContext>();
+  ctx->round = round;
+  ctx->num_drops = num_drops;
+  ctx->batch = std::move(onions);
+  ctx->stats.forward.resize(chain_.size());
+  ctx->forward_start = Clock::now();
+  std::future<mixnet::Chain::DialingResult> future = ctx->promise.get_future();
+
+  if (chain_.size() == 1) {
+    PostDialingLastHop(std::move(ctx));
+  } else {
+    PostDialingForward(std::move(ctx), 0);
+  }
+  return future;
+}
+
+void RoundScheduler::PostDialingForward(std::shared_ptr<DialingContext> ctx, size_t position) {
+  workers_[position]->Post([this, ctx = std::move(ctx), position]() mutable {
+    try {
+      mixnet::ChainObserver* observer = chain_.observer();
+      std::vector<util::Bytes> input_copy;
+      if (observer) {
+        input_copy = ctx->batch;
+      }
+      ctx->batch =
+          chain_.server(position).ForwardDialing(ctx->round, std::move(ctx->batch),
+                                                 ctx->num_drops, &ctx->stats.forward[position]);
+      if (observer) {
+        observer->OnForwardPass(position, ctx->round, input_copy, ctx->batch);
+      }
+    } catch (...) {
+      FailDialing(std::move(ctx), std::current_exception());
+      return;
+    }
+    if (position + 2 == chain_.size()) {
+      PostDialingLastHop(std::move(ctx));
+    } else {
+      PostDialingForward(std::move(ctx), position + 1);
+    }
+  });
+}
+
+void RoundScheduler::PostDialingLastHop(std::shared_ptr<DialingContext> ctx) {
+  size_t last = chain_.size() - 1;
+  workers_[last]->Post([this, ctx = std::move(ctx), last]() mutable {
+    deaddrop::InvitationTable table(1);
+    try {
+      table = chain_.server(last).ProcessDialingLastHop(ctx->round, std::move(ctx->batch),
+                                                        ctx->num_drops, &ctx->stats.forward[last]);
+      ctx->stats.forward_seconds = SecondsSince(ctx->forward_start);
+    } catch (...) {
+      FailDialing(std::move(ctx), std::current_exception());
+      return;
+    }
+    Release(/*failed=*/false, 0.0, /*dialing=*/true);
+    ctx->promise.set_value(mixnet::Chain::DialingResult{std::move(table), std::move(ctx->stats)});
+  });
+}
+
+// --- Schedule driver --------------------------------------------------------
+
+RoundScheduler::ScheduleResult RoundScheduler::RunSchedule(
+    coord::RoundSchedule& schedule, uint64_t total_rounds,
+    const std::function<std::vector<util::Bytes>(const wire::RoundAnnouncement&)>& workload) {
+  ScheduleResult out;
+  std::vector<std::future<mixnet::Chain::ConversationResult>> conversation_futures;
+  std::vector<std::future<mixnet::Chain::DialingResult>> dialing_futures;
+
+  auto start = Clock::now();
+  for (uint64_t i = 0; i < total_rounds; ++i) {
+    wire::RoundAnnouncement announcement = schedule.Next();
+    std::vector<util::Bytes> onions = workload(announcement);
+    if (announcement.type == wire::RoundType::kConversation) {
+      conversation_futures.push_back(SubmitConversation(announcement.round, std::move(onions)));
+    } else {
+      dialing_futures.push_back(
+          SubmitDialing(announcement.round, std::move(onions), announcement.num_dial_dead_drops));
+    }
+  }
+  Drain();
+  out.wall_seconds = SecondsSince(start);
+
+  out.conversation_rounds = conversation_futures.size();
+  out.dialing_rounds = dialing_futures.size();
+  for (auto& f : conversation_futures) {
+    out.messages_exchanged += f.get().messages_exchanged;
+  }
+  for (auto& f : dialing_futures) {
+    f.get();  // propagate failures
+  }
+  out.messages_per_second =
+      out.wall_seconds > 0 ? static_cast<double>(out.messages_exchanged) / out.wall_seconds : 0.0;
+  return out;
+}
+
+}  // namespace vuvuzela::engine

@@ -1,0 +1,172 @@
+// Pipelined round engine (§8.3).
+//
+// The paper's headline throughput (68,000 messages/sec at 1M users) does not
+// come from making one round faster — a round is latency-bound by the chain's
+// sequential passes — but from overlapping rounds: "the Vuvuzela servers
+// pipeline rounds: while the first server is collecting messages for one
+// round, other servers process previous rounds" (§8.3). The seed's Chain is
+// lock-step: RunConversationRound occupies every server for the whole round.
+//
+// RoundScheduler gives each server its own stage worker thread and moves a
+// round across them: round r's forward pass at server 1 runs concurrently
+// with round r+1's forward pass at server 0 and round r-1's return pass.
+// Within one server, passes stay serialized (the §8.2 constraint: a server
+// cannot start a pass until it has the previous hop's whole batch), which a
+// single worker thread per server enforces by construction. Per-request
+// crypto inside a pass still fans out over util::GlobalPool(), and the last
+// hop's dead-drop exchange is sharded (deaddrop::ShardedExchangeRound), so
+// the engine composes three layers of parallelism: cross-round pipelining,
+// per-request crypto, and sharded exchange.
+//
+// At most `max_in_flight` (K) rounds are admitted at once; Submit* blocks
+// when the pipeline is full, which is the backpressure the paper gets from
+// its fixed round epoch. Forward stages expire stalled per-round state
+// (MixServer::ExpireRounds) as newer rounds flow through, so a round
+// abandoned mid-pipeline — a crashed downstream server, a DoS — cannot pin
+// server memory.
+
+#ifndef VUVUZELA_SRC_ENGINE_ROUND_SCHEDULER_H_
+#define VUVUZELA_SRC_ENGINE_ROUND_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/coord/coordinator.h"
+#include "src/mixnet/chain.h"
+
+namespace vuvuzela::engine {
+
+struct SchedulerConfig {
+  // K: rounds admitted into the pipeline at once. 1 degenerates to the
+  // lock-step driver; the paper's deployment keeps a few rounds in flight
+  // (one per chain stage plus the collection window).
+  size_t max_in_flight = 3;
+  // Forward stages drop per-round state older than this many conversation
+  // rounds behind the newest admitted round. 0 derives a safe default
+  // (2*K + 2, so in-flight rounds are never expired).
+  uint64_t expire_keep = 0;
+};
+
+// Aggregate counters; one snapshot is cheap and thread-safe to take.
+struct SchedulerStats {
+  uint64_t conversation_rounds_completed = 0;
+  uint64_t dialing_rounds_completed = 0;
+  uint64_t rounds_failed = 0;
+  size_t max_observed_in_flight = 0;
+  // Sum over completed conversation rounds of submit→complete latency.
+  double total_conversation_latency_seconds = 0.0;
+};
+
+class RoundScheduler {
+ public:
+  // The chain must outlive the scheduler. The chain's observer (if any) is
+  // invoked from stage worker threads: per-server callbacks are serialized,
+  // but callbacks for different servers run concurrently.
+  explicit RoundScheduler(mixnet::Chain& chain, SchedulerConfig config = {});
+  ~RoundScheduler();
+
+  RoundScheduler(const RoundScheduler&) = delete;
+  RoundScheduler& operator=(const RoundScheduler&) = delete;
+
+  // Admits a conversation round. Blocks while K rounds are in flight.
+  // Conversation round numbers should be monotonically increasing across
+  // calls (they drive state expiry; coord::RoundSchedule produces exactly
+  // that). Expiry is measured from the oldest round still in flight, so
+  // gaps in the numbering can never expire a live round.
+  std::future<mixnet::Chain::ConversationResult> SubmitConversation(
+      uint64_t round, std::vector<util::Bytes> onions);
+
+  // Admits a dialing round (forward-only; §5.5). Blocks while K rounds are
+  // in flight. Dialing round numbers live in their own space
+  // (coord::kDialingRoundBase) and do not participate in expiry.
+  std::future<mixnet::Chain::DialingResult> SubmitDialing(uint64_t round,
+                                                          std::vector<util::Bytes> onions,
+                                                          uint32_t num_drops);
+
+  // Blocks until every admitted round has completed (or failed).
+  void Drain();
+
+  size_t in_flight() const;
+  SchedulerStats stats() const;
+
+  // Schedule-interleave driver: announces `total_rounds` rounds from
+  // `schedule` — interleaving a dialing round every
+  // `schedule.conversation_rounds_per_dialing_round` conversation rounds —
+  // feeding each from `workload`, keeping K in flight, and draining at the
+  // end. (The benches use their own drivers in bench/round_runner.h, which
+  // additionally model the per-round client collection window.)
+  struct ScheduleResult {
+    uint64_t conversation_rounds = 0;
+    uint64_t dialing_rounds = 0;
+    uint64_t messages_exchanged = 0;
+    double wall_seconds = 0.0;
+    // messages_exchanged / wall_seconds; the paper's throughput metric.
+    double messages_per_second = 0.0;
+  };
+  ScheduleResult RunSchedule(
+      coord::RoundSchedule& schedule, uint64_t total_rounds,
+      const std::function<std::vector<util::Bytes>(const wire::RoundAnnouncement&)>& workload);
+
+ private:
+  // One queue+thread per server: the stage-serialization unit.
+  class StageWorker {
+   public:
+    StageWorker();
+    ~StageWorker();
+    void Post(std::function<void()> fn);
+
+   private:
+    void Loop();
+
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+  };
+
+  struct ConversationContext;
+  struct DialingContext;
+
+  void Admit();
+  void Release(bool failed, double latency_seconds, bool dialing);
+  void RemoveActiveRound(uint64_t round);
+  // The round number expiry is measured against: the oldest conversation
+  // round still in flight (never expires live state), or the newest
+  // submitted round when nothing is in flight.
+  uint64_t ExpiryHorizon() const;
+
+  void PostConversationForward(std::shared_ptr<ConversationContext> ctx, size_t position);
+  void PostConversationLastHop(std::shared_ptr<ConversationContext> ctx);
+  void PostConversationBackward(std::shared_ptr<ConversationContext> ctx, size_t position);
+  void CompleteConversation(std::shared_ptr<ConversationContext> ctx);
+  void FailConversation(std::shared_ptr<ConversationContext> ctx, std::exception_ptr error);
+
+  void PostDialingForward(std::shared_ptr<DialingContext> ctx, size_t position);
+  void PostDialingLastHop(std::shared_ptr<DialingContext> ctx);
+  void FailDialing(std::shared_ptr<DialingContext> ctx, std::exception_ptr error);
+
+  mixnet::Chain& chain_;
+  SchedulerConfig config_;
+  std::vector<std::unique_ptr<StageWorker>> workers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable admit_cv_;
+  std::condition_variable drain_cv_;
+  size_t in_flight_ = 0;
+  uint64_t newest_conversation_round_ = 0;
+  std::multiset<uint64_t> active_conversation_rounds_;
+  SchedulerStats stats_;
+};
+
+}  // namespace vuvuzela::engine
+
+#endif  // VUVUZELA_SRC_ENGINE_ROUND_SCHEDULER_H_

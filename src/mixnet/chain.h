@@ -47,6 +47,8 @@ struct ChainConfig {
   noise::NoiseConfig conversation_noise;
   noise::NoiseConfig dialing_noise;
   bool parallel = true;
+  // Dead-drop exchange shards at the last server (see MixServerConfig).
+  size_t exchange_shards = 1;
   // Positions whose servers skip mixing (modeling compromised servers that
   // preserve order to aid traffic analysis). Honest deployments leave this
   // empty.
@@ -74,6 +76,7 @@ class Chain {
   MixServer& server(size_t i) { return *servers_[i]; }
 
   void set_observer(ChainObserver* observer) { observer_ = observer; }
+  ChainObserver* observer() const { return observer_; }
 
   struct ConversationResult {
     // responses[i] answers onions[i]; onion-sealed once per server.

@@ -256,7 +256,12 @@ MixServer::LastServerResult MixServer::ProcessConversationLastHop(uint64_t round
   }
   local.requests_dropped = unwrapped.dropped;
 
-  deaddrop::ExchangeOutcome outcome = deaddrop::ExchangeRound(requests);
+  size_t shards = 1;
+  if (config_.parallel) {
+    shards = config_.exchange_shards == 0 ? util::GlobalPool().num_threads()
+                                          : config_.exchange_shards;
+  }
+  deaddrop::ExchangeOutcome outcome = deaddrop::ShardedExchangeRound(requests, shards);
 
   LastServerResult result;
   result.histogram = outcome.histogram;

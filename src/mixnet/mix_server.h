@@ -39,6 +39,10 @@ struct MixServerConfig {
   // When false, skips ParallelFor and processes requests on the calling
   // thread (deterministic ordering for tests).
   bool parallel = true;
+  // Shards for the last server's dead-drop exchange (partitioned by ID
+  // prefix; byte-identical outcome for any value). 0 means one shard per
+  // pool worker; requires `parallel`.
+  size_t exchange_shards = 1;
   // A server under adversarial control may skip mixing; tests use this to
   // model compromise (§4.2 attack scenarios). Honest servers always mix.
   bool mix = true;

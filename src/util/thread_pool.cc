@@ -65,6 +65,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   struct Shared {
     std::atomic<size_t> next_shard{0};
     std::atomic<size_t> done{0};
+    std::atomic<bool> cancelled{false};
     std::exception_ptr error;
     std::mutex error_mutex;
     std::mutex done_mutex;
@@ -83,9 +84,15 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       size_t end = std::min(n, begin + chunk);
       try {
         for (size_t i = begin; i < end; ++i) {
+          // After any shard throws, the batch's result is the exception;
+          // grinding through the rest only wastes cycles, so bail out.
+          if (shared->cancelled.load(std::memory_order_relaxed)) {
+            break;
+          }
           fn(i);
         }
       } catch (...) {
+        shared->cancelled.store(true, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(shared->error_mutex);
         if (!shared->error) {
           shared->error = std::current_exception();

@@ -31,7 +31,8 @@ class ThreadPool {
 
   // Runs fn(i) for i in [0, n), sharded over the workers, and blocks until all
   // iterations complete. Exceptions from `fn` propagate to the caller (the
-  // first one wins).
+  // first one wins); once any iteration throws, the remaining iterations are
+  // cancelled, so a poisoned batch fails fast instead of grinding to the end.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:

@@ -94,6 +94,91 @@ TEST(ExchangeRound, LargeRoundHistogramAddsUp) {
   EXPECT_EQ(out.messages_exchanged, 200u);
 }
 
+// Builds a mixed workload of paired, single, and crowded drops with
+// pseudorandom (hash-like) IDs, as the last server sees in production.
+std::vector<wire::ExchangeRequest> RandomWorkload(uint64_t seed, size_t pairs, size_t singles,
+                                                  size_t crowded) {
+  util::Xoshiro256Rng rng(seed);
+  std::vector<wire::ExchangeRequest> requests;
+  for (size_t i = 0; i < pairs; ++i) {
+    wire::ExchangeRequest a, b;
+    rng.Fill(a.dead_drop);
+    b.dead_drop = a.dead_drop;
+    rng.Fill(a.envelope);
+    rng.Fill(b.envelope);
+    requests.push_back(a);
+    requests.push_back(b);
+  }
+  for (size_t i = 0; i < singles; ++i) {
+    wire::ExchangeRequest a;
+    rng.Fill(a.dead_drop);
+    rng.Fill(a.envelope);
+    requests.push_back(a);
+  }
+  for (size_t i = 0; i < crowded; ++i) {
+    wire::ExchangeRequest a;
+    rng.Fill(a.dead_drop);
+    for (int k = 0; k < 3; ++k) {
+      rng.Fill(a.envelope);
+      requests.push_back(a);
+    }
+  }
+  // Interleave so shard buckets see non-contiguous accesses.
+  std::vector<uint32_t> perm(requests.size());
+  for (uint32_t i = 0; i < perm.size(); ++i) {
+    perm[i] = i;
+  }
+  for (size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.UniformUint64(i)]);
+  }
+  std::vector<wire::ExchangeRequest> shuffled(requests.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    shuffled[i] = requests[perm[i]];
+  }
+  return shuffled;
+}
+
+void ExpectSameOutcome(const ExchangeOutcome& a, const ExchangeOutcome& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    ASSERT_EQ(a.results[i], b.results[i]) << "result " << i << " diverges";
+  }
+  EXPECT_EQ(a.histogram.singles, b.histogram.singles);
+  EXPECT_EQ(a.histogram.pairs, b.histogram.pairs);
+  EXPECT_EQ(a.histogram.crowded, b.histogram.crowded);
+  EXPECT_EQ(a.messages_exchanged, b.messages_exchanged);
+}
+
+TEST(ShardedExchangeRound, ByteIdenticalToSequential) {
+  std::vector<wire::ExchangeRequest> requests = RandomWorkload(11, 400, 150, 20);
+  ExchangeOutcome sequential = ExchangeRound(requests);
+  for (size_t shards : {2u, 3u, 8u, 64u}) {
+    ExchangeOutcome sharded = ShardedExchangeRound(requests, shards);
+    ExpectSameOutcome(sequential, sharded);
+  }
+}
+
+TEST(ShardedExchangeRound, MoreShardsThanRequestsFallsBack) {
+  std::vector<wire::ExchangeRequest> requests = RandomWorkload(12, 3, 2, 0);
+  ExpectSameOutcome(ExchangeRound(requests), ShardedExchangeRound(requests, 64));
+}
+
+TEST(ShardedExchangeRound, EmptyRound) {
+  ExchangeOutcome out = ShardedExchangeRound({}, 8);
+  EXPECT_TRUE(out.results.empty());
+  EXPECT_EQ(out.messages_exchanged, 0u);
+}
+
+TEST(ShardedExchangeRound, AdversarialSameIdLoad) {
+  // Every request hits the same drop: one shard takes the whole load; the
+  // outcome must still match the sequential pairing-in-input-order rule.
+  std::vector<wire::ExchangeRequest> requests;
+  for (int i = 0; i < 101; ++i) {
+    requests.push_back(MakeRequest(42, static_cast<uint8_t>(i)));
+  }
+  ExpectSameOutcome(ExchangeRound(requests), ShardedExchangeRound(requests, 16));
+}
+
 TEST(InvitationDropForKey, StableAndInRange) {
   util::Xoshiro256Rng rng(6);
   crypto::X25519PublicKey pk;

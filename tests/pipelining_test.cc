@@ -5,9 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <condition_variable>
+#include <future>
+#include <mutex>
+
 #include "src/conversation/protocol.h"
 #include "src/crypto/onion.h"
 #include "src/dialing/protocol.h"
+#include "src/engine/round_scheduler.h"
 #include "src/mixnet/chain.h"
 #include "src/util/random.h"
 
@@ -136,6 +141,108 @@ TEST_F(PipeliningTest, DialingInterleavedWithConversations) {
   auto responses = chain_->server(1).BackwardConversation(5, std::move(result.responses));
   responses = chain_->server(0).BackwardConversation(5, std::move(responses));
   CheckDelivery(conv, responses);
+}
+
+// Blocks every round at server 0's forward pass until released, forcing a
+// deterministic number of rounds to pile up inside the scheduler.
+class GateObserver : public ChainObserver {
+ public:
+  void OnForwardPass(size_t position, uint64_t, const std::vector<util::Bytes>&,
+                     const std::vector<util::Bytes>&) override {
+    if (position != 0) {
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return permits_ > 0; });
+    --permits_;
+  }
+
+  void Release(size_t count) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      permits_ += count;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t permits_ = 0;
+};
+
+TEST_F(PipeliningTest, SchedulerKeepsKRoundsInFlight) {
+  GateObserver gate;
+  chain_->set_observer(&gate);
+  engine::RoundScheduler scheduler(*chain_, {.max_in_flight = 3});
+
+  std::vector<PreparedRound> preps;
+  std::vector<std::future<Chain::ConversationResult>> futures;
+  for (uint64_t round = 1; round <= 3; ++round) {
+    preps.push_back(Prepare(round));
+    futures.push_back(scheduler.SubmitConversation(
+        round, {preps.back().alice_onion.data, preps.back().bob_onion.data}));
+  }
+  // All three rounds were admitted without blocking; none can pass server 0
+  // until the gate opens, so the pipeline is provably holding K rounds.
+  EXPECT_EQ(scheduler.in_flight(), 3u);
+
+  gate.Release(100);
+  scheduler.Drain();
+  chain_->set_observer(nullptr);
+
+  EXPECT_EQ(scheduler.stats().max_observed_in_flight, 3u);
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Chain::ConversationResult result = futures[i].get();
+    CheckDelivery(preps[i], result.responses);
+  }
+  EXPECT_EQ(chain_->server(0).pending_rounds(), 0u);
+  EXPECT_EQ(chain_->server(1).pending_rounds(), 0u);
+}
+
+TEST_F(PipeliningTest, SchedulerPreservesPerRoundIsolationAcrossManyRounds) {
+  engine::RoundScheduler scheduler(*chain_, {.max_in_flight = 4});
+  std::vector<PreparedRound> preps;
+  std::vector<std::future<Chain::ConversationResult>> futures;
+  for (uint64_t round = 1; round <= 16; ++round) {
+    preps.push_back(Prepare(round));
+    futures.push_back(scheduler.SubmitConversation(
+        round, {preps.back().alice_onion.data, preps.back().bob_onion.data}));
+  }
+  scheduler.Drain();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Chain::ConversationResult result = futures[i].get();
+    CheckDelivery(preps[i], result.responses);
+    EXPECT_GE(result.messages_exchanged, 2u) << "round " << preps[i].round;
+  }
+  auto stats = scheduler.stats();
+  EXPECT_EQ(stats.conversation_rounds_completed, 16u);
+  EXPECT_EQ(stats.rounds_failed, 0u);
+  EXPECT_EQ(chain_->server(0).pending_rounds(), 0u);
+  EXPECT_EQ(chain_->server(1).pending_rounds(), 0u);
+}
+
+TEST_F(PipeliningTest, SchedulerInterleavesDialingWithConversations) {
+  engine::RoundScheduler scheduler(*chain_, {.max_in_flight = 3});
+
+  PreparedRound conv = Prepare(7);
+  auto conv_future = scheduler.SubmitConversation(
+      7, {conv.alice_onion.data, conv.bob_onion.data});
+
+  dialing::RoundConfig dial_config{.num_real_drops = 1};
+  wire::DialRequest dial =
+      dialing::BuildDialRequest(dial_config, alice_.public_key, bob_.public_key, rng_);
+  uint64_t dial_round = coord::kDialingRoundBase;
+  auto dial_onion = crypto::OnionWrap(chain_->public_keys(), dial_round, dial.Serialize(), rng_);
+  auto dial_future =
+      scheduler.SubmitDialing(dial_round, {dial_onion.data}, dial_config.total_drops());
+
+  Chain::DialingResult dial_result = dial_future.get();
+  auto callers = dialing::ScanInvitations(bob_, dial_result.table.Drop(0));
+  ASSERT_EQ(callers.size(), 1u);
+
+  CheckDelivery(conv, conv_future.get().responses);
+  EXPECT_EQ(scheduler.stats().dialing_rounds_completed, 1u);
 }
 
 }  // namespace

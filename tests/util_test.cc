@@ -198,6 +198,56 @@ TEST(ThreadPool, PropagatesExceptions) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, ExceptionCancelsRemainingWork) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 100000;
+  std::atomic<size_t> executed{0};
+  EXPECT_THROW(pool.ParallelFor(kN,
+                                [&](size_t i) {
+                                  if (i == 0) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                  executed.fetch_add(1, std::memory_order_relaxed);
+                                }),
+               std::runtime_error);
+  // Without cancellation every non-throwing index runs (kN - 1); with it, the
+  // shards still in flight when the exception landed stop early.
+  EXPECT_LT(executed.load(), kN - 1);
+}
+
+TEST(ThreadPool, ExceptionFromLastShardStillPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [](size_t i) {
+                                  if (i == 63) {
+                                    throw std::logic_error("tail");
+                                  }
+                                }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(4,
+                                [&](size_t) {
+                                  pool.ParallelFor(16, [](size_t j) {
+                                    if (j == 3) {
+                                      throw std::logic_error("inner");
+                                    }
+                                  });
+                                }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(8, [](size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.ParallelFor(100, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
 TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
   ThreadPool pool(2);
   std::atomic<int> count{0};

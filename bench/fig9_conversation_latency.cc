@@ -87,15 +87,49 @@ void PrintPipelineSection() {
               "   window, s+ cores let every chain stage compute concurrently.)\n");
 }
 
+void PrintTransportSection() {
+  bench::PrintHeader("TRANSPORT", "in-process vs loopback-TCP hops at the same K (§7)");
+  const uint64_t kUsers = 10000;
+  const double kMu = 3000;
+  const uint64_t kRounds = 6;
+  const size_t kInFlight = 3;
+  std::printf("  workload: %llu users, mu=%s, %llu rounds, K=%zu, 3 servers\n",
+              static_cast<unsigned long long>(kUsers), bench::Human(kMu).c_str(),
+              static_cast<unsigned long long>(kRounds), kInFlight);
+  // Warm-up, then each backend on the identical engine discipline. The TCP
+  // rows pay serialization + loopback copies on every pass — the wire
+  // overhead a real multi-process deployment adds before network latency.
+  bench::RunPipelinedConversationRounds(kUsers, 3, kMu, 1, kInFlight, 4242);
+  bench::MultiRound local =
+      bench::RunPipelinedConversationRounds(kUsers, 3, kMu, kRounds, kInFlight, 4242);
+  bench::MultiRound tcp =
+      bench::RunTcpPipelinedConversationRounds(kUsers, 3, kMu, kRounds, kInFlight, 4242);
+  std::printf("  %-26s %10s %14s %16s\n", "hop transport", "wall (s)", "msgs/sec",
+              "round latency (s)");
+  std::printf("  %-26s %10.3f %14.0f %16.3f\n", "in-process (Local)", local.wall_seconds,
+              local.messages_per_second, local.mean_round_seconds);
+  std::printf("  %-26s %10.3f %14.0f %16.3f   (%.2fx local throughput)\n",
+              "loopback TCP (per-hop daemon)", tcp.wall_seconds, tcp.messages_per_second,
+              tcp.mean_round_seconds,
+              local.messages_per_second > 0 ? tcp.messages_per_second / local.messages_per_second
+                                            : 0.0);
+}
+
 }  // namespace
 
 int main() {
   bench::PrintHeader("FIG9", "conversation latency vs number of users (3 servers)");
 
   // VUVUZELA_FIG9_SECTION=pipeline runs only the driver comparison (quick
-  // check of the §8.3 pipelining win without the full latency sweep).
+  // check of the §8.3 pipelining win without the full latency sweep);
+  // =transport runs only the hop-transport comparison.
   const char* section = std::getenv("VUVUZELA_FIG9_SECTION");
   bool pipeline_only = section != nullptr && std::strcmp(section, "pipeline") == 0;
+  bool transport_only = section != nullptr && std::strcmp(section, "transport") == 0;
+  if (transport_only) {
+    PrintTransportSection();
+    return 0;
+  }
 
   const double kScale = 100.0;
   const double mus[] = {100000, 200000, 300000};
@@ -109,6 +143,7 @@ int main() {
   if (pipeline_only) {
     return 0;
   }
+  PrintTransportSection();
 
   sim::CostModel model = sim::CostModel::Measure();
   std::printf("\n  MODEL at paper scale (calibrated: %.0f unwraps/s aggregate):\n",

@@ -18,6 +18,7 @@
 #include "src/engine/round_scheduler.h"
 #include "src/mixnet/chain.h"
 #include "src/sim/workload.h"
+#include "src/transport/hop_chain.h"
 #include "src/util/random.h"
 #include "src/util/thread_pool.h"
 
@@ -117,25 +118,18 @@ inline MultiRound RunLockStepConversationRounds(uint64_t users, size_t servers, 
   return out;
 }
 
-// Pipelined driver: same chain configuration, workload shape, and per-round
-// collection window, K rounds in flight through the engine. The window
-// overlaps with earlier rounds' processing — "while the first server is
-// collecting messages for one round, other servers process previous rounds"
-// (§8.3).
-inline MultiRound RunPipelinedConversationRounds(uint64_t users, size_t servers, double mu,
-                                                 uint64_t rounds, size_t max_in_flight,
-                                                 uint64_t seed,
-                                                 double collection_window_seconds = 0.0) {
-  mixnet::Chain chain = MakeBenchChain(servers, mu, seed);
-  auto batches = MakeConversationBatches(users, chain, rounds, seed);
-  engine::RoundScheduler scheduler(chain, {.max_in_flight = max_in_flight});
-
+// Shared body of the pipelined drivers: feed pre-wrapped per-round batches
+// through a scheduler with the per-round collection window, drain, and
+// aggregate throughput/latency.
+inline MultiRound DrivePipelinedRounds(engine::RoundScheduler& scheduler,
+                                       std::vector<std::vector<util::Bytes>> batches,
+                                       double collection_window_seconds) {
   MultiRound out;
-  out.rounds = rounds;
+  out.rounds = batches.size();
   std::vector<std::future<mixnet::Chain::ConversationResult>> futures;
-  futures.reserve(rounds);
+  futures.reserve(batches.size());
   auto start = std::chrono::steady_clock::now();
-  for (uint64_t round = 1; round <= rounds; ++round) {
+  for (uint64_t round = 1; round <= batches.size(); ++round) {
     if (collection_window_seconds > 0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(collection_window_seconds));
     }
@@ -154,6 +148,55 @@ inline MultiRound RunPipelinedConversationRounds(uint64_t users, size_t servers,
           ? stats.total_conversation_latency_seconds / stats.conversation_rounds_completed
           : 0.0;
   return out;
+}
+
+// Pipelined driver: same chain configuration, workload shape, and per-round
+// collection window, K rounds in flight through the engine. The window
+// overlaps with earlier rounds' processing — "while the first server is
+// collecting messages for one round, other servers process previous rounds"
+// (§8.3).
+inline MultiRound RunPipelinedConversationRounds(uint64_t users, size_t servers, double mu,
+                                                 uint64_t rounds, size_t max_in_flight,
+                                                 uint64_t seed,
+                                                 double collection_window_seconds = 0.0) {
+  mixnet::Chain chain = MakeBenchChain(servers, mu, seed);
+  auto batches = MakeConversationBatches(users, chain, rounds, seed);
+  engine::RoundScheduler scheduler(chain, {.max_in_flight = max_in_flight});
+  return DrivePipelinedRounds(scheduler, std::move(batches), collection_window_seconds);
+}
+
+// TCP-transport driver: the same engine and workload shape, but every stage
+// is a TcpTransport speaking to a loopback HopDaemon — the wire cost of the
+// multi-process (§7) deployment, isolated from network latency. Mirrors
+// RunPipelinedConversationRounds so the two are directly comparable.
+inline MultiRound RunTcpPipelinedConversationRounds(uint64_t users, size_t servers, double mu,
+                                                    uint64_t rounds, size_t max_in_flight,
+                                                    uint64_t seed,
+                                                    double collection_window_seconds = 0.0) {
+  mixnet::ChainConfig config;
+  config.num_servers = servers;
+  config.conversation_noise = {.params = {mu, mu / 20.0 + 1.0}, .deterministic = true};
+  config.parallel = true;
+  config.exchange_shards = 0;
+  auto chain = transport::LoopbackChain::Start(config, seed);
+  if (!chain) {
+    return {};
+  }
+
+  std::vector<std::vector<util::Bytes>> batches;
+  batches.reserve(rounds);
+  for (uint64_t round = 1; round <= rounds; ++round) {
+    sim::WorkloadConfig workload{
+        .num_users = users, .pairing_fraction = 1.0, .seed = seed + round, .parallel = true};
+    batches.push_back(sim::GenerateConversationWorkload(workload, chain->public_keys(), round));
+  }
+
+  auto transports = chain->ConnectTransports();
+  if (transports.empty()) {
+    return {};
+  }
+  engine::RoundScheduler scheduler(std::move(transports), {.max_in_flight = max_in_flight});
+  return DrivePipelinedRounds(scheduler, std::move(batches), collection_window_seconds);
 }
 
 inline RealRound RunRealDialingRound(uint64_t users, size_t servers, double mu,

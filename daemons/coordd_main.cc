@@ -1,0 +1,149 @@
+// vuvuzela-coordd — the round coordinator as a standalone process (§7).
+//
+//   $ vuvuzela-coordd --hops 127.0.0.1:7341,127.0.0.1:7342,127.0.0.1:7343 \
+//       --seed 42 --mu 50 --rounds 20 --k 3 --users 40
+//
+// Connects to one vuvuzela-hopd per chain hop, announces rounds, and drives
+// them through the pipelined engine with K rounds in flight. With --users N
+// it generates a synthetic workload in-process (§8.1's simulated clients);
+// with --clients N it instead listens for N TCP clients and runs a real
+// per-round admission window. Exits 0 iff every announced round completed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/transport/coord_daemon.h"
+
+using namespace vuvuzela;
+
+namespace {
+
+struct Flags {
+  std::vector<transport::HopEndpoint> hops;
+  uint64_t seed = 1;
+  uint64_t rounds = 20;
+  size_t k = 3;
+  uint64_t users = 40;
+  size_t clients = 0;
+  uint16_t client_port = 0;
+  double window = 0.02;
+  int hop_timeout_ms = 10000;
+  uint64_t conv_per_dial = 20;
+};
+
+bool ParseHops(const std::string& list, std::vector<transport::HopEndpoint>* hops) {
+  size_t start = 0;
+  while (start < list.size()) {
+    size_t comma = list.find(',', start);
+    std::string entry = list.substr(start, comma == std::string::npos ? comma : comma - start);
+    size_t colon = entry.rfind(':');
+    if (colon == std::string::npos) {
+      return false;
+    }
+    unsigned long port = std::strtoul(entry.c_str() + colon + 1, nullptr, 10);
+    if (entry.substr(0, colon).empty() || port == 0 || port > 65535) {
+      return false;  // reject rather than silently truncating to 16 bits
+    }
+    transport::HopEndpoint endpoint;
+    endpoint.host = entry.substr(0, colon);
+    endpoint.port = static_cast<uint16_t>(port);
+    hops->push_back(std::move(endpoint));
+    start = comma == std::string::npos ? list.size() : comma + 1;
+  }
+  return !hops->empty();
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --hops host:port[,host:port...] [--seed S] [--rounds N] [--k K]\n"
+               "          [--users U | --clients C [--client-port P]] [--window SEC]\n"
+               "          [--timeout-ms MS] [--conv-per-dial N]\n",
+               argv0);
+}
+
+bool Parse(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* value = nullptr;
+    if (arg == "--hops" && (value = next())) {
+      if (!ParseHops(value, &flags->hops)) {
+        return false;
+      }
+    } else if (arg == "--seed" && (value = next())) {
+      flags->seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--rounds" && (value = next())) {
+      flags->rounds = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--k" && (value = next())) {
+      flags->k = std::strtoul(value, nullptr, 10);
+    } else if (arg == "--users" && (value = next())) {
+      flags->users = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--clients" && (value = next())) {
+      flags->clients = std::strtoul(value, nullptr, 10);
+    } else if (arg == "--client-port" && (value = next())) {
+      unsigned long port = std::strtoul(value, nullptr, 10);
+      if (port > 65535) {
+        return false;
+      }
+      flags->client_port = static_cast<uint16_t>(port);
+    } else if (arg == "--window" && (value = next())) {
+      flags->window = std::strtod(value, nullptr);
+    } else if (arg == "--timeout-ms" && (value = next())) {
+      flags->hop_timeout_ms = static_cast<int>(std::strtol(value, nullptr, 10));
+    } else if (arg == "--conv-per-dial" && (value = next())) {
+      flags->conv_per_dial = std::strtoull(value, nullptr, 10);
+    } else {
+      return false;
+    }
+  }
+  return !flags->hops.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!Parse(argc, argv, &flags)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  transport::CoordDaemonConfig config;
+  config.hops = flags.hops;
+  config.scheduler.max_in_flight = flags.k;
+  config.schedule.conversation_rounds_per_dialing_round = flags.conv_per_dial;
+  config.total_rounds = flags.rounds;
+  config.admission_window_seconds = flags.window;
+  config.hop_timeout_ms = flags.hop_timeout_ms;
+  config.shutdown_hops_on_exit = true;
+  config.client_port = flags.client_port;
+  config.num_clients = flags.clients;
+  config.synthetic_users = flags.users;
+  config.key_seed = flags.seed;
+  config.workload_seed = flags.seed ^ 0x9e3779b97f4a7c15ULL;
+
+  transport::CoordinatorDaemon coordinator(std::move(config));
+  if (!coordinator.Start()) {
+    std::fprintf(stderr, "vuvuzela-coordd: failed to reach every hop\n");
+    return 1;
+  }
+  if (flags.clients > 0) {
+    std::printf("vuvuzela-coordd: waiting for %zu clients on 127.0.0.1:%u\n", flags.clients,
+                coordinator.client_port());
+    std::fflush(stdout);
+  }
+
+  transport::CoordDaemonResult result = coordinator.Run();
+  uint64_t completed = result.conversation_rounds_completed + result.dialing_rounds_completed;
+  std::printf("vuvuzela-coordd: completed %llu conversation rounds, %llu dialing rounds, "
+              "%llu abandoned, %llu messages exchanged in %.2f s (%.0f msgs/sec)\n",
+              static_cast<unsigned long long>(result.conversation_rounds_completed),
+              static_cast<unsigned long long>(result.dialing_rounds_completed),
+              static_cast<unsigned long long>(result.rounds_abandoned),
+              static_cast<unsigned long long>(result.messages_exchanged), result.wall_seconds,
+              result.wall_seconds > 0 ? result.messages_exchanged / result.wall_seconds : 0.0);
+  return (completed == flags.rounds && result.rounds_abandoned == 0) ? 0 : 1;
+}

@@ -1,0 +1,107 @@
+// vuvuzela-hopd — one chain hop as a standalone process (§7).
+//
+//   $ vuvuzela-hopd --position 0 --servers 3 --port 7341 --seed 42 --mu 50
+//
+// Serves the hop RPC protocol (transport::HopDaemon) until the coordinator
+// sends kShutdown. All processes of a deployment derive the chain's key
+// material from the shared --seed (demo-grade key ceremony; see
+// src/transport/hop_chain.h), so the only per-process secret state is which
+// position this hop holds.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/transport/hop_chain.h"
+#include "src/transport/hop_daemon.h"
+#include "src/util/logging.h"
+
+using namespace vuvuzela;
+
+namespace {
+
+struct Flags {
+  size_t position = 0;
+  size_t servers = 3;
+  uint16_t port = 0;
+  uint64_t seed = 1;
+  double mu = 50.0;
+  double dial_mu = 10.0;
+  size_t exchange_shards = 0;  // 0 = one shard per pool worker (last hop only)
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --position I --servers N [--port P] [--seed S] [--mu M]\n"
+               "          [--dial-mu D] [--shards K]\n"
+               "Runs one Vuvuzela chain hop; port 0 picks an ephemeral port and prints it.\n",
+               argv0);
+}
+
+bool Parse(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* value = nullptr;
+    if (arg == "--position" && (value = next())) {
+      flags->position = std::strtoul(value, nullptr, 10);
+    } else if (arg == "--servers" && (value = next())) {
+      flags->servers = std::strtoul(value, nullptr, 10);
+    } else if (arg == "--port" && (value = next())) {
+      unsigned long port = std::strtoul(value, nullptr, 10);
+      if (port > 65535) {
+        return false;  // reject rather than silently truncating to 16 bits
+      }
+      flags->port = static_cast<uint16_t>(port);
+    } else if (arg == "--seed" && (value = next())) {
+      flags->seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--mu" && (value = next())) {
+      flags->mu = std::strtod(value, nullptr);
+    } else if (arg == "--dial-mu" && (value = next())) {
+      flags->dial_mu = std::strtod(value, nullptr);
+    } else if (arg == "--shards" && (value = next())) {
+      flags->exchange_shards = std::strtoul(value, nullptr, 10);
+    } else {
+      return false;
+    }
+  }
+  return flags->servers > 0 && flags->position < flags->servers;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!Parse(argc, argv, &flags)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  mixnet::ChainConfig chain_config;
+  chain_config.num_servers = flags.servers;
+  chain_config.conversation_noise = {.params = {flags.mu, flags.mu / 20.0 + 1.0},
+                                     .deterministic = true};
+  chain_config.dialing_noise = {.params = {flags.dial_mu, flags.dial_mu / 20.0 + 1.0},
+                                .deterministic = true};
+  chain_config.parallel = true;
+  chain_config.exchange_shards = flags.exchange_shards;
+
+  transport::ChainKeyMaterial keys = transport::DeriveChainKeys(flags.seed, flags.servers);
+  transport::HopDaemonConfig daemon_config;
+  daemon_config.port = flags.port;
+  auto daemon = transport::HopDaemon::Create(
+      daemon_config, transport::BuildMixServer(chain_config, keys, flags.position));
+  if (!daemon) {
+    std::fprintf(stderr, "vuvuzela-hopd: cannot listen on port %u\n", flags.port);
+    return 1;
+  }
+
+  std::printf("vuvuzela-hopd: position %zu/%zu listening on 127.0.0.1:%u\n", flags.position,
+              flags.servers, daemon->port());
+  std::fflush(stdout);
+  daemon->Serve();
+  std::printf("vuvuzela-hopd: position %zu served %llu RPCs, exiting\n", flags.position,
+              static_cast<unsigned long long>(daemon->rpcs_served()));
+  return 0;
+}

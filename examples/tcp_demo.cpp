@@ -1,33 +1,28 @@
 // Networked deployment over real TCP sockets (the §7 topology on loopback),
-// running the engine's pipelined scheduling discipline (§8.3):
+// built on the hop transport subsystem:
 //
-//   clients ──TCP── entry server ──TCP── server0 ──TCP── server1 ──TCP── server2
+//   clients ──TCP── vuvuzela-coordd ──TCP── hopd 0 / hopd 1 / hopd 2
 //
 //   $ ./build/examples/tcp_demo
 //
-// Each chain server runs behind a TCP listener speaking the net::Frame
-// protocol. Unlike a lock-step driver — which would hold every server idle
-// until one round completes its return pass — the entry server ships round
-// r+1's batch down the chain while round r is still on its way back: the
-// same cross-round overlap engine::RoundScheduler provides in-process,
-// expressed over sockets. Each intermediate server splits into a forward
-// thread and a return thread (one per traffic direction), with passes
-// serialized per server by a mutex — the engine's one-stage-worker-per-
-// server rule. The clients are the same VuvuzelaClient the in-process
-// harness drives; its per-round state already supports §8.3 client-side
-// pipelining ("sending a new message every round even before receiving
-// responses from previous rounds").
+// Each chain hop runs as a transport::HopDaemon behind its own listener (here
+// on threads of one process; daemons/hopd_main.cc is the same daemon as a
+// standalone binary). The coordinator connects one TcpTransport per hop and
+// drives rounds through engine::RoundScheduler — the identical pipelining
+// discipline the in-process harness uses, now with every mix pass crossing a
+// socket as a chunked batch message. The clients are real VuvuzelaClients on
+// real connections: they answer round announcements inside the admission
+// window and handle responses for earlier rounds while later rounds are
+// already in flight (client-side pipelining, §8.3).
 
-#include <atomic>
 #include <cstdio>
-#include <mutex>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "src/client/client.h"
-#include "src/mixnet/mix_server.h"
-#include "src/net/frame.h"
-#include "src/net/tcp.h"
+#include "src/transport/coord_daemon.h"
+#include "src/transport/hop_chain.h"
 #include "src/util/random.h"
 
 using namespace vuvuzela;
@@ -35,205 +30,14 @@ using namespace vuvuzela;
 namespace {
 
 constexpr size_t kNumServers = 3;
-constexpr int kRounds = 6;
+constexpr uint64_t kRounds = 6;
+constexpr uint64_t kSeed = 20151005;
 
-struct ServerHandle {
-  std::unique_ptr<mixnet::MixServer> server;
-  net::TcpListener listener;
-  std::thread forward_thread;
-};
-
-// The last server: one thread is enough — the dead-drop exchange produces
-// responses immediately, so its forward pass and return pass are one step.
-void RunLastServer(mixnet::MixServer* server, net::TcpConnection upstream) {
-  for (;;) {
-    auto frame = upstream.RecvFrame();
-    if (!frame || frame->type == net::FrameType::kShutdown) {
-      return;
-    }
-    if (frame->type != net::FrameType::kBatch) {
-      continue;
-    }
-    auto batch = net::DecodeBatch(frame->payload);
-    if (!batch) {
-      continue;
-    }
-    auto result = server->ProcessConversationLastHop(frame->round, std::move(*batch));
-    std::printf("    [server %zu] round %llu: %llu paired drops, %llu singles\n",
-                server->config().position, static_cast<unsigned long long>(frame->round),
-                static_cast<unsigned long long>(result.histogram.pairs),
-                static_cast<unsigned long long>(result.histogram.singles));
-    upstream.SendFrame(net::Frame{net::FrameType::kBatchResponse, frame->round,
-                                  net::EncodeBatch(result.responses)});
-  }
-}
-
-// An intermediate server: the forward thread moves batches downstream while
-// the return thread moves earlier rounds' responses upstream — two rounds
-// can occupy the same server's sockets at once. `pass_mutex` serializes the
-// actual mix passes (MixServer is single-round-at-a-time per pass, exactly
-// like one engine stage worker).
-void RunForwardPass(mixnet::MixServer* server, net::TcpConnection* upstream,
-                    net::TcpConnection* downstream, std::mutex* pass_mutex) {
-  for (;;) {
-    auto frame = upstream->RecvFrame();
-    if (!frame || frame->type == net::FrameType::kShutdown) {
-      downstream->SendFrame(net::Frame{net::FrameType::kShutdown, 0, {}});
-      return;
-    }
-    if (frame->type != net::FrameType::kBatch) {
-      continue;
-    }
-    auto batch = net::DecodeBatch(frame->payload);
-    if (!batch) {
-      continue;
-    }
-    std::vector<util::Bytes> forwarded;
-    mixnet::ServerRoundStats stats;
-    size_t in_flight_here;
-    {
-      std::lock_guard<std::mutex> lock(*pass_mutex);
-      forwarded = server->ForwardConversation(frame->round, std::move(*batch), &stats);
-      in_flight_here = server->pending_rounds();  // read under the pass lock
-    }
-    std::printf("    [server %zu] round %llu: %llu in, +%llu noise, forwarding %zu "
-                "(%zu rounds in flight here)\n",
-                server->config().position, static_cast<unsigned long long>(frame->round),
-                static_cast<unsigned long long>(stats.requests_in),
-                static_cast<unsigned long long>(stats.noise_requests_added), forwarded.size(),
-                in_flight_here);
-    downstream->SendFrame(
-        net::Frame{net::FrameType::kBatch, frame->round, net::EncodeBatch(forwarded)});
-  }
-}
-
-void RunReturnPass(mixnet::MixServer* server, net::TcpConnection* upstream,
-                   net::TcpConnection* downstream, std::mutex* pass_mutex) {
-  for (;;) {
-    auto reply = downstream->RecvFrame();
-    if (!reply || reply->type != net::FrameType::kBatchResponse) {
-      return;  // downstream closed after shutdown drained
-    }
-    auto reply_batch = net::DecodeBatch(reply->payload);
-    if (!reply_batch) {
-      return;
-    }
-    std::vector<util::Bytes> responses;
-    {
-      std::lock_guard<std::mutex> lock(*pass_mutex);
-      responses = server->BackwardConversation(reply->round, std::move(*reply_batch));
-    }
-    upstream->SendFrame(
-        net::Frame{net::FrameType::kBatchResponse, reply->round, net::EncodeBatch(responses)});
-  }
-}
-
-void RunChainServer(mixnet::MixServer* server, net::TcpListener* listener, uint16_t next_port) {
-  auto upstream = listener->Accept();
-  if (!upstream) {
-    return;
-  }
-  if (server->is_last()) {
-    RunLastServer(server, std::move(*upstream));
-    return;
-  }
-  auto downstream = net::TcpConnection::Connect("127.0.0.1", next_port);
-  if (!downstream) {
-    return;
-  }
-  std::mutex pass_mutex;
-  std::thread return_thread(RunReturnPass, server, &*upstream, &*downstream, &pass_mutex);
-  RunForwardPass(server, &*upstream, &*downstream, &pass_mutex);
-  return_thread.join();
-}
-
-// Entry server: pushes every round's batch down the chain without waiting
-// for earlier rounds' responses (the §8.3 overlap), demuxing responses as
-// they surface. Client sockets carry announcements and responses from two
-// threads, hence the per-client send locks.
-void RunEntryServer(net::TcpListener* listener, uint16_t chain_port, size_t num_clients) {
-  std::vector<net::TcpConnection> clients;
-  for (size_t i = 0; i < num_clients; ++i) {
-    auto conn = listener->Accept();
-    if (!conn) {
-      return;
-    }
-    clients.push_back(std::move(*conn));
-  }
-  auto chain = net::TcpConnection::Connect("127.0.0.1", chain_port);
-  if (!chain) {
-    return;
-  }
-  std::vector<std::mutex> client_send_mutexes(num_clients);
-  std::atomic<int> rounds_completed{0};
-
-  // Collector: demux chain responses to clients as they surface.
-  std::thread collector([&] {
-    for (int done = 0; done < kRounds; ++done) {
-      auto reply = chain->RecvFrame();
-      if (!reply || reply->type != net::FrameType::kBatchResponse) {
-        return;
-      }
-      auto responses = net::DecodeBatch(reply->payload);
-      if (!responses || responses->size() != clients.size()) {
-        return;
-      }
-      rounds_completed.fetch_add(1);
-      for (size_t i = 0; i < clients.size(); ++i) {
-        std::lock_guard<std::mutex> lock(client_send_mutexes[i]);
-        clients[i].SendFrame(
-            net::Frame{net::FrameType::kConversationResponse, reply->round, (*responses)[i]});
-      }
-    }
-  });
-
-  // Submitter: announce and ship rounds back-to-back; round r+1 enters the
-  // chain while round r is still on its return pass.
-  bool submit_ok = true;
-  for (uint64_t round = 1; round <= kRounds && submit_ok; ++round) {
-    for (size_t i = 0; i < clients.size(); ++i) {
-      std::lock_guard<std::mutex> lock(client_send_mutexes[i]);
-      clients[i].SendFrame(net::Frame{net::FrameType::kRoundAnnouncement, round, {}});
-    }
-    std::vector<util::Bytes> batch;
-    for (auto& c : clients) {
-      auto frame = c.RecvFrame();
-      if (!frame || frame->type != net::FrameType::kConversationRequest) {
-        submit_ok = false;
-        break;
-      }
-      batch.push_back(std::move(frame->payload));
-    }
-    if (!submit_ok) {
-      break;
-    }
-    chain->SendFrame(net::Frame{net::FrameType::kBatch, round, net::EncodeBatch(batch)});
-    int in_flight = static_cast<int>(round) - rounds_completed.load();
-    std::printf("  [entry] round %llu submitted (%d rounds in flight)\n",
-                static_cast<unsigned long long>(round), in_flight);
-  }
-
-  if (!submit_ok) {
-    // Unblock the collector (it may be waiting on responses that will never
-    // come) before this frame goes out of scope with a joinable thread.
-    chain->Close();
-  }
-  collector.join();
-  if (submit_ok) {
-    chain->SendFrame(net::Frame{net::FrameType::kShutdown, 0, {}});
-  }
-  for (size_t i = 0; i < clients.size(); ++i) {
-    std::lock_guard<std::mutex> lock(client_send_mutexes[i]);
-    clients[i].SendFrame(net::Frame{net::FrameType::kShutdown, 0, {}});
-  }
-}
-
-// A real client over TCP: drives a VuvuzelaClient against round
-// announcements; responses for earlier rounds may arrive after later rounds'
-// announcements (client-side pipelining, §8.3).
-void RunClient(const char* name, client::VuvuzelaClient* vuvuzela, uint16_t entry_port,
+// A client over TCP: answers announcements with onions, decrypts responses as
+// they surface (possibly after later rounds were announced).
+void RunClient(const char* name, client::VuvuzelaClient* vuvuzela, uint16_t coord_port,
                const crypto::X25519PublicKey& partner, const char* to_send) {
-  auto conn = net::TcpConnection::Connect("127.0.0.1", entry_port);
+  auto conn = net::TcpConnection::Connect("127.0.0.1", coord_port);
   if (!conn) {
     return;
   }
@@ -248,8 +52,7 @@ void RunClient(const char* name, client::VuvuzelaClient* vuvuzela, uint16_t entr
     }
     if (frame->type == net::FrameType::kRoundAnnouncement) {
       auto onions = vuvuzela->PrepareConversationOnions(frame->round);
-      conn->SendFrame(
-          net::Frame{net::FrameType::kConversationRequest, frame->round, onions[0]});
+      conn->SendFrame(net::Frame{net::FrameType::kConversationRequest, frame->round, onions[0]});
     } else if (frame->type == net::FrameType::kConversationResponse) {
       std::vector<util::Bytes> responses = {frame->payload};
       vuvuzela->HandleConversationResponses(frame->round, responses);
@@ -264,53 +67,53 @@ void RunClient(const char* name, client::VuvuzelaClient* vuvuzela, uint16_t entr
 }  // namespace
 
 int main() {
-  std::printf("Vuvuzela over TCP: entry + %zu chain servers + 2 clients on loopback,\n"
-              "rounds pipelined through the chain (%d rounds)\n\n",
-              kNumServers, kRounds);
-  util::Xoshiro256Rng rng(20151005);
+  std::printf("Vuvuzela over TCP: coordinator + %zu hop daemons + 2 clients on loopback,\n"
+              "rounds pipelined through the chain (%llu rounds, K=3)\n\n",
+              kNumServers, static_cast<unsigned long long>(kRounds));
 
-  // Build the chain key material and servers.
-  std::vector<crypto::X25519KeyPair> keys;
-  std::vector<crypto::X25519PublicKey> chain_pks;
-  for (size_t i = 0; i < kNumServers; ++i) {
-    keys.push_back(crypto::X25519KeyPair::Generate(rng));
-    chain_pks.push_back(keys.back().public_key);
+  // The hop daemons: one MixServer per hop behind a loopback listener, all
+  // deriving key material from the shared seed.
+  mixnet::ChainConfig chain_config;
+  chain_config.num_servers = kNumServers;
+  chain_config.conversation_noise = {.params = {8.0, 2.0}, .deterministic = false};
+  chain_config.parallel = true;
+  chain_config.exchange_shards = 0;
+  auto hops = transport::LoopbackChain::Start(chain_config, kSeed);
+  if (!hops) {
+    std::fprintf(stderr, "failed to start hop daemons\n");
+    return 1;
   }
-  std::vector<ServerHandle> servers(kNumServers);
-  for (size_t i = 0; i < kNumServers; ++i) {
-    mixnet::MixServerConfig config;
-    config.position = i;
-    config.chain_length = kNumServers;
-    config.conversation_noise = {.params = {8.0, 2.0}, .deterministic = false};
-    config.parallel = true;
-    config.exchange_shards = 0;
-    crypto::ChaCha20Key seed;
-    rng.Fill(seed);
-    servers[i].server = std::make_unique<mixnet::MixServer>(config, keys[i], chain_pks, seed);
-    auto listener = net::TcpListener::Listen(0);
-    if (!listener) {
-      std::fprintf(stderr, "listen failed\n");
-      return 1;
-    }
-    servers[i].listener = std::move(*listener);
-  }
-  for (size_t i = 0; i < kNumServers; ++i) {
-    uint16_t next_port = (i + 1 < kNumServers) ? servers[i + 1].listener.port() : 0;
-    servers[i].forward_thread = std::thread(RunChainServer, servers[i].server.get(),
-                                            &servers[i].listener, next_port);
+  for (size_t i = 0; i < hops->size(); ++i) {
+    std::printf("  [hopd %zu] listening on 127.0.0.1:%u\n", i, hops->port(i));
   }
 
-  auto entry_listener = net::TcpListener::Listen(0);
-  uint16_t entry_port = entry_listener->port();
-  std::thread entry_thread(RunEntryServer, &*entry_listener, servers[0].listener.port(), 2);
+  // The coordinator: admission window + pipelined submission over TCP hops.
+  transport::CoordDaemonConfig coord_config;
+  for (size_t i = 0; i < hops->size(); ++i) {
+    coord_config.hops.push_back({"127.0.0.1", hops->port(i)});
+  }
+  coord_config.scheduler.max_in_flight = 3;
+  coord_config.total_rounds = kRounds;
+  coord_config.admission_window_seconds = 0.25;
+  coord_config.num_clients = 2;
+  coord_config.key_seed = kSeed;
+  transport::CoordinatorDaemon coordinator(std::move(coord_config));
+  if (!coordinator.Start()) {
+    std::fprintf(stderr, "coordinator failed to reach the hops\n");
+    return 1;
+  }
+  uint16_t coord_port = coordinator.client_port();
+  std::printf("  [coordd] accepting clients on 127.0.0.1:%u\n\n", coord_port);
 
-  // Two clients with pre-exchanged keys.
+  // Two clients with pre-exchanged keys, wrapping onions for the derived
+  // chain public keys.
+  util::Xoshiro256Rng rng(kSeed ^ 0xc11e57);
   auto alice_keys = crypto::X25519KeyPair::Generate(rng);
   auto bob_keys = crypto::X25519KeyPair::Generate(rng);
   auto make_client = [&](const crypto::X25519KeyPair& kp) {
     client::ClientConfig config;
     config.keys = kp;
-    config.chain = chain_pks;
+    config.chain = hops->public_keys();
     crypto::ChaCha20Key seed;
     rng.Fill(seed);
     return client::VuvuzelaClient(config, seed);
@@ -318,18 +121,19 @@ int main() {
   client::VuvuzelaClient alice = make_client(alice_keys);
   client::VuvuzelaClient bob = make_client(bob_keys);
 
-  std::thread alice_thread(RunClient, "alice", &alice, entry_port, bob_keys.public_key,
+  std::thread alice_thread(RunClient, "alice", &alice, coord_port, bob_keys.public_key,
                            "meet at the usual place");
-  std::thread bob_thread(RunClient, "bob", &bob, entry_port, alice_keys.public_key,
+  std::thread bob_thread(RunClient, "bob", &bob, coord_port, alice_keys.public_key,
                          "confirmed, bring the docs");
 
+  transport::CoordDaemonResult result = coordinator.Run();
   alice_thread.join();
   bob_thread.join();
-  entry_thread.join();
-  for (auto& s : servers) {
-    s.forward_thread.join();
-  }
-  std::printf("\nall %d rounds completed over real sockets, pipelined through the chain.\n",
-              kRounds);
-  return 0;
+  hops.reset();  // stops the hop daemons
+
+  std::printf("\n%llu rounds completed over real sockets (%llu messages exchanged), "
+              "pipelined through the chain.\n",
+              static_cast<unsigned long long>(result.conversation_rounds_completed),
+              static_cast<unsigned long long>(result.messages_exchanged));
+  return result.conversation_rounds_completed == kRounds ? 0 : 1;
 }

@@ -71,7 +71,9 @@ util::Bytes PadMessage(util::ByteSpan text) {
   util::Bytes padded(wire::kMessageSize, 0);
   padded[0] = static_cast<uint8_t>(text.size() >> 8);
   padded[1] = static_cast<uint8_t>(text.size());
-  std::memcpy(padded.data() + 2, text.data(), text.size());
+  if (!text.empty()) {  // empty spans have a null data() — UB to memcpy from
+    std::memcpy(padded.data() + 2, text.data(), text.size());
+  }
   return padded;
 }
 

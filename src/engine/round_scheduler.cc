@@ -5,15 +5,14 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/util/stats.h"
+
 namespace vuvuzela::engine {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
+using util::SecondsSince;
 
 }  // namespace
 
@@ -80,7 +79,23 @@ struct RoundScheduler::DialingContext {
 // --- RoundScheduler ---------------------------------------------------------
 
 RoundScheduler::RoundScheduler(mixnet::Chain& chain, SchedulerConfig config)
-    : chain_(chain), config_(config) {
+    : chain_(&chain), config_(config) {
+  for (size_t i = 0; i < chain.size(); ++i) {
+    hops_.push_back(std::make_unique<transport::LocalTransport>(chain.server(i)));
+  }
+  Init();
+}
+
+RoundScheduler::RoundScheduler(std::vector<std::unique_ptr<transport::HopTransport>> hops,
+                               SchedulerConfig config, mixnet::ChainObserver* observer)
+    : hops_(std::move(hops)), observer_(observer), config_(config) {
+  Init();
+}
+
+void RoundScheduler::Init() {
+  if (hops_.empty()) {
+    throw std::invalid_argument("RoundScheduler: need at least one hop");
+  }
   if (config_.max_in_flight == 0) {
     throw std::invalid_argument("RoundScheduler: max_in_flight must be >= 1");
   }
@@ -90,8 +105,8 @@ RoundScheduler::RoundScheduler(mixnet::Chain& chain, SchedulerConfig config)
   if (config_.expire_keep < config_.max_in_flight) {
     throw std::invalid_argument("RoundScheduler: expire_keep must cover the in-flight window");
   }
-  workers_.reserve(chain_.size());
-  for (size_t i = 0; i < chain_.size(); ++i) {
+  workers_.reserve(hops_.size());
+  for (size_t i = 0; i < hops_.size(); ++i) {
     workers_.push_back(std::make_unique<StageWorker>());
   }
 }
@@ -183,13 +198,13 @@ std::future<mixnet::Chain::ConversationResult> RoundScheduler::SubmitConversatio
   auto ctx = std::make_shared<ConversationContext>();
   ctx->round = round;
   ctx->batch = std::move(onions);
-  ctx->result.stats.forward.resize(chain_.size());
-  ctx->result.stats.backward.resize(chain_.size() > 0 ? chain_.size() - 1 : 0);
+  ctx->result.stats.forward.resize(num_stages());
+  ctx->result.stats.backward.resize(num_stages() - 1);
   ctx->submitted = Clock::now();
   ctx->forward_start = ctx->submitted;
   std::future<mixnet::Chain::ConversationResult> future = ctx->promise.get_future();
 
-  if (chain_.size() == 1) {
+  if (num_stages() == 1) {
     PostConversationLastHop(std::move(ctx));
   } else {
     PostConversationForward(std::move(ctx), 0);
@@ -200,28 +215,29 @@ std::future<mixnet::Chain::ConversationResult> RoundScheduler::SubmitConversatio
 void RoundScheduler::PostConversationForward(std::shared_ptr<ConversationContext> ctx,
                                              size_t position) {
   workers_[position]->Post([this, ctx = std::move(ctx), position]() mutable {
-    mixnet::MixServer& server = chain_.server(position);
+    transport::HopTransport& hop = *hops_[position];
     try {
       // Shed state from rounds abandoned mid-pipeline before taking on
       // more. The horizon is the oldest round still in flight, so a live
       // round can never be expired, whatever the round numbering gaps.
-      server.ExpireRounds(ExpiryHorizon(), config_.expire_keep);
+      // (Remote hops piggyback this on the forward request.)
+      hop.ExpireRounds(ExpiryHorizon(), config_.expire_keep);
 
-      mixnet::ChainObserver* observer = chain_.observer();
+      mixnet::ChainObserver* obs = observer();
       std::vector<util::Bytes> input_copy;
-      if (observer) {
+      if (obs) {
         input_copy = ctx->batch;
       }
-      ctx->batch = server.ForwardConversation(ctx->round, std::move(ctx->batch),
-                                              &ctx->result.stats.forward[position]);
-      if (observer) {
-        observer->OnForwardPass(position, ctx->round, input_copy, ctx->batch);
+      ctx->batch = hop.ForwardConversation(ctx->round, std::move(ctx->batch),
+                                           &ctx->result.stats.forward[position]);
+      if (obs) {
+        obs->OnForwardPass(position, ctx->round, input_copy, ctx->batch);
       }
     } catch (...) {
       FailConversation(std::move(ctx), std::current_exception());
       return;
     }
-    if (position + 2 == chain_.size()) {
+    if (position + 2 == num_stages()) {
       PostConversationLastHop(std::move(ctx));
     } else {
       PostConversationForward(std::move(ctx), position + 1);
@@ -230,23 +246,23 @@ void RoundScheduler::PostConversationForward(std::shared_ptr<ConversationContext
 }
 
 void RoundScheduler::PostConversationLastHop(std::shared_ptr<ConversationContext> ctx) {
-  size_t last = chain_.size() - 1;
+  size_t last = num_stages() - 1;
   workers_[last]->Post([this, ctx = std::move(ctx), last]() mutable {
     try {
-      mixnet::ChainObserver* observer = chain_.observer();
+      mixnet::ChainObserver* obs = observer();
       std::vector<util::Bytes> input_copy;
-      if (observer) {
+      if (obs) {
         input_copy = ctx->batch;
       }
       mixnet::MixServer::LastServerResult last_result =
-          chain_.server(last).ProcessConversationLastHop(ctx->round, std::move(ctx->batch),
-                                                         &ctx->result.stats.forward[last]);
+          hops_[last]->ProcessConversationLastHop(ctx->round, std::move(ctx->batch),
+                                                  &ctx->result.stats.forward[last]);
       ctx->result.histogram = last_result.histogram;
       ctx->result.messages_exchanged = last_result.messages_exchanged;
       ctx->batch = std::move(last_result.responses);
-      if (observer) {
-        observer->OnForwardPass(last, ctx->round, input_copy, ctx->batch);
-        observer->OnDeadDrops(ctx->round, ctx->result.histogram);
+      if (obs) {
+        obs->OnForwardPass(last, ctx->round, input_copy, ctx->batch);
+        obs->OnDeadDrops(ctx->round, ctx->result.histogram);
       }
       ctx->result.stats.forward_seconds = SecondsSince(ctx->forward_start);
       ctx->backward_start = Clock::now();
@@ -266,7 +282,7 @@ void RoundScheduler::PostConversationBackward(std::shared_ptr<ConversationContex
                                               size_t position) {
   workers_[position]->Post([this, ctx = std::move(ctx), position]() mutable {
     try {
-      ctx->batch = chain_.server(position).BackwardConversation(
+      ctx->batch = hops_[position]->BackwardConversation(
           ctx->round, std::move(ctx->batch), &ctx->result.stats.backward[position]);
     } catch (...) {
       FailConversation(std::move(ctx), std::current_exception());
@@ -301,11 +317,11 @@ std::future<mixnet::Chain::DialingResult> RoundScheduler::SubmitDialing(
   ctx->round = round;
   ctx->num_drops = num_drops;
   ctx->batch = std::move(onions);
-  ctx->stats.forward.resize(chain_.size());
+  ctx->stats.forward.resize(num_stages());
   ctx->forward_start = Clock::now();
   std::future<mixnet::Chain::DialingResult> future = ctx->promise.get_future();
 
-  if (chain_.size() == 1) {
+  if (num_stages() == 1) {
     PostDialingLastHop(std::move(ctx));
   } else {
     PostDialingForward(std::move(ctx), 0);
@@ -316,22 +332,21 @@ std::future<mixnet::Chain::DialingResult> RoundScheduler::SubmitDialing(
 void RoundScheduler::PostDialingForward(std::shared_ptr<DialingContext> ctx, size_t position) {
   workers_[position]->Post([this, ctx = std::move(ctx), position]() mutable {
     try {
-      mixnet::ChainObserver* observer = chain_.observer();
+      mixnet::ChainObserver* obs = observer();
       std::vector<util::Bytes> input_copy;
-      if (observer) {
+      if (obs) {
         input_copy = ctx->batch;
       }
-      ctx->batch =
-          chain_.server(position).ForwardDialing(ctx->round, std::move(ctx->batch),
-                                                 ctx->num_drops, &ctx->stats.forward[position]);
-      if (observer) {
-        observer->OnForwardPass(position, ctx->round, input_copy, ctx->batch);
+      ctx->batch = hops_[position]->ForwardDialing(ctx->round, std::move(ctx->batch),
+                                                   ctx->num_drops, &ctx->stats.forward[position]);
+      if (obs) {
+        obs->OnForwardPass(position, ctx->round, input_copy, ctx->batch);
       }
     } catch (...) {
       FailDialing(std::move(ctx), std::current_exception());
       return;
     }
-    if (position + 2 == chain_.size()) {
+    if (position + 2 == num_stages()) {
       PostDialingLastHop(std::move(ctx));
     } else {
       PostDialingForward(std::move(ctx), position + 1);
@@ -340,12 +355,12 @@ void RoundScheduler::PostDialingForward(std::shared_ptr<DialingContext> ctx, siz
 }
 
 void RoundScheduler::PostDialingLastHop(std::shared_ptr<DialingContext> ctx) {
-  size_t last = chain_.size() - 1;
+  size_t last = num_stages() - 1;
   workers_[last]->Post([this, ctx = std::move(ctx), last]() mutable {
     deaddrop::InvitationTable table(1);
     try {
-      table = chain_.server(last).ProcessDialingLastHop(ctx->round, std::move(ctx->batch),
-                                                        ctx->num_drops, &ctx->stats.forward[last]);
+      table = hops_[last]->ProcessDialingLastHop(ctx->round, std::move(ctx->batch),
+                                                 ctx->num_drops, &ctx->stats.forward[last]);
       ctx->stats.forward_seconds = SecondsSince(ctx->forward_start);
     } catch (...) {
       FailDialing(std::move(ctx), std::current_exception());

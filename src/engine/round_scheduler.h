@@ -24,6 +24,14 @@
 // (MixServer::ExpireRounds) as newer rounds flow through, so a round
 // abandoned mid-pipeline — a crashed downstream server, a DoS — cannot pin
 // server memory.
+//
+// Each stage drives a transport::HopTransport rather than a MixServer
+// directly, so the same pipelining discipline runs over in-process servers
+// (LocalTransport — the Chain constructor below builds these) or remote
+// per-hop daemons (TcpTransport, §7's one-process-per-server deployment). A
+// hop that times out or fails surfaces through the round's future as a
+// transport::HopError; the slot is released and the expiry path reclaims the
+// abandoned round's state at the surviving hops.
 
 #ifndef VUVUZELA_SRC_ENGINE_ROUND_SCHEDULER_H_
 #define VUVUZELA_SRC_ENGINE_ROUND_SCHEDULER_H_
@@ -41,6 +49,7 @@
 
 #include "src/coord/coordinator.h"
 #include "src/mixnet/chain.h"
+#include "src/transport/hop_transport.h"
 
 namespace vuvuzela::engine {
 
@@ -69,8 +78,16 @@ class RoundScheduler {
  public:
   // The chain must outlive the scheduler. The chain's observer (if any) is
   // invoked from stage worker threads: per-server callbacks are serialized,
-  // but callbacks for different servers run concurrently.
+  // but callbacks for different servers run concurrently. Stages drive the
+  // chain's servers through LocalTransports.
   explicit RoundScheduler(mixnet::Chain& chain, SchedulerConfig config = {});
+
+  // Transport-backed construction: hops_[i] is stage i's backend — local
+  // servers, remote daemons, or a mix. `observer` (optional) sees batches as
+  // they cross stage boundaries, same contract as the chain observer.
+  RoundScheduler(std::vector<std::unique_ptr<transport::HopTransport>> hops,
+                 SchedulerConfig config = {}, mixnet::ChainObserver* observer = nullptr);
+
   ~RoundScheduler();
 
   RoundScheduler(const RoundScheduler&) = delete;
@@ -136,6 +153,14 @@ class RoundScheduler {
   struct ConversationContext;
   struct DialingContext;
 
+  size_t num_stages() const { return hops_.size(); }
+  // Chain-constructed schedulers look the observer up dynamically (tests
+  // swap it mid-lifetime); transport-constructed ones hold it directly.
+  mixnet::ChainObserver* observer() const {
+    return chain_ != nullptr ? chain_->observer() : observer_;
+  }
+
+  void Init();
   void Admit();
   void Release(bool failed, double latency_seconds, bool dialing);
   void RemoveActiveRound(uint64_t round);
@@ -154,7 +179,9 @@ class RoundScheduler {
   void PostDialingLastHop(std::shared_ptr<DialingContext> ctx);
   void FailDialing(std::shared_ptr<DialingContext> ctx, std::exception_ptr error);
 
-  mixnet::Chain& chain_;
+  std::vector<std::unique_ptr<transport::HopTransport>> hops_;
+  mixnet::Chain* chain_ = nullptr;        // set only by the Chain constructor
+  mixnet::ChainObserver* observer_ = nullptr;
   SchedulerConfig config_;
   std::vector<std::unique_ptr<StageWorker>> workers_;
 

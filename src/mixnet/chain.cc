@@ -4,15 +4,11 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "src/util/stats.h"
+
 namespace vuvuzela::mixnet {
 
-namespace {
-
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-}
-
-}  // namespace
+using util::SecondsSince;
 
 uint64_t RoundStats::total_dh_ops() const {
   uint64_t total = 0;

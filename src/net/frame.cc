@@ -8,7 +8,7 @@ namespace {
 
 bool ValidType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kRoundAnnouncement) &&
-         type <= static_cast<uint8_t>(FrameType::kShutdown);
+         type <= static_cast<uint8_t>(FrameType::kHopError);
 }
 
 }  // namespace

@@ -25,6 +25,17 @@ enum class FrameType : uint8_t {
   kBatch = 8,             // server↔server: length-prefixed onion list
   kBatchResponse = 9,
   kShutdown = 10,
+  // Hop RPC (transport::TcpTransport ↔ transport::HopDaemon). Each op is a
+  // chunked batch message (transport/hop_wire.h): a first frame of the op
+  // type followed by zero or more kBatchChunk continuations, so one logical
+  // batch can exceed kMaxFramePayload while each frame stays bounded.
+  kBatchChunk = 11,
+  kHopForwardConversation = 12,
+  kHopBackwardConversation = 13,
+  kHopLastConversation = 14,
+  kHopForwardDialing = 15,
+  kHopLastDialing = 16,
+  kHopError = 17,  // payload: error text from the hop daemon
 };
 
 struct Frame {

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -24,8 +25,17 @@ TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
   return *this;
 }
 
+void TcpConnection::Shutdown() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
 void TcpConnection::Close() {
   if (fd_ >= 0) {
+    // shutdown() first so a thread blocked in recv() on this connection wakes
+    // up; close() alone does not reliably interrupt it.
+    ::shutdown(fd_, SHUT_RDWR);
     ::close(fd_);
     fd_ = -1;
   }
@@ -68,7 +78,7 @@ bool TcpConnection::SendAll(const uint8_t* data, size_t len) {
   return true;
 }
 
-bool TcpConnection::RecvAll(uint8_t* data, size_t len) {
+bool TcpConnection::RecvAll(uint8_t* data, size_t len, bool frame_started) {
   size_t received = 0;
   while (received < len) {
     ssize_t n = ::recv(fd_, data + received, len - received, 0);
@@ -76,11 +86,37 @@ bool TcpConnection::RecvAll(uint8_t* data, size_t len) {
       if (n < 0 && errno == EINTR) {
         continue;
       }
+      if (n == 0) {
+        // A clean close mid-frame is still a truncated frame, but the
+        // distinction callers act on is dead-peer vs gone-peer.
+        last_recv_status_ = RecvStatus::kEof;
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (frame_started || received > 0) {
+          // The deadline only fires at a frame boundary: once any byte of a
+          // frame is in, reporting a timeout would desynchronize the stream
+          // (the consumed bytes cannot be pushed back), so keep waiting —
+          // a genuinely dead peer ends with EOF/reset instead.
+          continue;
+        }
+        last_recv_status_ = RecvStatus::kTimeout;  // SO_RCVTIMEO elapsed, idle
+      } else {
+        last_recv_status_ = RecvStatus::kError;
+      }
       return false;
     }
     received += static_cast<size_t>(n);
   }
   return true;
+}
+
+bool TcpConnection::SetRecvTimeout(int milliseconds) {
+  if (fd_ < 0 || milliseconds < 0) {
+    return false;
+  }
+  timeval tv{};
+  tv.tv_sec = milliseconds / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(milliseconds % 1000) * 1000;
+  return ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
 }
 
 bool TcpConnection::SendFrame(const Frame& frame) {
@@ -95,21 +131,25 @@ bool TcpConnection::SendFrame(const Frame& frame) {
 
 std::optional<Frame> TcpConnection::RecvFrame() {
   if (fd_ < 0) {
+    last_recv_status_ = RecvStatus::kError;
     return std::nullopt;
   }
   uint8_t len_prefix[4];
-  if (!RecvAll(len_prefix, 4)) {
+  if (!RecvAll(len_prefix, 4, /*frame_started=*/false)) {
     return std::nullopt;
   }
   uint32_t len = util::LoadBe32(len_prefix);
   if (len < kFrameHeaderBytes || len > kMaxFramePayload + kFrameHeaderBytes) {
+    last_recv_status_ = RecvStatus::kMalformed;
     return std::nullopt;
   }
   util::Bytes buffer(len);
-  if (!RecvAll(buffer.data(), len)) {
+  if (!RecvAll(buffer.data(), len, /*frame_started=*/true)) {
     return std::nullopt;
   }
-  return DecodeFrame(buffer);
+  auto frame = DecodeFrame(buffer);
+  last_recv_status_ = frame ? RecvStatus::kOk : RecvStatus::kMalformed;
+  return frame;
 }
 
 TcpListener::~TcpListener() { Close(); }
@@ -128,8 +168,17 @@ TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
   return *this;
 }
 
+void TcpListener::Shutdown() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
 void TcpListener::Close() {
   if (fd_ >= 0) {
+    // shutdown() wakes any thread blocked in accept() (close() alone may
+    // leave it parked forever) — Stop()-style teardown depends on it.
+    ::shutdown(fd_, SHUT_RDWR);
     ::close(fd_);
     fd_ = -1;
   }

@@ -17,6 +17,17 @@
 
 namespace vuvuzela::net {
 
+// Why RecvFrame failed. A dead remote hop (timeout) must be distinguishable
+// from an orderly close (EOF): the round engine abandons the round on the
+// former and tears the connection down on the latter.
+enum class RecvStatus : uint8_t {
+  kOk = 0,
+  kEof,        // peer closed the connection cleanly
+  kTimeout,    // receive deadline (SetRecvTimeout) elapsed
+  kError,      // socket error / invalid connection
+  kMalformed,  // framing violated (bad length, bad type, truncation)
+};
+
 class TcpConnection {
  public:
   TcpConnection() = default;
@@ -36,16 +47,36 @@ class TcpConnection {
   // Sends one frame; false on I/O error.
   bool SendFrame(const Frame& frame);
 
-  // Receives one frame; nullopt on EOF, I/O error, or malformed framing.
+  // Receives one frame; nullopt on EOF, I/O error, timeout, or malformed
+  // framing — last_recv_status() says which.
   std::optional<Frame> RecvFrame();
+
+  // Arms a receive deadline (SO_RCVTIMEO): a RecvFrame that sees no data for
+  // `milliseconds` while waiting for a frame to *start* fails with
+  // RecvStatus::kTimeout instead of blocking forever on a dead peer. Once a
+  // frame's first byte has arrived, RecvFrame waits for its completion
+  // (reporting a mid-frame timeout would desynchronize the stream); a peer
+  // that dies mid-frame surfaces as EOF/reset. 0 disables the deadline.
+  bool SetRecvTimeout(int milliseconds);
+
+  RecvStatus last_recv_status() const { return last_recv_status_; }
+
+  // Wakes a thread blocked in RecvFrame on this connection (it observes EOF)
+  // without invalidating the descriptor. This is the only member safe to call
+  // concurrently with RecvFrame — use it to interrupt a reader thread, then
+  // join it before Close().
+  void Shutdown();
 
   void Close();
 
  private:
   bool SendAll(const uint8_t* data, size_t len);
-  bool RecvAll(uint8_t* data, size_t len);
+  // `frame_started` suppresses the receive deadline: bytes of the current
+  // frame were already consumed, so a timeout could not be resumed safely.
+  bool RecvAll(uint8_t* data, size_t len, bool frame_started);
 
   int fd_ = -1;
+  RecvStatus last_recv_status_ = RecvStatus::kOk;
 };
 
 class TcpListener {
@@ -66,6 +97,11 @@ class TcpListener {
 
   // Blocks for the next connection; nullopt on error/close.
   std::optional<TcpConnection> Accept();
+
+  // Wakes a thread blocked in Accept (it returns nullopt) without
+  // invalidating the descriptor; safe to call concurrently with Accept,
+  // unlike Close(). Join the accepting thread before Close().
+  void Shutdown();
 
   void Close();
 

@@ -1,0 +1,267 @@
+#include "src/transport/coord_daemon.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/sim/workload.h"
+#include "src/transport/hop_chain.h"
+#include "src/util/logging.h"
+#include "src/util/stats.h"
+
+namespace vuvuzela::transport {
+
+using Clock = std::chrono::steady_clock;
+using util::SecondsSince;
+
+CoordinatorDaemon::CoordinatorDaemon(CoordDaemonConfig config) : config_(std::move(config)) {}
+
+bool CoordinatorDaemon::Start() {
+  if (config_.hops.empty()) {
+    return false;
+  }
+  public_keys_ = DeriveChainKeys(config_.key_seed, config_.hops.size()).public_keys;
+  for (const auto& endpoint : config_.hops) {
+    TcpTransportConfig transport_config;
+    transport_config.host = endpoint.host;
+    transport_config.port = endpoint.port;
+    transport_config.recv_timeout_ms = config_.hop_timeout_ms;
+    transport_config.chunk_payload = config_.chunk_payload;
+    auto transport = TcpTransport::Connect(transport_config);
+    if (!transport) {
+      VZ_LOG_ERROR << "coordinator: hop " << endpoint.host << ":" << endpoint.port
+                   << " unreachable";
+      return false;
+    }
+    tcp_hops_.push_back(transport.get());
+    hop_transports_.push_back(std::move(transport));
+  }
+  if (config_.num_clients > 0) {
+    auto listener = net::TcpListener::Listen(config_.client_port);
+    if (!listener) {
+      return false;
+    }
+    client_listener_ = std::move(*listener);
+  }
+  return true;
+}
+
+void CoordinatorDaemon::ReadClient(size_t index) {
+  ClientSlot& slot = *clients_[index];
+  for (;;) {
+    auto frame = slot.conn.RecvFrame();
+    if (!frame || frame->type == net::FrameType::kShutdown) {
+      std::lock_guard<std::mutex> lock(admission_mutex_);
+      slot.alive.store(false);
+      admission_cv_.notify_all();
+      return;
+    }
+    bool conversation = frame->type == net::FrameType::kConversationRequest;
+    bool dial = frame->type == net::FrameType::kDialRequest;
+    if (!conversation && !dial) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    // Admission discipline (§3.1): only onions for the currently announced
+    // round, while its window is open, enter the batch — at most one per
+    // client, so duplicates cannot close the window early.
+    bool type_matches = conversation ? admission_type_ == wire::RoundType::kConversation
+                                     : admission_type_ == wire::RoundType::kDialing;
+    if (admission_open_ && frame->round == admission_round_ && type_matches &&
+        !admission_contributed_[index]) {
+      admission_contributed_[index] = 1;
+      admission_onions_.push_back(std::move(frame->payload));
+      admission_contributors_.push_back(index);
+      admission_cv_.notify_all();
+    }
+  }
+}
+
+void CoordinatorDaemon::BroadcastAnnouncement(const wire::RoundAnnouncement& announcement) {
+  util::Bytes payload = announcement.Serialize();
+  for (auto& client : clients_) {
+    std::lock_guard<std::mutex> lock(client->send_mutex);
+    if (client->alive.load()) {
+      client->conn.SendFrame(
+          net::Frame{net::FrameType::kRoundAnnouncement, announcement.round, payload});
+    }
+  }
+}
+
+std::pair<std::vector<util::Bytes>, std::vector<size_t>> CoordinatorDaemon::CloseAdmission() {
+  auto deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         config_.admission_window_seconds));
+  std::unique_lock<std::mutex> lock(admission_mutex_);
+  admission_cv_.wait_until(lock, deadline, [this] {
+    size_t live = 0;
+    for (const auto& client : clients_) {
+      live += client->alive.load() ? 1 : 0;
+    }
+    return admission_onions_.size() >= live;
+  });
+  admission_open_ = false;
+  return {std::move(admission_onions_), std::move(admission_contributors_)};
+}
+
+std::vector<util::Bytes> CoordinatorDaemon::SyntheticBatch(
+    const wire::RoundAnnouncement& announcement) {
+  sim::WorkloadConfig workload;
+  workload.num_users = config_.synthetic_users;
+  workload.pairing_fraction = 1.0;
+  workload.seed = config_.workload_seed + announcement.round;
+  workload.parallel = true;
+  if (announcement.type == wire::RoundType::kConversation) {
+    return sim::GenerateConversationWorkload(workload, public_keys_, announcement.round);
+  }
+  dialing::RoundConfig dial_config;
+  dial_config.num_real_drops =
+      announcement.num_dial_dead_drops > 1 ? announcement.num_dial_dead_drops - 1 : 1;
+  return sim::GenerateDialingWorkload(workload, public_keys_, announcement.round, dial_config,
+                                      config_.synthetic_dial_fraction);
+}
+
+void CoordinatorDaemon::CollectLoop(CoordDaemonResult& result) {
+  for (;;) {
+    PendingRound round;
+    {
+      std::unique_lock<std::mutex> lock(pending_mutex_);
+      pending_cv_.wait(lock, [this] { return !pending_.empty() || submitting_done_; });
+      if (pending_.empty()) {
+        return;
+      }
+      round = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    try {
+      if (round.announcement.type == wire::RoundType::kDialing) {
+        round.dialing.get();
+        ++result.dialing_rounds_completed;
+        // Acknowledge the round to contributing clients. Invitation
+        // *download* (kInvitationFetch against the round's table, §5.5) is
+        // CDN-shaped distribution and still an open ROADMAP item.
+        for (size_t contributor : round.contributors) {
+          ClientSlot& client = *clients_[contributor];
+          std::lock_guard<std::mutex> lock(client.send_mutex);
+          if (client.alive.load()) {
+            client.conn.SendFrame(
+                net::Frame{net::FrameType::kDialAck, round.announcement.round, {}});
+          }
+        }
+        continue;
+      }
+      mixnet::Chain::ConversationResult conversation = round.conversation.get();
+      result.messages_exchanged += conversation.messages_exchanged;
+      ++result.conversation_rounds_completed;
+      for (size_t slot = 0; slot < round.contributors.size(); ++slot) {
+        ClientSlot& client = *clients_[round.contributors[slot]];
+        std::lock_guard<std::mutex> lock(client.send_mutex);
+        if (client.alive.load()) {
+          client.conn.SendFrame(net::Frame{net::FrameType::kConversationResponse,
+                                           round.announcement.round,
+                                           std::move(conversation.responses[slot])});
+        }
+      }
+    } catch (const std::exception& e) {
+      // A dead or failing hop: this round is abandoned (its state at the
+      // surviving hops is reclaimed by the scheduler's expiry path) and the
+      // pipeline keeps moving.
+      ++result.rounds_abandoned;
+      VZ_LOG_WARN << "coordinator: abandoning round " << round.announcement.round << ": "
+                  << e.what();
+    }
+  }
+}
+
+CoordDaemonResult CoordinatorDaemon::Run() {
+  CoordDaemonResult result;
+
+  for (size_t i = 0; i < config_.num_clients; ++i) {
+    auto conn = client_listener_.Accept();
+    if (!conn) {
+      return result;
+    }
+    auto slot = std::make_unique<ClientSlot>();
+    slot->conn = std::move(*conn);
+    slot->alive.store(true);
+    clients_.push_back(std::move(slot));
+  }
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    clients_[i]->reader = std::thread([this, i] { ReadClient(i); });
+  }
+
+  engine::RoundScheduler scheduler(std::move(hop_transports_), config_.scheduler);
+  coord::RoundSchedule schedule(config_.schedule);
+  std::thread collector([this, &result] { CollectLoop(result); });
+
+  auto start = Clock::now();
+  for (uint64_t i = 0; i < config_.total_rounds; ++i) {
+    wire::RoundAnnouncement announcement = schedule.Next();
+    PendingRound pending;
+    pending.announcement = announcement;
+
+    std::vector<util::Bytes> batch;
+    if (clients_.empty()) {
+      batch = SyntheticBatch(announcement);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(admission_mutex_);
+        admission_open_ = true;
+        admission_round_ = announcement.round;
+        admission_type_ = announcement.type;
+        admission_onions_.clear();
+        admission_contributors_.clear();
+        admission_contributed_.assign(clients_.size(), 0);
+      }
+      BroadcastAnnouncement(announcement);
+      auto closed = CloseAdmission();
+      batch = std::move(closed.first);
+      pending.contributors = std::move(closed.second);
+    }
+
+    // Submit blocks while K rounds are in flight — the §8.3 backpressure.
+    if (announcement.type == wire::RoundType::kConversation) {
+      pending.conversation = scheduler.SubmitConversation(announcement.round, std::move(batch));
+    } else {
+      pending.dialing = scheduler.SubmitDialing(announcement.round, std::move(batch),
+                                                announcement.num_dial_dead_drops);
+    }
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      pending_.push_back(std::move(pending));
+    }
+    pending_cv_.notify_one();
+  }
+
+  scheduler.Drain();
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    submitting_done_ = true;
+  }
+  pending_cv_.notify_all();
+  collector.join();
+  result.wall_seconds = SecondsSince(start);
+
+  for (auto& client : clients_) {
+    {
+      std::lock_guard<std::mutex> lock(client->send_mutex);
+      if (client->alive.load()) {
+        client->conn.SendFrame(net::Frame{net::FrameType::kShutdown, 0, {}});
+      }
+    }
+    // Shutdown (not Close) wakes the reader thread safely; the descriptor is
+    // released only after the join, when the slot is destroyed.
+    client->conn.Shutdown();
+    client->reader.join();
+  }
+  clients_.clear();
+
+  if (config_.shutdown_hops_on_exit) {
+    for (TcpTransport* hop : tcp_hops_) {
+      hop->SendShutdown();
+    }
+  }
+  tcp_hops_.clear();
+  return result;
+}
+
+}  // namespace vuvuzela::transport

@@ -1,0 +1,151 @@
+// The coordinator process (§7).
+//
+// In the paper's deployment the first server coordinates rounds: it announces
+// the round number, holds the admission window open while clients submit
+// onions, closes the batch, and pushes it down the chain. CoordinatorDaemon
+// is that process for the hop-transport deployment: it connects one
+// TcpTransport per remote hop, drives rounds through engine::RoundScheduler
+// (K in flight, §8.3), and multiplexes client connections — the untrusted
+// entry-server role folded in, seeing only onion ciphertexts.
+//
+// Dead-hop handling: each hop transport carries a receive deadline, so a hop
+// that stops answering fails the rounds that touch it (HopTimeoutError
+// through the round future) instead of wedging the pipeline; the coordinator
+// counts the round abandoned and keeps announcing, and the scheduler's expiry
+// path reclaims the abandoned round's state at the surviving hops.
+//
+// Two client modes:
+//  * TCP clients (num_clients > 0): real connections, kRoundAnnouncement /
+//    kConversationRequest / kConversationResponse frames, a per-round
+//    admission window (clients that miss it are excluded from the batch).
+//  * Synthetic (num_clients == 0): the coordinator generates
+//    `synthetic_users` onions per round in-process (§8.1's simulated
+//    clients) — what the multi-process CI smoke and benches run.
+
+#ifndef VUVUZELA_SRC_TRANSPORT_COORD_DAEMON_H_
+#define VUVUZELA_SRC_TRANSPORT_COORD_DAEMON_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/coord/coordinator.h"
+#include "src/engine/round_scheduler.h"
+#include "src/net/tcp.h"
+#include "src/transport/tcp_transport.h"
+
+namespace vuvuzela::transport {
+
+struct HopEndpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct CoordDaemonConfig {
+  std::vector<HopEndpoint> hops;
+  engine::SchedulerConfig scheduler;
+  coord::ScheduleConfig schedule;
+  uint64_t total_rounds = 20;
+  // Admission window per round (client mode only; §3.1).
+  double admission_window_seconds = 0.05;
+  // Receive deadline per hop RPC — the dead-hop detector.
+  int hop_timeout_ms = 10000;
+  size_t chunk_payload = kDefaultChunkPayload;
+  // On exit, send kShutdown to every hop daemon (multi-process deployments).
+  bool shutdown_hops_on_exit = false;
+
+  // Client admission (TCP mode). 0 clients selects synthetic mode.
+  uint16_t client_port = 0;  // 0 picks an ephemeral port
+  size_t num_clients = 0;
+
+  // Synthetic mode.
+  uint64_t synthetic_users = 0;
+  double synthetic_dial_fraction = 0.05;
+  // Chain key-ceremony seed (must match the hop daemons'); synthetic onions
+  // are wrapped for the derived public keys.
+  uint64_t key_seed = 1;
+  uint64_t workload_seed = 1;
+};
+
+struct CoordDaemonResult {
+  uint64_t conversation_rounds_completed = 0;
+  uint64_t dialing_rounds_completed = 0;
+  uint64_t rounds_abandoned = 0;
+  uint64_t messages_exchanged = 0;
+  double wall_seconds = 0.0;
+};
+
+class CoordinatorDaemon {
+ public:
+  explicit CoordinatorDaemon(CoordDaemonConfig config);
+
+  // Connects every hop and (in client mode) binds the client listener.
+  // False if a hop is unreachable or the listener cannot bind.
+  bool Start();
+
+  // Valid after Start() in client mode.
+  uint16_t client_port() const { return client_listener_.port(); }
+
+  // Accepts clients (client mode), announces and drives all rounds, drains
+  // the pipeline, and shuts clients (and optionally hops) down.
+  CoordDaemonResult Run();
+
+ private:
+  struct ClientSlot {
+    net::TcpConnection conn;
+    std::mutex send_mutex;  // announcements and responses race on the socket
+    std::thread reader;
+    std::atomic<bool> alive{false};
+  };
+
+  struct PendingRound {
+    wire::RoundAnnouncement announcement;
+    std::vector<size_t> contributors;  // client index per batch slot
+    std::future<mixnet::Chain::ConversationResult> conversation;
+    std::future<mixnet::Chain::DialingResult> dialing;
+  };
+
+  void ReadClient(size_t index);
+  void BroadcastAnnouncement(const wire::RoundAnnouncement& announcement);
+  // Waits out the admission window (returning early once every live client
+  // contributed) and closes the round's batch.
+  std::pair<std::vector<util::Bytes>, std::vector<size_t>> CloseAdmission();
+  std::vector<util::Bytes> SyntheticBatch(const wire::RoundAnnouncement& announcement);
+  void CollectLoop(CoordDaemonResult& result);
+
+  CoordDaemonConfig config_;
+  std::vector<crypto::X25519PublicKey> public_keys_;
+  std::vector<std::unique_ptr<HopTransport>> hop_transports_;
+  std::vector<TcpTransport*> tcp_hops_;  // borrowed views for shutdown frames
+
+  net::TcpListener client_listener_;
+  std::vector<std::unique_ptr<ClientSlot>> clients_;
+
+  // Admission state for the currently announced round.
+  std::mutex admission_mutex_;
+  std::condition_variable admission_cv_;
+  bool admission_open_ = false;
+  uint64_t admission_round_ = 0;
+  wire::RoundType admission_type_ = wire::RoundType::kConversation;
+  std::vector<util::Bytes> admission_onions_;
+  std::vector<size_t> admission_contributors_;
+  // One onion per client per round: a client flooding duplicates must not
+  // close the window early, crowd out honest clients, or earn two responses.
+  std::vector<uint8_t> admission_contributed_;
+
+  // FIFO of submitted rounds awaiting completion (collector thread).
+  std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  std::deque<PendingRound> pending_;
+  bool submitting_done_ = false;
+};
+
+}  // namespace vuvuzela::transport
+
+#endif  // VUVUZELA_SRC_TRANSPORT_COORD_DAEMON_H_

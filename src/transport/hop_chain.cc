@@ -1,0 +1,114 @@
+#include "src/transport/hop_chain.h"
+
+#include <algorithm>
+
+#include "src/util/random.h"
+
+namespace vuvuzela::transport {
+
+ChainKeyMaterial DeriveChainKeys(uint64_t seed, size_t num_servers) {
+  // Same draw order as mixnet::Chain::Create — all key pairs first, then one
+  // RNG seed per server — so a chain derived here is byte-identical to one
+  // Chain::Create builds from an identically seeded RNG.
+  util::Xoshiro256Rng rng(seed);
+  ChainKeyMaterial keys;
+  keys.key_pairs.reserve(num_servers);
+  for (size_t i = 0; i < num_servers; ++i) {
+    keys.key_pairs.push_back(crypto::X25519KeyPair::Generate(rng));
+    keys.public_keys.push_back(keys.key_pairs.back().public_key);
+  }
+  keys.rng_seeds.resize(num_servers);
+  for (size_t i = 0; i < num_servers; ++i) {
+    rng.Fill(keys.rng_seeds[i]);
+  }
+  return keys;
+}
+
+std::unique_ptr<mixnet::MixServer> BuildMixServer(const mixnet::ChainConfig& config,
+                                                  const ChainKeyMaterial& keys, size_t position) {
+  mixnet::MixServerConfig server_config;
+  server_config.position = position;
+  server_config.chain_length = keys.key_pairs.size();
+  server_config.conversation_noise = config.conversation_noise;
+  server_config.dialing_noise = config.dialing_noise;
+  server_config.parallel = config.parallel;
+  server_config.exchange_shards = config.exchange_shards;
+  server_config.mix = std::find(config.non_mixing_positions.begin(),
+                                config.non_mixing_positions.end(),
+                                position) == config.non_mixing_positions.end();
+  return std::make_unique<mixnet::MixServer>(server_config, keys.key_pairs[position],
+                                             keys.public_keys, keys.rng_seeds[position]);
+}
+
+std::vector<std::unique_ptr<mixnet::MixServer>> BuildMixServers(const mixnet::ChainConfig& config,
+                                                                const ChainKeyMaterial& keys) {
+  std::vector<std::unique_ptr<mixnet::MixServer>> servers;
+  servers.reserve(keys.key_pairs.size());
+  for (size_t i = 0; i < keys.key_pairs.size(); ++i) {
+    servers.push_back(BuildMixServer(config, keys, i));
+  }
+  return servers;
+}
+
+std::vector<std::unique_ptr<HopTransport>> MakeLocalTransports(
+    const std::vector<std::unique_ptr<mixnet::MixServer>>& servers) {
+  std::vector<std::unique_ptr<HopTransport>> transports;
+  transports.reserve(servers.size());
+  for (const auto& server : servers) {
+    transports.push_back(std::make_unique<LocalTransport>(*server));
+  }
+  return transports;
+}
+
+std::unique_ptr<LoopbackChain> LoopbackChain::Start(const mixnet::ChainConfig& config,
+                                                    uint64_t seed, size_t chunk_payload) {
+  std::unique_ptr<LoopbackChain> chain(new LoopbackChain());
+  chain->keys_ = DeriveChainKeys(seed, config.num_servers);
+  chain->chunk_payload_ = chunk_payload;
+  for (size_t i = 0; i < config.num_servers; ++i) {
+    HopDaemonConfig daemon_config;
+    daemon_config.port = 0;
+    daemon_config.chunk_payload = chunk_payload;
+    auto daemon = HopDaemon::Create(daemon_config, BuildMixServer(config, chain->keys_, i));
+    if (!daemon) {
+      return nullptr;
+    }
+    chain->daemons_.push_back(std::move(daemon));
+  }
+  for (auto& daemon : chain->daemons_) {
+    chain->serve_threads_.emplace_back([d = daemon.get()] { d->Serve(); });
+  }
+  return chain;
+}
+
+LoopbackChain::~LoopbackChain() {
+  // Stop() closes each listener; a serve loop blocked on an idle connection
+  // notices at its next receive-poll tick.
+  for (auto& daemon : daemons_) {
+    daemon->Stop();
+  }
+  for (auto& thread : serve_threads_) {
+    thread.join();
+  }
+}
+
+std::vector<std::unique_ptr<HopTransport>> LoopbackChain::ConnectTransports(
+    int recv_timeout_ms) const {
+  std::vector<std::unique_ptr<HopTransport>> transports;
+  transports.reserve(daemons_.size());
+  for (const auto& daemon : daemons_) {
+    TcpTransportConfig config;
+    config.host = "127.0.0.1";
+    config.port = daemon->port();
+    config.recv_timeout_ms = recv_timeout_ms;
+    config.chunk_payload = chunk_payload_;
+    auto transport = TcpTransport::Connect(config);
+    if (!transport) {
+      return {};
+    }
+    transports.push_back(std::move(transport));
+  }
+  return transports;
+}
+
+}  // namespace vuvuzela::transport

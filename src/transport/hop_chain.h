@@ -1,0 +1,88 @@
+// Chain construction for multi-process deployments.
+//
+// Every process in a deployment — hop daemons, the coordinator, synthetic
+// clients — must agree on the chain's key material and noise parameters.
+// DeriveChainKeys is the demo-grade key ceremony: all processes derive the
+// full chain deterministically from a shared seed, and each hop keeps only
+// its own secret (a real deployment would distribute keys out-of-band; the
+// wire protocol does not care). The derivation also fixes each server's
+// noise-RNG seed, which is what makes a LocalTransport chain and a TCP chain
+// built from the same seed byte-identical — the transport conformance tests
+// lean on that.
+//
+// LoopbackChain is the §7 topology without the processes: N HopDaemons on
+// ephemeral loopback ports, each served from its own thread, plus factory
+// methods for the matching TcpTransports. Tests, the TRANSPORT bench section,
+// and examples/tcp_demo all deploy through it.
+
+#ifndef VUVUZELA_SRC_TRANSPORT_HOP_CHAIN_H_
+#define VUVUZELA_SRC_TRANSPORT_HOP_CHAIN_H_
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/mixnet/chain.h"
+#include "src/transport/hop_daemon.h"
+#include "src/transport/hop_transport.h"
+#include "src/transport/tcp_transport.h"
+
+namespace vuvuzela::transport {
+
+struct ChainKeyMaterial {
+  std::vector<crypto::X25519KeyPair> key_pairs;
+  std::vector<crypto::X25519PublicKey> public_keys;
+  // Per-server noise/shuffle RNG seed.
+  std::vector<crypto::ChaCha20Key> rng_seeds;
+};
+
+// Deterministically derives the whole chain's key material from `seed`.
+ChainKeyMaterial DeriveChainKeys(uint64_t seed, size_t num_servers);
+
+// Builds the MixServer for `position` of a chain with the given key material
+// and shared noise configuration (mirrors mixnet::Chain::Create).
+std::unique_ptr<mixnet::MixServer> BuildMixServer(const mixnet::ChainConfig& config,
+                                                  const ChainKeyMaterial& keys, size_t position);
+
+// Builds all servers in-process (the LocalTransport backend of the
+// conformance suite; byte-identical to a LoopbackChain from the same inputs).
+std::vector<std::unique_ptr<mixnet::MixServer>> BuildMixServers(const mixnet::ChainConfig& config,
+                                                                const ChainKeyMaterial& keys);
+
+// Wraps in-process servers as scheduler-ready transports. The servers must
+// outlive the transports.
+std::vector<std::unique_ptr<HopTransport>> MakeLocalTransports(
+    const std::vector<std::unique_ptr<mixnet::MixServer>>& servers);
+
+class LoopbackChain {
+ public:
+  // Spawns one HopDaemon per server on an ephemeral loopback port, each
+  // serving from its own thread. nullptr if a listener cannot bind.
+  static std::unique_ptr<LoopbackChain> Start(const mixnet::ChainConfig& config, uint64_t seed,
+                                              size_t chunk_payload = kDefaultChunkPayload);
+
+  ~LoopbackChain();
+
+  LoopbackChain(const LoopbackChain&) = delete;
+  LoopbackChain& operator=(const LoopbackChain&) = delete;
+
+  size_t size() const { return daemons_.size(); }
+  uint16_t port(size_t position) const { return daemons_[position]->port(); }
+  const std::vector<crypto::X25519PublicKey>& public_keys() const { return keys_.public_keys; }
+
+  // Connects one TcpTransport per hop; empty vector if any hop is
+  // unreachable.
+  std::vector<std::unique_ptr<HopTransport>> ConnectTransports(int recv_timeout_ms = 10000) const;
+
+ private:
+  LoopbackChain() = default;
+
+  ChainKeyMaterial keys_;
+  size_t chunk_payload_ = kDefaultChunkPayload;
+  std::vector<std::unique_ptr<HopDaemon>> daemons_;
+  std::vector<std::thread> serve_threads_;
+};
+
+}  // namespace vuvuzela::transport
+
+#endif  // VUVUZELA_SRC_TRANSPORT_HOP_CHAIN_H_

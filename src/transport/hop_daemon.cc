@@ -1,0 +1,205 @@
+#include "src/transport/hop_daemon.h"
+
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "src/util/logging.h"
+#include "src/wire/serde.h"
+
+namespace vuvuzela::transport {
+
+namespace {
+
+bool IsHopOp(net::FrameType type) {
+  switch (type) {
+    case net::FrameType::kHopForwardConversation:
+    case net::FrameType::kHopBackwardConversation:
+    case net::FrameType::kHopLastConversation:
+    case net::FrameType::kHopForwardDialing:
+    case net::FrameType::kHopLastDialing:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool SendError(net::TcpConnection& conn, uint64_t round, const std::string& message) {
+  return conn.SendFrame(
+      net::Frame{net::FrameType::kHopError, round, util::Bytes(message.begin(), message.end())});
+}
+
+util::Bytes PackDrop(const std::vector<wire::Invitation>& invitations) {
+  util::Bytes packed;
+  packed.reserve(invitations.size() * wire::kInvitationSize);
+  for (const auto& invitation : invitations) {
+    util::Append(packed, invitation);
+  }
+  return packed;
+}
+
+}  // namespace
+
+HopDaemon::HopDaemon(const HopDaemonConfig& config, std::unique_ptr<mixnet::MixServer> server,
+                     net::TcpListener listener)
+    : config_(config), server_(std::move(server)), listener_(std::move(listener)) {}
+
+std::unique_ptr<HopDaemon> HopDaemon::Create(const HopDaemonConfig& config,
+                                             std::unique_ptr<mixnet::MixServer> server) {
+  auto listener = net::TcpListener::Listen(config.port);
+  if (!listener) {
+    return nullptr;
+  }
+  return std::unique_ptr<HopDaemon>(
+      new HopDaemon(config, std::move(server), std::move(*listener)));
+}
+
+void HopDaemon::Serve() {
+  while (!stop_.load()) {
+    auto conn = listener_.Accept();
+    if (!conn) {
+      return;  // listener closed (Stop) or unrecoverable accept error
+    }
+    if (!ServeConnection(*conn)) {
+      return;  // orderly kShutdown
+    }
+  }
+}
+
+void HopDaemon::Stop() {
+  stop_.store(true);
+  // Shutdown (not Close) is safe against a Serve thread blocked in Accept;
+  // the descriptor is released when the daemon is destroyed, after the
+  // owner joins that thread.
+  listener_.Shutdown();
+}
+
+bool HopDaemon::ServeConnection(net::TcpConnection& conn) {
+  if (config_.poll_interval_ms > 0) {
+    conn.SetRecvTimeout(config_.poll_interval_ms);
+  }
+  for (;;) {
+    auto frame = conn.RecvFrame();
+    if (!frame) {
+      if (conn.last_recv_status() == net::RecvStatus::kTimeout) {
+        // Idle poll tick: keep waiting unless Stop() was requested.
+        if (stop_.load()) {
+          return false;
+        }
+        continue;
+      }
+      return true;  // coordinator gone or garbage framing; await a reconnect
+    }
+    if (frame->type == net::FrameType::kShutdown) {
+      stop_.store(true);
+      return false;
+    }
+    if (!IsHopOp(frame->type)) {
+      if (!SendError(conn, frame->round, "unsupported hop op")) {
+        return true;
+      }
+      continue;
+    }
+    // The poll deadline is for *idle* waits between RPCs; once a batch
+    // message has started, wait as long as its chunks take (a stalled
+    // coordinator mid-batch only stalls this one connection).
+    if (config_.poll_interval_ms > 0) {
+      conn.SetRecvTimeout(0);
+    }
+    auto request = ReadBatchMessage(conn, std::move(*frame));
+    if (config_.poll_interval_ms > 0) {
+      conn.SetRecvTimeout(config_.poll_interval_ms);
+    }
+    if (!request) {
+      if (conn.last_recv_status() != net::RecvStatus::kOk) {
+        return true;  // the connection itself failed mid-batch
+      }
+      // Chunk content was malformed but framing stayed aligned: report and
+      // keep serving.
+      if (!SendError(conn, 0, "malformed batch message")) {
+        return true;
+      }
+      continue;
+    }
+    if (!Dispatch(conn, std::move(*request))) {
+      return true;
+    }
+  }
+}
+
+bool HopDaemon::Dispatch(net::TcpConnection& conn, BatchMessage request) {
+  rpcs_served_.fetch_add(1);
+  wire::Reader header(request.header);
+  mixnet::ServerRoundStats stats;
+  try {
+    switch (request.op) {
+      case net::FrameType::kHopForwardConversation: {
+        auto expire_newest = header.U64();
+        auto expire_keep = header.U64();
+        if (!expire_keep) {
+          return SendError(conn, request.round, "truncated forward header");
+        }
+        if (*expire_newest != 0 || *expire_keep != 0) {
+          server_->ExpireRounds(*expire_newest, *expire_keep);
+        }
+        auto batch =
+            server_->ForwardConversation(request.round, std::move(request.items), &stats);
+        wire::Writer reply(48);
+        WriteStats(reply, stats);
+        return SendBatchMessage(conn, request.op, request.round, reply.Take(), batch,
+                                config_.chunk_payload);
+      }
+      case net::FrameType::kHopBackwardConversation: {
+        auto responses =
+            server_->BackwardConversation(request.round, std::move(request.items), &stats);
+        wire::Writer reply(48);
+        WriteStats(reply, stats);
+        return SendBatchMessage(conn, request.op, request.round, reply.Take(), responses,
+                                config_.chunk_payload);
+      }
+      case net::FrameType::kHopLastConversation: {
+        auto result =
+            server_->ProcessConversationLastHop(request.round, std::move(request.items), &stats);
+        wire::Writer reply(80);
+        WriteStats(reply, stats);
+        WriteHistogram(reply, result.histogram, result.messages_exchanged);
+        return SendBatchMessage(conn, request.op, request.round, reply.Take(), result.responses,
+                                config_.chunk_payload);
+      }
+      case net::FrameType::kHopForwardDialing:
+      case net::FrameType::kHopLastDialing: {
+        auto num_drops = header.U32();
+        if (!num_drops) {
+          return SendError(conn, request.round, "truncated dialing header");
+        }
+        if (request.op == net::FrameType::kHopForwardDialing) {
+          auto batch = server_->ForwardDialing(request.round, std::move(request.items),
+                                               *num_drops, &stats);
+          wire::Writer reply(48);
+          WriteStats(reply, stats);
+          return SendBatchMessage(conn, request.op, request.round, reply.Take(), batch,
+                                  config_.chunk_payload);
+        }
+        deaddrop::InvitationTable table = server_->ProcessDialingLastHop(
+            request.round, std::move(request.items), *num_drops, &stats);
+        std::vector<util::Bytes> drops;
+        drops.reserve(table.num_drops());
+        for (uint32_t i = 0; i < table.num_drops(); ++i) {
+          drops.push_back(PackDrop(table.Drop(i)));
+        }
+        wire::Writer reply(48);
+        WriteStats(reply, stats);
+        return SendBatchMessage(conn, request.op, request.round, reply.Take(), drops,
+                                config_.chunk_payload);
+      }
+      default:
+        return SendError(conn, request.round, "unsupported hop op");
+    }
+  } catch (const std::exception& e) {
+    // One failed pass must not take the hop down: report it and keep serving.
+    VZ_LOG_WARN << "hop pass failed (round " << request.round << "): " << e.what();
+    return SendError(conn, request.round, e.what());
+  }
+}
+
+}  // namespace vuvuzela::transport

@@ -1,0 +1,75 @@
+// One chain hop as a network service (§7: one process per server).
+//
+// A HopDaemon owns one mixnet::MixServer and serves the hop RPC protocol on
+// a loopback TCP listener: kHopForwardConversation / kHopBackwardConversation
+// for the two conversation passes, kHopLastConversation for the dead-drop
+// exchange at the last hop, and the dialing equivalents. Requests and
+// responses are chunked batch messages (hop_wire.h), so paper-scale batches
+// stream through in bounded memory.
+//
+// One connection is served at a time, and frames on it are processed in
+// arrival order — the daemon *is* the engine's stage-serialization unit (a
+// server cannot start a pass until it has the previous hop's whole batch,
+// §8.2); per-request crypto inside a pass still fans out over the global
+// thread pool. A pass that throws is reported back as a kHopError frame and
+// the daemon keeps serving: one poisoned round must not take the hop down.
+
+#ifndef VUVUZELA_SRC_TRANSPORT_HOP_DAEMON_H_
+#define VUVUZELA_SRC_TRANSPORT_HOP_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/mixnet/mix_server.h"
+#include "src/net/tcp.h"
+#include "src/transport/hop_wire.h"
+
+namespace vuvuzela::transport {
+
+struct HopDaemonConfig {
+  // 0 picks an ephemeral port (port() reports the binding).
+  uint16_t port = 0;
+  // Chunk budget for outgoing batch messages.
+  size_t chunk_payload = kDefaultChunkPayload;
+  // Receive-poll interval on accepted connections: an idle wait between RPCs
+  // wakes up this often to honor Stop(). Mid-batch chunk waits are untimed —
+  // a slow coordinator stalls only its own connection (EOF still ends it).
+  int poll_interval_ms = 500;
+};
+
+class HopDaemon {
+ public:
+  // Binds the listener; nullptr if the port is unavailable.
+  static std::unique_ptr<HopDaemon> Create(const HopDaemonConfig& config,
+                                           std::unique_ptr<mixnet::MixServer> server);
+
+  uint16_t port() const { return listener_.port(); }
+  uint64_t rpcs_served() const { return rpcs_served_.load(); }
+
+  // Serves connections until a kShutdown frame arrives or Stop() is called.
+  // Connections are served one at a time; a dropped coordinator can
+  // reconnect.
+  void Serve();
+
+  // Unblocks Serve() from another thread.
+  void Stop();
+
+ private:
+  HopDaemon(const HopDaemonConfig& config, std::unique_ptr<mixnet::MixServer> server,
+            net::TcpListener listener);
+
+  // Returns false once the daemon should stop serving entirely.
+  bool ServeConnection(net::TcpConnection& conn);
+  bool Dispatch(net::TcpConnection& conn, BatchMessage request);
+
+  HopDaemonConfig config_;
+  std::unique_ptr<mixnet::MixServer> server_;
+  net::TcpListener listener_;
+  std::atomic<uint64_t> rpcs_served_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace vuvuzela::transport
+
+#endif  // VUVUZELA_SRC_TRANSPORT_HOP_DAEMON_H_

@@ -1,0 +1,110 @@
+// Hop transport abstraction (§7 deployment topology).
+//
+// The round engine pipelines a round across chain stages; each stage drives
+// one *hop* through this interface. LocalTransport wraps an in-process
+// mixnet::MixServer — the seed behavior, used by tests and single-machine
+// benches. TcpTransport (tcp_transport.h) speaks the hop RPC protocol to a
+// remote HopDaemon, one process per chain server, which is the paper's
+// deployment: each server is a network-isolated unit that touches only its
+// slice of traffic.
+//
+// A transport call either returns the pass result or throws: HopError for a
+// protocol/connection failure, HopTimeoutError when the hop stopped
+// responding (the receive deadline elapsed). The scheduler's failure path
+// turns either into a failed round; its expiry path reclaims the abandoned
+// round's state at the surviving hops.
+
+#ifndef VUVUZELA_SRC_TRANSPORT_HOP_TRANSPORT_H_
+#define VUVUZELA_SRC_TRANSPORT_HOP_TRANSPORT_H_
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/mixnet/mix_server.h"
+
+namespace vuvuzela::transport {
+
+class HopError : public std::runtime_error {
+ public:
+  explicit HopError(const std::string& message) : std::runtime_error(message) {}
+};
+
+// The hop exists but stopped answering within the receive deadline — the
+// round should be abandoned without tearing down the rest of the chain.
+class HopTimeoutError : public HopError {
+ public:
+  explicit HopTimeoutError(const std::string& message) : HopError(message) {}
+};
+
+class HopTransport {
+ public:
+  virtual ~HopTransport() = default;
+
+  // --- Conversation passes (Algorithm 2) ----------------------------------
+  virtual std::vector<util::Bytes> ForwardConversation(uint64_t round,
+                                                       std::vector<util::Bytes> batch,
+                                                       mixnet::ServerRoundStats* stats) = 0;
+  virtual std::vector<util::Bytes> BackwardConversation(uint64_t round,
+                                                        std::vector<util::Bytes> responses,
+                                                        mixnet::ServerRoundStats* stats) = 0;
+  virtual mixnet::MixServer::LastServerResult ProcessConversationLastHop(
+      uint64_t round, std::vector<util::Bytes> batch, mixnet::ServerRoundStats* stats) = 0;
+
+  // --- Dialing passes (§5.5, forward-only) --------------------------------
+  virtual std::vector<util::Bytes> ForwardDialing(uint64_t round, std::vector<util::Bytes> batch,
+                                                  uint32_t num_drops,
+                                                  mixnet::ServerRoundStats* stats) = 0;
+  virtual deaddrop::InvitationTable ProcessDialingLastHop(uint64_t round,
+                                                          std::vector<util::Bytes> batch,
+                                                          uint32_t num_drops,
+                                                          mixnet::ServerRoundStats* stats) = 0;
+
+  // --- Hygiene ------------------------------------------------------------
+
+  // Sheds per-round state older than `newest_round - keep` at the hop.
+  // Remote backends may defer this and piggyback it on the next forward
+  // pass (the scheduler always calls it immediately before one).
+  virtual void ExpireRounds(uint64_t newest_round, uint64_t keep) = 0;
+};
+
+// In-process backend: the stage calls the MixServer directly. The server must
+// outlive the transport.
+class LocalTransport : public HopTransport {
+ public:
+  explicit LocalTransport(mixnet::MixServer& server) : server_(server) {}
+
+  std::vector<util::Bytes> ForwardConversation(uint64_t round, std::vector<util::Bytes> batch,
+                                               mixnet::ServerRoundStats* stats) override {
+    return server_.ForwardConversation(round, std::move(batch), stats);
+  }
+  std::vector<util::Bytes> BackwardConversation(uint64_t round,
+                                                std::vector<util::Bytes> responses,
+                                                mixnet::ServerRoundStats* stats) override {
+    return server_.BackwardConversation(round, std::move(responses), stats);
+  }
+  mixnet::MixServer::LastServerResult ProcessConversationLastHop(
+      uint64_t round, std::vector<util::Bytes> batch, mixnet::ServerRoundStats* stats) override {
+    return server_.ProcessConversationLastHop(round, std::move(batch), stats);
+  }
+  std::vector<util::Bytes> ForwardDialing(uint64_t round, std::vector<util::Bytes> batch,
+                                          uint32_t num_drops,
+                                          mixnet::ServerRoundStats* stats) override {
+    return server_.ForwardDialing(round, std::move(batch), num_drops, stats);
+  }
+  deaddrop::InvitationTable ProcessDialingLastHop(uint64_t round, std::vector<util::Bytes> batch,
+                                                  uint32_t num_drops,
+                                                  mixnet::ServerRoundStats* stats) override {
+    return server_.ProcessDialingLastHop(round, std::move(batch), num_drops, stats);
+  }
+  void ExpireRounds(uint64_t newest_round, uint64_t keep) override {
+    server_.ExpireRounds(newest_round, keep);
+  }
+
+ private:
+  mixnet::MixServer& server_;
+};
+
+}  // namespace vuvuzela::transport
+
+#endif  // VUVUZELA_SRC_TRANSPORT_HOP_TRANSPORT_H_

@@ -1,0 +1,194 @@
+#include "src/transport/hop_wire.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace vuvuzela::transport {
+
+namespace {
+
+constexpr size_t kFirstChunkFixedOverhead = 1 + 4 + 4;  // flags + header_len + item_count
+constexpr size_t kContinuationOverhead = 1 + 4;         // flags + item_count
+
+// Greedily packs items into chunks of at most `max_chunk_payload` payload
+// bytes and hands each finished frame to `emit`. Items never straddle chunks.
+bool BuildChunks(net::FrameType op, uint64_t round, util::ByteSpan header,
+                 const std::vector<util::Bytes>& items, size_t max_chunk_payload,
+                 const std::function<bool(net::Frame&&)>& emit) {
+  if (op == net::FrameType::kBatchChunk || max_chunk_payload > net::kMaxFramePayload) {
+    return false;
+  }
+  if (kFirstChunkFixedOverhead + header.size() > max_chunk_payload) {
+    return false;
+  }
+  size_t next = 0;
+  bool first = true;
+  do {
+    size_t used = first ? kFirstChunkFixedOverhead + header.size() : kContinuationOverhead;
+    size_t begin = next;
+    while (next < items.size() && used + 4 + items[next].size() <= max_chunk_payload) {
+      used += 4 + items[next].size();
+      ++next;
+    }
+    if (next == begin && next < items.size()) {
+      return false;  // a single item exceeds the chunk budget
+    }
+    bool last = next == items.size();
+    wire::Writer w(used);
+    w.U8(last ? 1 : 0);
+    if (first) {
+      w.U32(static_cast<uint32_t>(header.size()));
+      w.Raw(header);
+    }
+    w.U32(static_cast<uint32_t>(next - begin));
+    for (size_t i = begin; i < next; ++i) {
+      w.Var(items[i]);
+    }
+    if (!emit(net::Frame{first ? op : net::FrameType::kBatchChunk, round, w.Take()})) {
+      return false;
+    }
+    first = false;
+  } while (next < items.size());
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<net::Frame>> EncodeBatchChunks(net::FrameType op, uint64_t round,
+                                                         util::ByteSpan header,
+                                                         const std::vector<util::Bytes>& items,
+                                                         size_t max_chunk_payload) {
+  std::vector<net::Frame> frames;
+  if (!BuildChunks(op, round, header, items, max_chunk_payload, [&](net::Frame&& frame) {
+        frames.push_back(std::move(frame));
+        return true;
+      })) {
+    return std::nullopt;
+  }
+  return frames;
+}
+
+BatchAssembler::Status BatchAssembler::Fail(const std::string& message) {
+  error_ = message;
+  return Status::kError;
+}
+
+BatchAssembler::Status BatchAssembler::Consume(const net::Frame& frame) {
+  if (done_) {
+    return Fail("chunk after final chunk");
+  }
+  peak_frame_bytes_ = std::max(peak_frame_bytes_, frame.payload.size());
+  wire::Reader r(frame.payload);
+  auto flags = r.U8();
+  if (!flags || *flags > 1) {
+    return Fail("bad chunk flags");
+  }
+  if (!started_) {
+    if (frame.type == net::FrameType::kBatchChunk) {
+      return Fail("continuation chunk before first frame");
+    }
+    message_.op = frame.type;
+    message_.round = frame.round;
+    auto header = r.Var();
+    if (!header) {
+      return Fail("truncated header");
+    }
+    message_.header.assign(header->begin(), header->end());
+    started_ = true;
+  } else {
+    if (frame.type != net::FrameType::kBatchChunk) {
+      return Fail("expected continuation chunk");
+    }
+    if (frame.round != message_.round) {
+      return Fail("chunk round mismatch");
+    }
+  }
+  auto count = r.U32();
+  if (!count) {
+    return Fail("truncated item count");
+  }
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto item = r.Var();
+    if (!item) {
+      return Fail("truncated item");
+    }
+    total_item_bytes_ += 4 + item->size();  // count encoding overhead too
+    if (total_item_bytes_ > max_message_bytes_) {
+      return Fail("batch message exceeds size ceiling");
+    }
+    message_.items.emplace_back(item->begin(), item->end());
+  }
+  if (!r.AtEnd()) {
+    return Fail("trailing bytes in chunk");
+  }
+  if (*flags & 1) {
+    done_ = true;
+    return Status::kDone;
+  }
+  return Status::kNeedMore;
+}
+
+BatchMessage BatchAssembler::Take() { return std::move(message_); }
+
+bool SendBatchMessage(net::TcpConnection& conn, net::FrameType op, uint64_t round,
+                      util::ByteSpan header, const std::vector<util::Bytes>& items,
+                      size_t max_chunk_payload) {
+  return BuildChunks(op, round, header, items, max_chunk_payload,
+                     [&](net::Frame&& frame) { return conn.SendFrame(frame); });
+}
+
+std::optional<BatchMessage> ReadBatchMessage(net::TcpConnection& conn, net::Frame first) {
+  BatchAssembler assembler;
+  BatchAssembler::Status status = assembler.Consume(first);
+  first.payload.clear();  // the assembler copied what it needs; free the wire buffer
+  while (status == BatchAssembler::Status::kNeedMore) {
+    auto frame = conn.RecvFrame();
+    if (!frame) {
+      return std::nullopt;
+    }
+    status = assembler.Consume(*frame);
+  }
+  if (status != BatchAssembler::Status::kDone) {
+    return std::nullopt;
+  }
+  return assembler.Take();
+}
+
+void WriteStats(wire::Writer& w, const mixnet::ServerRoundStats& stats) {
+  w.U64(stats.requests_in);
+  w.U64(stats.requests_dropped);
+  w.U64(stats.noise_requests_added);
+  w.U64(stats.bytes_in);
+  w.U64(stats.bytes_out);
+  w.U64(stats.dh_ops);
+}
+
+std::optional<mixnet::ServerRoundStats> ReadStats(wire::Reader& r) {
+  mixnet::ServerRoundStats stats;
+  auto requests_in = r.U64();
+  auto dropped = r.U64();
+  auto noise = r.U64();
+  auto bytes_in = r.U64();
+  auto bytes_out = r.U64();
+  auto dh_ops = r.U64();
+  if (!dh_ops) {
+    return std::nullopt;
+  }
+  stats.requests_in = *requests_in;
+  stats.requests_dropped = *dropped;
+  stats.noise_requests_added = *noise;
+  stats.bytes_in = *bytes_in;
+  stats.bytes_out = *bytes_out;
+  stats.dh_ops = *dh_ops;
+  return stats;
+}
+
+void WriteHistogram(wire::Writer& w, const deaddrop::AccessHistogram& histogram,
+                    uint64_t messages_exchanged) {
+  w.U64(histogram.singles);
+  w.U64(histogram.pairs);
+  w.U64(histogram.crowded);
+  w.U64(messages_exchanged);
+}
+
+}  // namespace vuvuzela::transport

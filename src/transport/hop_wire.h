@@ -1,0 +1,120 @@
+// Wire encoding for the hop RPC protocol (transport/hop_transport.h).
+//
+// Every hop RPC — a mix pass request or its response — is a *batch message*:
+// an op (net::FrameType), a round number, a small op-specific header, and a
+// list of fixed-size items (onions, responses, or invitation drops). A paper
+// scale batch (2.2M requests × 416 bytes ≈ 900 MB) exceeds
+// net::kMaxFramePayload, so a batch message is chunked: the first frame
+// carries the op type, the header, and a first slice of items; continuation
+// frames (net::FrameType::kBatchChunk) carry further slices; a flag bit marks
+// the last chunk. Items never straddle chunks, so the receiver decodes each
+// chunk as it arrives and frees the wire buffer before the next one — peak
+// transient memory is one chunk, not one batch (BatchAssembler keeps the
+// measured bound for tests).
+//
+// Chunk payload layout:
+//   first frame  (type = op):          [u8 flags][u32 header_len][header]
+//                                      [u32 item_count][u32 len ‖ item]...
+//   continuation (type = kBatchChunk): [u8 flags][u32 item_count]
+//                                      [u32 len ‖ item]...
+//   flags bit 0: this is the final chunk of the message.
+
+#ifndef VUVUZELA_SRC_TRANSPORT_HOP_WIRE_H_
+#define VUVUZELA_SRC_TRANSPORT_HOP_WIRE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/deaddrop/conversation_table.h"
+#include "src/mixnet/mix_server.h"
+#include "src/net/frame.h"
+#include "src/net/tcp.h"
+#include "src/wire/serde.h"
+
+namespace vuvuzela::transport {
+
+// Default per-chunk payload target. Small enough that a paper-scale batch
+// streams hop-to-hop in bounded memory, large enough to amortize syscalls.
+inline constexpr size_t kDefaultChunkPayload = 8u << 20;
+
+// Ceiling on one reassembled batch message (sum of item bytes). Chunking
+// removes the per-frame cap, so without this a peer could stream final-flag-
+// less continuations until the receiver OOMs. 4 GB clears a paper-scale
+// conversation batch (2.2M requests ≈ 1 GB) with headroom.
+inline constexpr size_t kMaxBatchMessageBytes = 4ull << 30;
+
+// One decoded hop RPC message.
+struct BatchMessage {
+  net::FrameType op = net::FrameType::kHopError;
+  uint64_t round = 0;
+  util::Bytes header;
+  std::vector<util::Bytes> items;
+};
+
+// Splits a batch message into frames, none of whose payloads exceed
+// `max_chunk_payload`. Fails (nullopt) only if the header or a single item
+// cannot fit into one chunk. Tests use small limits to force chunking; the
+// send path streams chunk-by-chunk instead of materializing this vector.
+std::optional<std::vector<net::Frame>> EncodeBatchChunks(
+    net::FrameType op, uint64_t round, util::ByteSpan header,
+    const std::vector<util::Bytes>& items, size_t max_chunk_payload = kDefaultChunkPayload);
+
+// Streaming reassembly of one batch message from its chunk frames. Feed
+// frames in arrival order; the assembler validates op/round consistency and
+// per-chunk structure, decoding items incrementally (it never concatenates
+// chunk payloads).
+class BatchAssembler {
+ public:
+  enum class Status { kNeedMore, kDone, kError };
+
+  explicit BatchAssembler(size_t max_message_bytes = kMaxBatchMessageBytes)
+      : max_message_bytes_(max_message_bytes) {}
+
+  Status Consume(const net::Frame& frame);
+
+  // Valid once Consume returned kDone.
+  BatchMessage Take();
+
+  // Largest single frame payload held while assembling — the streaming-decode
+  // memory bound (independent of total batch size).
+  size_t peak_frame_bytes() const { return peak_frame_bytes_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  Status Fail(const std::string& message);
+
+  BatchMessage message_;
+  size_t max_message_bytes_;
+  size_t total_item_bytes_ = 0;
+  bool started_ = false;
+  bool done_ = false;
+  size_t peak_frame_bytes_ = 0;
+  std::string error_;
+};
+
+// Sends one batch message over `conn`, encoding and shipping one chunk at a
+// time (peak transient memory: one chunk).
+bool SendBatchMessage(net::TcpConnection& conn, net::FrameType op, uint64_t round,
+                      util::ByteSpan header, const std::vector<util::Bytes>& items,
+                      size_t max_chunk_payload = kDefaultChunkPayload);
+
+// Reassembles the batch message whose first frame the caller already read.
+// nullopt on I/O failure or malformed chunking (conn.last_recv_status()
+// distinguishes timeout from EOF on the I/O side).
+std::optional<BatchMessage> ReadBatchMessage(net::TcpConnection& conn, net::Frame first);
+
+// --- Op-specific header encoding -------------------------------------------
+
+// Per-pass server counters: prefix of every hop RPC response header.
+void WriteStats(wire::Writer& w, const mixnet::ServerRoundStats& stats);
+std::optional<mixnet::ServerRoundStats> ReadStats(wire::Reader& r);
+
+// kHopLastConversation response header tail: the round's observable variables
+// plus the exchange count.
+void WriteHistogram(wire::Writer& w, const deaddrop::AccessHistogram& histogram,
+                    uint64_t messages_exchanged);
+
+}  // namespace vuvuzela::transport
+
+#endif  // VUVUZELA_SRC_TRANSPORT_HOP_WIRE_H_

@@ -3,10 +3,16 @@
 #ifndef VUVUZELA_SRC_UTIL_STATS_H_
 #define VUVUZELA_SRC_UTIL_STATS_H_
 
+#include <chrono>
 #include <cstddef>
 #include <vector>
 
 namespace vuvuzela::util {
+
+// Elapsed wall-clock seconds since `start`.
+inline double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
 
 // Accumulates samples and answers summary queries. Not thread-safe.
 class Summary {

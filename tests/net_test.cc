@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <future>
 #include <thread>
 
 #include "src/net/frame.h"
@@ -134,7 +141,86 @@ TEST(Tcp, EofOnPeerClose) {
   auto client = TcpConnection::Connect("127.0.0.1", listener->port());
   ASSERT_TRUE(client.has_value());
   EXPECT_FALSE(client->RecvFrame().has_value());
+  EXPECT_EQ(client->last_recv_status(), RecvStatus::kEof);
   server.join();
+}
+
+// A dead peer must surface as a timeout — a distinct error from EOF — so a
+// stage waiting on a wedged hop can abandon the round instead of blocking
+// its worker thread forever.
+TEST(Tcp, RecvDeadlineTimesOutDistinctFromEof) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.has_value());
+  std::promise<void> close_now;
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    close_now.get_future().wait();  // hold the connection open, send nothing
+    conn->Close();
+  });
+
+  auto client = TcpConnection::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  ASSERT_TRUE(client->SetRecvTimeout(100));
+  EXPECT_FALSE(client->RecvFrame().has_value());
+  EXPECT_EQ(client->last_recv_status(), RecvStatus::kTimeout);
+
+  close_now.set_value();
+  // After the peer actually closes, the same connection reports EOF, not a
+  // timeout (retry through any deadline that fires before the close lands).
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(client->RecvFrame().has_value());
+    if (client->last_recv_status() != RecvStatus::kTimeout) {
+      break;
+    }
+  }
+  EXPECT_EQ(client->last_recv_status(), RecvStatus::kEof);
+  server.join();
+}
+
+// The deadline only fires at frame boundaries: a frame whose bytes trickle in
+// slower than the deadline still completes (aborting mid-frame would
+// desynchronize the stream), and a peer dying mid-frame surfaces as EOF.
+TEST(Tcp, RecvDeadlineToleratesSlowMidFrameProgress) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.has_value());
+
+  // A raw client that sends a frame in two halves with a stall longer than
+  // the receive deadline in between.
+  int raw = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(raw, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(listener->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(raw, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  Frame frame{FrameType::kDialAck, 3, {7, 7, 7}};
+  util::Bytes encoded = EncodeFrame(frame);
+  util::Bytes wire(4);
+  util::StoreBe32(wire.data(), static_cast<uint32_t>(encoded.size()));
+  wire.insert(wire.end(), encoded.begin(), encoded.end());
+
+  std::thread sender([&] {
+    ASSERT_EQ(::send(raw, wire.data(), 2, 0), 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    ASSERT_EQ(::send(raw, wire.data() + 2, wire.size() - 2, 0),
+              static_cast<ssize_t>(wire.size() - 2));
+  });
+
+  auto server_side = listener->Accept();
+  ASSERT_TRUE(server_side.has_value());
+  ASSERT_TRUE(server_side->SetRecvTimeout(100));
+  auto received = server_side->RecvFrame();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->round, 3u);
+  EXPECT_EQ(received->payload, frame.payload);
+  sender.join();
+
+  // A peer dying mid-frame is EOF, not a timeout.
+  ASSERT_EQ(::send(raw, wire.data(), 3, 0), 3);
+  ::close(raw);
+  EXPECT_FALSE(server_side->RecvFrame().has_value());
+  EXPECT_EQ(server_side->last_recv_status(), RecvStatus::kEof);
 }
 
 TEST(Tcp, ConnectToClosedPortFails) {

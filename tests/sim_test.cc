@@ -115,7 +115,9 @@ TEST(CostModel, MeasuredConstantsArePositive) {
   EXPECT_GT(model.seconds_per_unwrap, 0.0);
   EXPECT_GT(model.seconds_per_noise_layer_wrap, 0.0);
   EXPECT_GT(model.seconds_per_response_seal, 0.0);
-  EXPECT_GT(model.dh_ops_per_sec, 1000.0);
+  // Loose floor: sanitizer builds on a saturated CI machine still clear it,
+  // while a broken measurement (zero/negative rate) cannot.
+  EXPECT_GT(model.dh_ops_per_sec, 50.0);
   // Response sealing is symmetric crypto only: far cheaper than a DH unwrap.
   EXPECT_LT(model.seconds_per_response_seal, model.seconds_per_unwrap);
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/transport/hop_wire.h"
 #include "src/util/random.h"
 #include "src/wire/messages.h"
 #include "src/wire/serde.h"
@@ -128,6 +129,175 @@ TEST(Serde, VarWithLyingLengthFails) {
   Reader r(data);
   EXPECT_FALSE(r.Var().has_value());
   EXPECT_FALSE(r.ok());
+}
+
+// --- Chunked batch messages (transport/hop_wire.h) --------------------------
+//
+// The hop RPC protocol splits a batch across frames so one logical kBatch can
+// exceed net::kMaxFramePayload while every frame — and the receiver's
+// transient memory — stays bounded by the chunk budget.
+
+using transport::BatchAssembler;
+using transport::BatchMessage;
+using transport::EncodeBatchChunks;
+
+std::vector<util::Bytes> MakeItems(size_t count, size_t item_size, uint64_t seed) {
+  util::Xoshiro256Rng rng(seed);
+  std::vector<util::Bytes> items;
+  items.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    items.push_back(rng.RandomBytes(item_size));
+  }
+  return items;
+}
+
+BatchMessage AssembleAll(const std::vector<net::Frame>& frames, BatchAssembler& assembler) {
+  BatchAssembler::Status status = BatchAssembler::Status::kNeedMore;
+  for (const auto& frame : frames) {
+    status = assembler.Consume(frame);
+    if (status != BatchAssembler::Status::kNeedMore) {
+      break;
+    }
+  }
+  EXPECT_EQ(status, BatchAssembler::Status::kDone) << assembler.error();
+  return assembler.Take();
+}
+
+TEST(HopChunk, SingleFrameRoundTrip) {
+  auto items = MakeItems(4, 64, 1);
+  util::Bytes header = {9, 9};
+  auto frames =
+      EncodeBatchChunks(net::FrameType::kHopForwardConversation, 42, header, items, 1 << 20);
+  ASSERT_TRUE(frames.has_value());
+  ASSERT_EQ(frames->size(), 1u);
+
+  BatchAssembler assembler;
+  BatchMessage message = AssembleAll(*frames, assembler);
+  EXPECT_EQ(message.op, net::FrameType::kHopForwardConversation);
+  EXPECT_EQ(message.round, 42u);
+  EXPECT_EQ(message.header, header);
+  EXPECT_EQ(message.items, items);
+}
+
+TEST(HopChunk, EmptyBatchRoundTrip) {
+  auto frames = EncodeBatchChunks(net::FrameType::kHopBackwardConversation, 7, {}, {}, 4096);
+  ASSERT_TRUE(frames.has_value());
+  ASSERT_EQ(frames->size(), 1u);
+  BatchAssembler assembler;
+  BatchMessage message = AssembleAll(*frames, assembler);
+  EXPECT_TRUE(message.items.empty());
+  EXPECT_TRUE(message.header.empty());
+}
+
+// A batch far larger than the frame budget streams through many chunks with
+// bounded per-frame memory — the scaled-down version of a paper-scale 2.2M
+// request kBatch exceeding net::kMaxFramePayload.
+TEST(HopChunk, BatchLargerThanFrameBudgetStreamsBounded) {
+  constexpr size_t kFrameBudget = 64 * 1024;  // stand-in for kMaxFramePayload
+  auto items = MakeItems(5000, 416, 2);       // ~2 MB total, 32x the budget
+  auto frames = EncodeBatchChunks(net::FrameType::kBatch, 9, {}, items, kFrameBudget);
+  ASSERT_TRUE(frames.has_value());
+  EXPECT_GT(frames->size(), 30u);
+  for (const auto& frame : *frames) {
+    EXPECT_LE(frame.payload.size(), kFrameBudget);
+  }
+
+  BatchAssembler assembler;
+  BatchMessage message = AssembleAll(*frames, assembler);
+  EXPECT_EQ(message.items, items);
+  // The streaming decoder never held more than one chunk of wire buffer,
+  // however large the logical batch.
+  EXPECT_LE(assembler.peak_frame_bytes(), kFrameBudget);
+}
+
+TEST(HopChunk, ItemLargerThanBudgetFailsToEncode) {
+  auto items = MakeItems(1, 8192, 3);
+  EXPECT_FALSE(
+      EncodeBatchChunks(net::FrameType::kBatch, 1, {}, items, 1024).has_value());
+}
+
+TEST(HopChunk, MissingFinalChunkIsIncomplete) {
+  auto items = MakeItems(64, 400, 4);
+  auto frames = EncodeBatchChunks(net::FrameType::kBatch, 5, {}, items, 2048);
+  ASSERT_TRUE(frames.has_value());
+  ASSERT_GT(frames->size(), 2u);
+  BatchAssembler assembler;
+  BatchAssembler::Status status = BatchAssembler::Status::kNeedMore;
+  for (size_t i = 0; i + 1 < frames->size(); ++i) {  // drop the last chunk
+    status = assembler.Consume((*frames)[i]);
+  }
+  EXPECT_EQ(status, BatchAssembler::Status::kNeedMore);
+}
+
+TEST(HopChunk, RejectsContinuationBeforeFirstFrame) {
+  BatchAssembler assembler;
+  net::Frame stray{net::FrameType::kBatchChunk, 1, {0, 0, 0, 0, 0}};
+  EXPECT_EQ(assembler.Consume(stray), BatchAssembler::Status::kError);
+}
+
+TEST(HopChunk, RejectsRoundMismatchAcrossChunks) {
+  auto items = MakeItems(64, 400, 5);
+  auto frames = EncodeBatchChunks(net::FrameType::kBatch, 5, {}, items, 2048);
+  ASSERT_TRUE(frames.has_value());
+  ASSERT_GT(frames->size(), 1u);
+  (*frames)[1].round = 6;
+  BatchAssembler assembler;
+  EXPECT_EQ(assembler.Consume((*frames)[0]), BatchAssembler::Status::kNeedMore);
+  EXPECT_EQ(assembler.Consume((*frames)[1]), BatchAssembler::Status::kError);
+}
+
+TEST(HopChunk, RejectsTruncatedItem) {
+  auto items = MakeItems(2, 100, 6);
+  auto frames = EncodeBatchChunks(net::FrameType::kBatch, 1, {}, items, 1 << 20);
+  ASSERT_TRUE(frames.has_value());
+  ASSERT_EQ(frames->size(), 1u);
+  net::Frame frame = (*frames)[0];
+  frame.payload.resize(frame.payload.size() - 17);
+  BatchAssembler assembler;
+  EXPECT_EQ(assembler.Consume(frame), BatchAssembler::Status::kError);
+}
+
+// Chunking removes the per-frame size cap, so the assembler enforces a total
+// ceiling: an endless stream of final-flag-less continuations cannot grow one
+// message without bound.
+TEST(HopChunk, RejectsMessageExceedingSizeCeiling) {
+  auto items = MakeItems(64, 400, 8);  // ~25 KB total
+  auto frames = EncodeBatchChunks(net::FrameType::kBatch, 1, {}, items, 2048);
+  ASSERT_TRUE(frames.has_value());
+  BatchAssembler assembler(/*max_message_bytes=*/4096);
+  BatchAssembler::Status status = BatchAssembler::Status::kNeedMore;
+  for (const auto& frame : *frames) {
+    status = assembler.Consume(frame);
+    if (status != BatchAssembler::Status::kNeedMore) {
+      break;
+    }
+  }
+  EXPECT_EQ(status, BatchAssembler::Status::kError);
+}
+
+// Random garbage through the assembler: must never crash or accept, only
+// kError (or starve with kNeedMore).
+TEST(HopChunk, FuzzedChunksNeverCrash) {
+  util::Xoshiro256Rng rng(77);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    BatchAssembler assembler;
+    BatchAssembler::Status status = BatchAssembler::Status::kNeedMore;
+    for (int frame_index = 0; frame_index < 4; ++frame_index) {
+      net::Frame frame;
+      frame.type = (frame_index == 0 || rng.UniformUint64(2) == 0)
+                       ? net::FrameType::kBatch
+                       : net::FrameType::kBatchChunk;
+      frame.round = rng.UniformUint64(3);
+      frame.payload = rng.RandomBytes(rng.UniformUint64(64));
+      status = assembler.Consume(frame);
+      if (status != BatchAssembler::Status::kNeedMore) {
+        break;
+      }
+    }
+    // Reaching here without UB/asan findings is the property; any terminal
+    // status is acceptable.
+    (void)status;
+  }
 }
 
 }  // namespace

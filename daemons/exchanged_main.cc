@@ -1,0 +1,89 @@
+// vuvuzela-exchanged — one exchange partition as a standalone process.
+//
+//   $ vuvuzela-exchanged --shard 0 --shards 2 --port 7351
+//
+// Owns shard 0 of a 2-way partition of the last hop's dead-drop table
+// (conversation + invitation) and serves the exchange-partition RPCs
+// (transport::ExchangedDaemon) until the last hop's router sends kShutdown.
+// The daemon holds no key material and no cross-round state: it sees only
+// the already-unwrapped exchange requests the last chain server routes to
+// it, and a restarted instance rejoins the next round automatically.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/transport/exchange_daemon.h"
+#include "src/util/logging.h"
+
+using namespace vuvuzela;
+
+namespace {
+
+struct Flags {
+  uint16_t port = 0;
+  uint32_t shard = 0;
+  uint32_t shards = 1;
+  size_t local_shards = 1;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --shard I --shards N [--port P] [--local-shards K]\n"
+               "Runs one exchange partition (shard I of N); port 0 picks an ephemeral port\n"
+               "and prints it.\n",
+               argv0);
+}
+
+bool Parse(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* value = nullptr;
+    if (arg == "--shard" && (value = next())) {
+      flags->shard = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--shards" && (value = next())) {
+      flags->shards = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--port" && (value = next())) {
+      unsigned long port = std::strtoul(value, nullptr, 10);
+      if (port > 65535) {
+        return false;  // reject rather than silently truncating to 16 bits
+      }
+      flags->port = static_cast<uint16_t>(port);
+    } else if (arg == "--local-shards" && (value = next())) {
+      flags->local_shards = std::strtoul(value, nullptr, 10);
+    } else {
+      return false;
+    }
+  }
+  return flags->shards > 0 && flags->shard < flags->shards && flags->local_shards > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!Parse(argc, argv, &flags)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  transport::ExchangedConfig config;
+  config.port = flags.port;
+  config.shard_index = flags.shard;
+  config.num_shards = flags.shards;
+  config.local_shards = flags.local_shards;
+  auto daemon = transport::ExchangedDaemon::Create(config);
+  if (!daemon) {
+    std::fprintf(stderr, "vuvuzela-exchanged: cannot listen on port %u\n", flags.port);
+    return 1;
+  }
+
+  std::printf("vuvuzela-exchanged: shard %u/%u listening on 127.0.0.1:%u\n", flags.shard,
+              flags.shards, daemon->port());
+  std::fflush(stdout);
+  daemon->Serve();
+  std::printf("vuvuzela-exchanged: shard %u served %llu RPCs, exiting\n", flags.shard,
+              static_cast<unsigned long long>(daemon->rpcs_served()));
+  return 0;
+}

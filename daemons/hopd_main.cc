@@ -7,11 +7,22 @@
 // material from the shared --seed (demo-grade key ceremony; see
 // src/transport/hop_chain.h), so the only per-process secret state is which
 // position this hop holds.
+//
+// The last hop can partition its dead-drop exchange across
+// vuvuzela-exchanged shard servers:
+//
+//   $ vuvuzela-exchanged --shard 0 --shards 2 --port 7351
+//   $ vuvuzela-exchanged --shard 1 --shards 2 --port 7352
+//   $ vuvuzela-hopd --position 2 --servers 3 --port 7343 --seed 42 \
+//       --exchange 127.0.0.1:7351,127.0.0.1:7352
+//
+// On orderly shutdown the hop forwards kShutdown to its partitions.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/transport/hop_chain.h"
 #include "src/transport/hop_daemon.h"
@@ -29,14 +40,37 @@ struct Flags {
   double mu = 50.0;
   double dial_mu = 10.0;
   size_t exchange_shards = 0;  // 0 = one shard per pool worker (last hop only)
+  std::vector<transport::ExchangePartitionEndpoint> exchange;  // last hop only
 };
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --position I --servers N [--port P] [--seed S] [--mu M]\n"
-               "          [--dial-mu D] [--shards K]\n"
-               "Runs one Vuvuzela chain hop; port 0 picks an ephemeral port and prints it.\n",
+               "          [--dial-mu D] [--shards K] [--exchange host:port[,host:port...]]\n"
+               "Runs one Vuvuzela chain hop; port 0 picks an ephemeral port and prints it.\n"
+               "--exchange partitions the last hop's dead-drop exchange across\n"
+               "vuvuzela-exchanged shard servers (endpoint i serves shard i).\n",
                argv0);
+}
+
+bool ParseExchange(const std::string& list,
+                   std::vector<transport::ExchangePartitionEndpoint>* endpoints) {
+  size_t start = 0;
+  while (start < list.size()) {
+    size_t comma = list.find(',', start);
+    std::string entry = list.substr(start, comma == std::string::npos ? comma : comma - start);
+    size_t colon = entry.rfind(':');
+    if (colon == std::string::npos) {
+      return false;
+    }
+    unsigned long port = std::strtoul(entry.c_str() + colon + 1, nullptr, 10);
+    if (entry.substr(0, colon).empty() || port == 0 || port > 65535) {
+      return false;
+    }
+    endpoints->push_back({entry.substr(0, colon), static_cast<uint16_t>(port)});
+    start = comma == std::string::npos ? list.size() : comma + 1;
+  }
+  return !endpoints->empty();
 }
 
 bool Parse(int argc, char** argv, Flags* flags) {
@@ -62,9 +96,16 @@ bool Parse(int argc, char** argv, Flags* flags) {
       flags->dial_mu = std::strtod(value, nullptr);
     } else if (arg == "--shards" && (value = next())) {
       flags->exchange_shards = std::strtoul(value, nullptr, 10);
+    } else if (arg == "--exchange" && (value = next())) {
+      if (!ParseExchange(value, &flags->exchange)) {
+        return false;
+      }
     } else {
       return false;
     }
+  }
+  if (!flags->exchange.empty() && flags->position + 1 != flags->servers) {
+    return false;  // only the last hop hosts the dead drops
   }
   return flags->servers > 0 && flags->position < flags->servers;
 }
@@ -90,17 +131,30 @@ int main(int argc, char** argv) {
   transport::ChainKeyMaterial keys = transport::DeriveChainKeys(flags.seed, flags.servers);
   transport::HopDaemonConfig daemon_config;
   daemon_config.port = flags.port;
+  daemon_config.exchange.partitions = flags.exchange;
   auto daemon = transport::HopDaemon::Create(
       daemon_config, transport::BuildMixServer(chain_config, keys, flags.position));
   if (!daemon) {
-    std::fprintf(stderr, "vuvuzela-hopd: cannot listen on port %u\n", flags.port);
+    std::fprintf(stderr,
+                 "vuvuzela-hopd: cannot listen on port %u (or an exchange partition is "
+                 "unreachable)\n",
+                 flags.port);
     return 1;
   }
 
-  std::printf("vuvuzela-hopd: position %zu/%zu listening on 127.0.0.1:%u\n", flags.position,
+  std::printf("vuvuzela-hopd: position %zu/%zu listening on 127.0.0.1:%u", flags.position,
               flags.servers, daemon->port());
+  if (daemon->exchange_router()) {
+    std::printf(" (exchange partitioned %zu ways)", daemon->exchange_router()->num_partitions());
+  }
+  std::printf("\n");
   std::fflush(stdout);
   daemon->Serve();
+  // Orderly shutdown cascades to the exchange partitions: the coordinator
+  // stops the hops, the last hop stops its shard servers.
+  if (daemon->exchange_router()) {
+    daemon->exchange_router()->SendShutdown();
+  }
   std::printf("vuvuzela-hopd: position %zu served %llu RPCs, exiting\n", flags.position,
               static_cast<unsigned long long>(daemon->rpcs_served()));
   return 0;

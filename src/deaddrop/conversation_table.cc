@@ -80,9 +80,7 @@ ExchangeOutcome ShardedExchangeRound(std::span<const wire::ExchangeRequest> requ
     b.reserve(requests.size() / num_shards + 1);
   }
   for (uint32_t i = 0; i < requests.size(); ++i) {
-    const wire::DeadDropId& id = requests[i].dead_drop;
-    size_t prefix = (static_cast<size_t>(id[0]) << 8) | id[1];
-    buckets[prefix * num_shards >> 16].push_back(i);
+    buckets[ShardOfDeadDrop(requests[i].dead_drop, num_shards)].push_back(i);
   }
 
   ExchangeOutcome out;

@@ -37,6 +37,17 @@ struct ExchangeOutcome {
   uint64_t messages_exchanged = 0;
 };
 
+// Shard owning dead-drop `id` when the conversation table is partitioned
+// `num_shards` ways by leading 16-bit ID prefix. IDs are uniform hash
+// outputs, so prefix sharding balances the load. This single function is
+// shared by the in-process sharded exchange, the partitioned-exchange router,
+// and the shard-server daemons — the three can never disagree about where a
+// drop lives, which is what makes the partitioned outcome byte-identical.
+inline size_t ShardOfDeadDrop(const wire::DeadDropId& id, size_t num_shards) {
+  size_t prefix = (static_cast<size_t>(id[0]) << 8) | id[1];
+  return prefix * num_shards >> 16;
+}
+
 // Executes one round of dead-drop exchanges. Requests with the same ID are
 // paired in input order; an odd request out receives its own envelope.
 ExchangeOutcome ExchangeRound(std::span<const wire::ExchangeRequest> requests);

@@ -23,6 +23,31 @@ namespace vuvuzela::deaddrop {
 // (H(pk) mod m, §5.1).
 uint32_t InvitationDropForKey(const crypto::X25519PublicKey& pk, uint32_t num_drops);
 
+// Shard owning invitation drop `index` (already reduced mod `num_drops`) when
+// the table is partitioned `num_shards` ways into contiguous drop ranges.
+// Shared by the partitioned-exchange router and the shard-server daemons so
+// both sides agree on drop placement.
+inline size_t ShardOfInvitationDrop(uint32_t index, uint32_t num_drops, size_t num_shards) {
+  return static_cast<size_t>(static_cast<uint64_t>(index) * num_shards / num_drops);
+}
+
+// The contiguous [begin, end) drop range `shard` owns under the same mapping
+// (empty when num_shards > num_drops leaves the shard nothing). Closed form
+// of ShardOfInvitationDrop's preimage, so enumerating a shard's drops costs
+// O(range) instead of scanning all num_drops indices.
+struct InvitationDropRange {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+};
+inline InvitationDropRange InvitationDropsOfShard(size_t shard, uint32_t num_drops,
+                                                  size_t num_shards) {
+  auto first_at_least = [&](size_t s) {
+    return static_cast<uint32_t>(
+        (static_cast<uint64_t>(s) * num_drops + num_shards - 1) / num_shards);
+  };
+  return {first_at_least(shard), first_at_least(shard + 1)};
+}
+
 class InvitationTable {
  public:
   explicit InvitationTable(uint32_t num_drops);

@@ -14,9 +14,13 @@
 // cannot start a pass until it has the previous hop's whole batch), which a
 // single worker thread per server enforces by construction. Per-request
 // crypto inside a pass still fans out over util::GlobalPool(), and the last
-// hop's dead-drop exchange is sharded (deaddrop::ShardedExchangeRound), so
-// the engine composes three layers of parallelism: cross-round pipelining,
-// per-request crypto, and sharded exchange.
+// hop's dead-drop exchange is sharded — across threads
+// (deaddrop::ShardedExchangeRound) or across vuvuzela-exchanged shard-server
+// processes when the last hop's MixServer carries a partitioned backend
+// (transport::ExchangeRouter; the last-hop stage drives it transparently
+// through ProcessConversationLastHop). The engine thus composes four layers
+// of parallelism: cross-round pipelining, per-request crypto, sharded
+// exchange, and exchange partitioning across processes.
 //
 // At most `max_in_flight` (K) rounds are admitted at once; Submit* blocks
 // when the pipeline is full, which is the backpressure the paper gets from

@@ -256,12 +256,17 @@ MixServer::LastServerResult MixServer::ProcessConversationLastHop(uint64_t round
   }
   local.requests_dropped = unwrapped.dropped;
 
-  size_t shards = 1;
-  if (config_.parallel) {
-    shards = config_.exchange_shards == 0 ? util::GlobalPool().num_threads()
-                                          : config_.exchange_shards;
+  deaddrop::ExchangeOutcome outcome;
+  if (exchange_backend_ != nullptr) {
+    outcome = exchange_backend_->ExchangeConversation(round, requests);
+  } else {
+    size_t shards = 1;
+    if (config_.parallel) {
+      shards = config_.exchange_shards == 0 ? util::GlobalPool().num_threads()
+                                            : config_.exchange_shards;
+    }
+    outcome = deaddrop::ShardedExchangeRound(requests, shards);
   }
-  deaddrop::ExchangeOutcome outcome = deaddrop::ShardedExchangeRound(requests, shards);
 
   LastServerResult result;
   result.histogram = outcome.histogram;
@@ -375,6 +380,9 @@ deaddrop::InvitationTable MixServer::ProcessDialingLastHop(uint64_t round,
   if (!is_last()) {
     throw std::logic_error("ProcessDialingLastHop called on a non-last server");
   }
+  if (num_drops == 0) {
+    throw std::invalid_argument("ProcessDialingLastHop: num_drops must be positive");
+  }
   ServerRoundStats local;
   local.requests_in = batch.size();
   for (const auto& b : batch) {
@@ -384,25 +392,40 @@ deaddrop::InvitationTable MixServer::ProcessDialingLastHop(uint64_t round,
   UnwrapBatchResult unwrapped = UnwrapBatch(round, batch);
   local.dh_ops += batch.size();
 
-  deaddrop::InvitationTable table(num_drops);
+  std::vector<wire::DialRequest> requests;
+  requests.reserve(unwrapped.inners.size());
   for (const auto& inner : unwrapped.inners) {
     auto parsed = wire::DialRequest::Parse(inner);
     if (!parsed) {
       unwrapped.dropped++;
       continue;
     }
-    table.Add(parsed->dead_drop_index, parsed->invitation);
+    parsed->dead_drop_index %= num_drops;
+    requests.push_back(*parsed);
   }
   local.requests_dropped = unwrapped.dropped;
 
   // The last server adds its own noise directly — no wrapping needed (§5.3:
   // "every server (including the last one) must add ... noise invitations").
+  // The noise bytes are drawn here, per drop in order, so every exchange
+  // backend deposits the identical invitations (same RNG consumption as the
+  // pre-backend AddNoise path).
   std::vector<uint64_t> counts = PlanDialingNoise(config_.dialing_noise, num_drops, rng_);
-  table.AddNoise(counts, rng_);
-  local.noise_requests_added = 0;
-  for (uint64_t c : counts) {
-    local.noise_requests_added += c;
+  std::vector<deaddrop::NoiseInvitation> noise;
+  for (uint32_t d = 0; d < num_drops; ++d) {
+    for (uint64_t j = 0; j < counts[d]; ++j) {
+      deaddrop::NoiseInvitation fake;
+      fake.drop = d;
+      rng_.Fill(fake.invitation);
+      noise.push_back(fake);
+    }
   }
+  local.noise_requests_added = noise.size();
+
+  deaddrop::InProcessExchangeBackend default_backend(1);
+  deaddrop::ExchangeBackend& backend =
+      exchange_backend_ != nullptr ? *exchange_backend_ : default_backend;
+  deaddrop::InvitationTable table = backend.BuildInvitationTable(round, num_drops, requests, noise);
 
   if (stats) {
     *stats = local;

@@ -22,6 +22,7 @@
 #include "src/crypto/onion.h"
 #include "src/crypto/x25519.h"
 #include "src/deaddrop/conversation_table.h"
+#include "src/deaddrop/exchange_backend.h"
 #include "src/deaddrop/invitation_table.h"
 #include "src/noise/noise_gen.h"
 #include "src/util/bytes.h"
@@ -70,6 +71,14 @@ class MixServer {
   const crypto::X25519PublicKey& public_key() const { return key_pair_.public_key; }
   const MixServerConfig& config() const { return config_; }
   bool is_last() const { return config_.position + 1 == config_.chain_length; }
+
+  // Overrides the last server's dead-drop exchange backend (non-owning; the
+  // backend must outlive the server). nullptr restores the default in-process
+  // sharded exchange. Backends are deterministic given the same requests, so
+  // swapping backends never changes a round's bytes — the exchange-partition
+  // conformance suite pins that down.
+  void SetExchangeBackend(deaddrop::ExchangeBackend* backend) { exchange_backend_ = backend; }
+  deaddrop::ExchangeBackend* exchange_backend() const { return exchange_backend_; }
 
   // --- Conversation rounds ------------------------------------------------
 
@@ -154,6 +163,7 @@ class MixServer {
   std::vector<crypto::X25519PublicKey> chain_public_keys_;
   crypto::ChaChaRng rng_;
   std::unordered_map<uint64_t, RoundState> rounds_;
+  deaddrop::ExchangeBackend* exchange_backend_ = nullptr;
 };
 
 }  // namespace vuvuzela::mixnet

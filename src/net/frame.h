@@ -36,6 +36,12 @@ enum class FrameType : uint8_t {
   kHopForwardDialing = 15,
   kHopLastDialing = 16,
   kHopError = 17,  // payload: error text from the hop daemon
+  // Exchange-partition RPC (transport::ExchangeRouter ↔ vuvuzela-exchanged).
+  // The last hop splits a round's dead-drop exchange by ID prefix across
+  // shard-server processes; both ops are chunked batch messages like the hop
+  // RPCs above.
+  kExchangeConversation = 18,
+  kExchangeDialing = 19,
 };
 
 struct Frame {

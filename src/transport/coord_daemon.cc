@@ -15,6 +15,11 @@ using util::SecondsSince;
 
 CoordinatorDaemon::CoordinatorDaemon(CoordDaemonConfig config) : config_(std::move(config)) {}
 
+size_t CoordinatorDaemon::admission_dedup_rounds() const {
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  return admission_dedup_.size();
+}
+
 bool CoordinatorDaemon::Start() {
   if (config_.hops.empty()) {
     return false;
@@ -66,14 +71,30 @@ void CoordinatorDaemon::ReadClient(size_t index) {
     // client, so duplicates cannot close the window early.
     bool type_matches = conversation ? admission_type_ == wire::RoundType::kConversation
                                      : admission_type_ == wire::RoundType::kDialing;
+    auto dedup = admission_dedup_.find(frame->round);
     if (admission_open_ && frame->round == admission_round_ && type_matches &&
-        !admission_contributed_[index]) {
-      admission_contributed_[index] = 1;
+        dedup != admission_dedup_.end() && !dedup->second[index]) {
+      dedup->second[index] = 1;
       admission_onions_.push_back(std::move(frame->payload));
       admission_contributors_.push_back(index);
       admission_cv_.notify_all();
     }
   }
+}
+
+void CoordinatorDaemon::PruneAdmissionDedup(uint64_t announced_round) {
+  // Same horizon the scheduler derives for hop-state expiry: once a round is
+  // `keep` behind the newest announcement in its number space, it can no
+  // longer complete — whether it finished or was abandoned on a dead hop —
+  // so its dedup record is dead weight.
+  uint64_t keep = config_.scheduler.expire_keep != 0 ? config_.scheduler.expire_keep
+                                                     : 2 * config_.scheduler.max_in_flight + 2;
+  uint64_t base = announced_round >= coord::kDialingRoundBase ? coord::kDialingRoundBase : 0;
+  if (announced_round - base <= keep) {
+    return;
+  }
+  admission_dedup_.erase(admission_dedup_.lower_bound(base),
+                         admission_dedup_.lower_bound(announced_round - keep));
 }
 
 void CoordinatorDaemon::BroadcastAnnouncement(const wire::RoundAnnouncement& announcement) {
@@ -210,7 +231,8 @@ CoordDaemonResult CoordinatorDaemon::Run() {
         admission_type_ = announcement.type;
         admission_onions_.clear();
         admission_contributors_.clear();
-        admission_contributed_.assign(clients_.size(), 0);
+        admission_dedup_[announcement.round].assign(clients_.size(), 0);
+        PruneAdmissionDedup(announcement.round);
       }
       BroadcastAnnouncement(announcement);
       auto closed = CloseAdmission();

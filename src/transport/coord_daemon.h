@@ -29,6 +29,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -96,6 +97,11 @@ class CoordinatorDaemon {
   // the pipeline, and shuts clients (and optionally hops) down.
   CoordDaemonResult Run();
 
+  // Rounds with a live admission-dedup record (client mode). Bounded by the
+  // round-expiry window however many rounds were announced or abandoned; the
+  // dedup-pruning regression test pins that down.
+  size_t admission_dedup_rounds() const;
+
  private:
   struct ClientSlot {
     net::TcpConnection conn;
@@ -112,6 +118,9 @@ class CoordinatorDaemon {
   };
 
   void ReadClient(size_t index);
+  // Drops dedup records for rounds that left the expiry window (same horizon
+  // the scheduler uses for hop state). Requires admission_mutex_ held.
+  void PruneAdmissionDedup(uint64_t announced_round);
   void BroadcastAnnouncement(const wire::RoundAnnouncement& announcement);
   // Waits out the admission window (returning early once every live client
   // contributed) and closes the round's batch.
@@ -128,16 +137,23 @@ class CoordinatorDaemon {
   std::vector<std::unique_ptr<ClientSlot>> clients_;
 
   // Admission state for the currently announced round.
-  std::mutex admission_mutex_;
+  mutable std::mutex admission_mutex_;
   std::condition_variable admission_cv_;
   bool admission_open_ = false;
   uint64_t admission_round_ = 0;
   wire::RoundType admission_type_ = wire::RoundType::kConversation;
   std::vector<util::Bytes> admission_onions_;
   std::vector<size_t> admission_contributors_;
-  // One onion per client per round: a client flooding duplicates must not
-  // close the window early, crowd out honest clients, or earn two responses.
-  std::vector<uint8_t> admission_contributed_;
+  // Per-round contribution record, keyed by the round it belongs to: a
+  // client flooding duplicates must not close the window early, crowd out
+  // honest clients, or earn two responses. Keying by round (rather than one
+  // vector reassigned per announcement) ties each record to its round for
+  // the round's whole pipeline lifetime, which makes reclamation an explicit
+  // obligation: entries are reclaimed by round *expiry*
+  // (PruneAdmissionDedup), never by round completion, so rounds abandoned on
+  // a dead hop cannot pin coordinator memory however long the deployment
+  // runs.
+  std::map<uint64_t, std::vector<uint8_t>> admission_dedup_;
 
   // FIFO of submitted rounds awaiting completion (collector thread).
   std::mutex pending_mutex_;

@@ -1,0 +1,199 @@
+#include "src/transport/exchange_daemon.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/deaddrop/conversation_table.h"
+#include "src/deaddrop/invitation_table.h"
+#include "src/util/logging.h"
+#include "src/wire/messages.h"
+
+namespace vuvuzela::transport {
+
+namespace {
+
+bool SendError(net::TcpConnection& conn, uint64_t round, const std::string& message) {
+  return conn.SendFrame(
+      net::Frame{net::FrameType::kHopError, round, util::Bytes(message.begin(), message.end())});
+}
+
+util::Bytes PackDrop(const std::vector<wire::Invitation>& invitations) {
+  util::Bytes packed;
+  packed.reserve(invitations.size() * wire::kInvitationSize);
+  for (const auto& invitation : invitations) {
+    util::Append(packed, invitation);
+  }
+  return packed;
+}
+
+}  // namespace
+
+ExchangedDaemon::ExchangedDaemon(const ExchangedConfig& config, net::TcpListener listener)
+    : config_(config), listener_(std::move(listener)) {}
+
+std::unique_ptr<ExchangedDaemon> ExchangedDaemon::Create(const ExchangedConfig& config) {
+  if (config.num_shards == 0 || config.shard_index >= config.num_shards) {
+    return nullptr;
+  }
+  auto listener = net::TcpListener::Listen(config.port);
+  if (!listener) {
+    return nullptr;
+  }
+  return std::unique_ptr<ExchangedDaemon>(new ExchangedDaemon(config, std::move(*listener)));
+}
+
+void ExchangedDaemon::Serve() {
+  while (!stop_.load()) {
+    auto conn = listener_.Accept();
+    if (!conn) {
+      return;  // listener closed (Stop) or unrecoverable accept error
+    }
+    if (!ServeConnection(*conn)) {
+      return;  // orderly kShutdown
+    }
+  }
+}
+
+void ExchangedDaemon::Stop() {
+  stop_.store(true);
+  listener_.Shutdown();
+}
+
+bool ExchangedDaemon::ServeConnection(net::TcpConnection& conn) {
+  if (config_.poll_interval_ms > 0) {
+    conn.SetRecvTimeout(config_.poll_interval_ms);
+  }
+  for (;;) {
+    auto frame = conn.RecvFrame();
+    if (!frame) {
+      if (conn.last_recv_status() == net::RecvStatus::kTimeout) {
+        if (stop_.load()) {
+          return false;
+        }
+        continue;
+      }
+      return true;  // router gone or garbage framing; await a reconnect
+    }
+    if (frame->type == net::FrameType::kShutdown) {
+      stop_.store(true);
+      return false;
+    }
+    if (frame->type != net::FrameType::kExchangeConversation &&
+        frame->type != net::FrameType::kExchangeDialing) {
+      if (!SendError(conn, frame->round, "unsupported exchange op")) {
+        return true;
+      }
+      continue;
+    }
+    // As in HopDaemon: the poll deadline covers idle waits between RPCs only;
+    // mid-batch chunk waits are untimed.
+    if (config_.poll_interval_ms > 0) {
+      conn.SetRecvTimeout(0);
+    }
+    auto request = ReadBatchMessage(conn, std::move(*frame));
+    if (config_.poll_interval_ms > 0) {
+      conn.SetRecvTimeout(config_.poll_interval_ms);
+    }
+    if (!request) {
+      if (conn.last_recv_status() != net::RecvStatus::kOk) {
+        return true;  // the connection itself failed mid-batch
+      }
+      if (!SendError(conn, 0, "malformed batch message")) {
+        return true;
+      }
+      continue;
+    }
+    if (!Dispatch(conn, std::move(*request))) {
+      return true;
+    }
+  }
+}
+
+bool ExchangedDaemon::Dispatch(net::TcpConnection& conn, BatchMessage request) {
+  rpcs_served_.fetch_add(1);
+  try {
+    if (request.op == net::FrameType::kExchangeConversation) {
+      return HandleConversation(conn, request);
+    }
+    return HandleDialing(conn, request);
+  } catch (const std::exception& e) {
+    VZ_LOG_WARN << "exchange partition rpc failed (round " << request.round << "): " << e.what();
+    return SendError(conn, request.round, e.what());
+  }
+}
+
+bool ExchangedDaemon::HandleConversation(net::TcpConnection& conn, const BatchMessage& request) {
+  auto header = ParseExchangeConversationHeader(request.header);
+  if (!header) {
+    return SendError(conn, request.round, "malformed exchange-conversation header");
+  }
+  if (header->shard_index != config_.shard_index || header->num_shards != config_.num_shards) {
+    return SendError(conn, request.round, "exchange partition map mismatch");
+  }
+  std::vector<wire::ExchangeRequest> requests;
+  requests.reserve(request.items.size());
+  for (const auto& item : request.items) {
+    auto parsed = wire::ExchangeRequest::Parse(item);
+    if (!parsed) {
+      return SendError(conn, request.round, "malformed exchange request");
+    }
+    if (deaddrop::ShardOfDeadDrop(parsed->dead_drop, config_.num_shards) != config_.shard_index) {
+      return SendError(conn, request.round, "exchange request outside partition");
+    }
+    requests.push_back(*parsed);
+  }
+
+  deaddrop::ExchangeOutcome outcome =
+      deaddrop::ShardedExchangeRound(requests, config_.local_shards);
+
+  wire::Writer reply(32);
+  WriteHistogram(reply, outcome.histogram, outcome.messages_exchanged);
+  std::vector<util::Bytes> items;
+  items.reserve(outcome.results.size());
+  for (const auto& envelope : outcome.results) {
+    items.emplace_back(envelope.begin(), envelope.end());
+  }
+  return SendBatchMessage(conn, request.op, request.round, reply.Take(), items,
+                          config_.chunk_payload);
+}
+
+bool ExchangedDaemon::HandleDialing(net::TcpConnection& conn, const BatchMessage& request) {
+  auto header = ParseExchangeDialingHeader(request.header);
+  if (!header) {
+    return SendError(conn, request.round, "malformed exchange-dialing header");
+  }
+  if (header->shard_index != config_.shard_index || header->num_shards != config_.num_shards) {
+    return SendError(conn, request.round, "exchange partition map mismatch");
+  }
+  // The shard's table covers only its owned drop range — the per-machine
+  // memory this partitioning exists to bound is num_drops/num_shards, not
+  // num_drops. An empty range (more shards than drops) replies zero items.
+  deaddrop::InvitationDropRange range =
+      deaddrop::InvitationDropsOfShard(config_.shard_index, header->num_drops, config_.num_shards);
+  uint32_t owned = range.end - range.begin;
+  deaddrop::InvitationTable table(owned > 0 ? owned : 1);
+  for (const auto& item : request.items) {
+    auto parsed = wire::DialRequest::Parse(item);
+    if (!parsed) {
+      return SendError(conn, request.round, "malformed dial request");
+    }
+    if (parsed->dead_drop_index >= header->num_drops ||
+        deaddrop::ShardOfInvitationDrop(parsed->dead_drop_index, header->num_drops,
+                                        config_.num_shards) != config_.shard_index) {
+      return SendError(conn, request.round, "invitation deposit outside partition");
+    }
+    table.Add(parsed->dead_drop_index - range.begin, parsed->invitation);
+  }
+
+  // Reply with the owned drops in increasing index order; the router
+  // reassembles the full table from the shards' disjoint ranges.
+  std::vector<util::Bytes> items;
+  items.reserve(owned);
+  for (uint32_t drop = 0; drop < owned; ++drop) {
+    items.push_back(PackDrop(table.Drop(drop)));
+  }
+  return SendBatchMessage(conn, request.op, request.round, {}, items, config_.chunk_payload);
+}
+
+}  // namespace vuvuzela::transport

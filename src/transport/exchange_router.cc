@@ -1,0 +1,275 @@
+#include "src/transport/exchange_router.h"
+
+#include <exception>
+#include <thread>
+#include <utility>
+
+namespace vuvuzela::transport {
+
+namespace {
+
+std::string Endpoint(const ExchangePartitionEndpoint& endpoint) {
+  return endpoint.host + ":" + std::to_string(endpoint.port);
+}
+
+}  // namespace
+
+ExchangeRouter::ExchangeRouter(const ExchangeRouterConfig& config) : config_(config) {
+  for (const auto& endpoint : config.partitions) {
+    auto partition = std::make_unique<Partition>();
+    partition->endpoint = endpoint;
+    partitions_.push_back(std::move(partition));
+  }
+}
+
+std::unique_ptr<ExchangeRouter> ExchangeRouter::Connect(const ExchangeRouterConfig& config) {
+  if (config.partitions.empty()) {
+    return nullptr;
+  }
+  std::unique_ptr<ExchangeRouter> router(new ExchangeRouter(config));
+  for (auto& partition : router->partitions_) {
+    auto conn = net::TcpConnection::Connect(partition->endpoint.host, partition->endpoint.port);
+    if (!conn) {
+      return nullptr;
+    }
+    if (config.recv_timeout_ms > 0) {
+      conn->SetRecvTimeout(config.recv_timeout_ms);
+    }
+    partition->conn = std::move(*conn);
+  }
+  return router;
+}
+
+void ExchangeRouter::FailPartition(Partition& partition, const std::string& what) {
+  // The RPC may have died mid-stream; this partition's framing can no longer
+  // be trusted. Poison only this connection — other partitions keep serving
+  // the rounds that do not touch this shard.
+  partition.conn.Close();
+  throw HopError("exchange partition " + Endpoint(partition.endpoint) + ": " + what);
+}
+
+BatchMessage ExchangeRouter::CallPartition(size_t shard, net::FrameType op, uint64_t round,
+                                           util::ByteSpan header,
+                                           const std::vector<util::Bytes>& items) {
+  Partition& partition = *partitions_[shard];
+  std::lock_guard<std::mutex> lock(partition.mutex);
+  if (!partition.conn.valid()) {
+    // One reconnect attempt per call: a restarted shard server rejoins on the
+    // next round that routes to it; a still-dead one fails this round fast.
+    auto conn = net::TcpConnection::Connect(partition.endpoint.host, partition.endpoint.port);
+    if (!conn) {
+      throw HopError("exchange partition " + Endpoint(partition.endpoint) + ": unreachable");
+    }
+    if (config_.recv_timeout_ms > 0) {
+      conn->SetRecvTimeout(config_.recv_timeout_ms);
+    }
+    partition.conn = std::move(*conn);
+  }
+  if (!SendBatchMessage(partition.conn, op, round, header, items, config_.chunk_payload)) {
+    FailPartition(partition, "send failed");
+  }
+  auto first = partition.conn.RecvFrame();
+  if (!first) {
+    if (partition.conn.last_recv_status() == net::RecvStatus::kTimeout) {
+      partition.conn.Close();
+      throw HopTimeoutError("exchange partition " + Endpoint(partition.endpoint) +
+                            ": receive deadline elapsed");
+    }
+    FailPartition(partition, partition.conn.last_recv_status() == net::RecvStatus::kEof
+                                 ? "connection closed by partition"
+                                 : "receive failed");
+  }
+  if (first->type == net::FrameType::kHopError) {
+    // The daemon completed the RPC with an error report; framing is intact.
+    throw HopError("exchange partition " + Endpoint(partition.endpoint) + ": " +
+                   std::string(first->payload.begin(), first->payload.end()));
+  }
+  if (first->type != op) {
+    FailPartition(partition, "unexpected response type");
+  }
+  auto message = ReadBatchMessage(partition.conn, std::move(*first));
+  if (!message) {
+    if (partition.conn.last_recv_status() == net::RecvStatus::kTimeout) {
+      partition.conn.Close();
+      throw HopTimeoutError("exchange partition " + Endpoint(partition.endpoint) +
+                            ": receive deadline elapsed mid-batch");
+    }
+    FailPartition(partition, "malformed response batch");
+  }
+  if (message->round != round) {
+    FailPartition(partition, "response round mismatch");
+  }
+  return std::move(*message);
+}
+
+void ExchangeRouter::FanOut(const std::vector<size_t>& shards,
+                            const std::function<void(size_t)>& fn) {
+  if (shards.size() == 1) {
+    fn(shards[0]);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(partitions_.size());
+  std::vector<std::thread> threads;
+  threads.reserve(shards.size());
+  for (size_t shard : shards) {
+    threads.emplace_back([&, shard] {
+      try {
+        fn(shard);
+      } catch (...) {
+        errors[shard] = std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (const auto& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+}
+
+deaddrop::ExchangeOutcome ExchangeRouter::ExchangeConversation(
+    uint64_t round, std::span<const wire::ExchangeRequest> requests) {
+  size_t num_shards = partitions_.size();
+  std::vector<std::vector<uint32_t>> buckets(num_shards);
+  for (uint32_t i = 0; i < requests.size(); ++i) {
+    buckets[deaddrop::ShardOfDeadDrop(requests[i].dead_drop, num_shards)].push_back(i);
+  }
+  // Only partitions that own requests this round are contacted: a round whose
+  // dead drops all live on surviving shards completes even while another
+  // partition is down.
+  std::vector<size_t> touched;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!buckets[s].empty()) {
+      touched.push_back(s);
+    }
+  }
+
+  deaddrop::ExchangeOutcome out;
+  out.results.resize(requests.size());
+  std::vector<deaddrop::AccessHistogram> histograms(num_shards);
+  std::vector<uint64_t> exchanged(num_shards, 0);
+
+  FanOut(touched, [&](size_t shard) {
+    std::vector<util::Bytes> items;
+    items.reserve(buckets[shard].size());
+    for (uint32_t i : buckets[shard]) {
+      items.push_back(requests[i].Serialize());
+    }
+    ExchangeConversationHeader header{static_cast<uint32_t>(shard),
+                                      static_cast<uint32_t>(num_shards)};
+    BatchMessage reply = CallPartition(shard, net::FrameType::kExchangeConversation, round,
+                                       EncodeExchangeConversationHeader(header), items);
+    wire::Reader r(reply.header);
+    auto histogram = ReadHistogram(r);
+    if (!histogram || !r.AtEnd()) {
+      FailPartition(*partitions_[shard], "truncated exchange histogram");
+    }
+    if (reply.items.size() != buckets[shard].size()) {
+      FailPartition(*partitions_[shard], "response envelope count mismatch");
+    }
+    for (size_t j = 0; j < reply.items.size(); ++j) {
+      const util::Bytes& envelope = reply.items[j];
+      if (envelope.size() != wire::kEnvelopeSize) {
+        FailPartition(*partitions_[shard], "ragged response envelope");
+      }
+      std::copy(envelope.begin(), envelope.end(), out.results[buckets[shard][j]].begin());
+    }
+    histograms[shard] = histogram->histogram;
+    exchanged[shard] = histogram->messages_exchanged;
+  });
+
+  // Merge in shard order — the same accumulation the in-process sharded
+  // exchange performs, so the partitioned outcome is byte-identical.
+  for (size_t s = 0; s < num_shards; ++s) {
+    out.histogram.singles += histograms[s].singles;
+    out.histogram.pairs += histograms[s].pairs;
+    out.histogram.crowded += histograms[s].crowded;
+    out.messages_exchanged += exchanged[s];
+  }
+  return out;
+}
+
+deaddrop::InvitationTable ExchangeRouter::BuildInvitationTable(
+    uint64_t round, uint32_t num_drops, std::span<const wire::DialRequest> requests,
+    std::span<const deaddrop::NoiseInvitation> noise) {
+  size_t num_shards = partitions_.size();
+  // Real deposits first, then noise, per shard — the insertion order the
+  // in-process table uses, preserved within each drop because one drop's
+  // deposits all route to one shard.
+  std::vector<std::vector<util::Bytes>> items(num_shards);
+  for (const auto& request : requests) {
+    wire::DialRequest normalized = request;
+    normalized.dead_drop_index %= num_drops;
+    items[deaddrop::ShardOfInvitationDrop(normalized.dead_drop_index, num_drops, num_shards)]
+        .push_back(normalized.Serialize());
+  }
+  for (const auto& fake : noise) {
+    wire::DialRequest as_request;
+    as_request.dead_drop_index = fake.drop % num_drops;
+    as_request.invitation = fake.invitation;
+    items[deaddrop::ShardOfInvitationDrop(as_request.dead_drop_index, num_drops, num_shards)]
+        .push_back(as_request.Serialize());
+  }
+
+  // Every shard owning at least one drop is contacted even when its deposit
+  // list is empty: the merged table must enumerate all m drops, and a drop's
+  // size — zero included — is an observable variable.
+  std::vector<size_t> touched;
+  for (size_t s = 0; s < num_shards; ++s) {
+    deaddrop::InvitationDropRange range =
+        deaddrop::InvitationDropsOfShard(s, num_drops, num_shards);
+    if (range.begin < range.end) {
+      touched.push_back(s);
+    }
+  }
+
+  deaddrop::InvitationTable table(num_drops);
+  std::mutex table_mutex;
+  FanOut(touched, [&](size_t shard) {
+    ExchangeDialingHeader header{static_cast<uint32_t>(shard), static_cast<uint32_t>(num_shards),
+                                 num_drops};
+    BatchMessage reply = CallPartition(shard, net::FrameType::kExchangeDialing, round,
+                                       EncodeExchangeDialingHeader(header), items[shard]);
+    // Reply items are the shard's owned drop range in increasing index order.
+    deaddrop::InvitationDropRange range =
+        deaddrop::InvitationDropsOfShard(shard, num_drops, num_shards);
+    if (reply.items.size() != range.end - range.begin) {
+      FailPartition(*partitions_[shard], "response drop count mismatch");
+    }
+    std::lock_guard<std::mutex> lock(table_mutex);
+    for (size_t j = 0; j < reply.items.size(); ++j) {
+      const util::Bytes& packed = reply.items[j];
+      if (packed.size() % wire::kInvitationSize != 0) {
+        FailPartition(*partitions_[shard], "ragged invitation drop");
+      }
+      for (size_t offset = 0; offset < packed.size(); offset += wire::kInvitationSize) {
+        wire::Invitation invitation;
+        std::copy(packed.begin() + offset, packed.begin() + offset + wire::kInvitationSize,
+                  invitation.begin());
+        table.Add(range.begin + static_cast<uint32_t>(j), invitation);
+      }
+    }
+  });
+  return table;
+}
+
+void ExchangeRouter::SendShutdown() {
+  for (auto& partition : partitions_) {
+    std::lock_guard<std::mutex> lock(partition->mutex);
+    if (!partition->conn.valid()) {
+      // A poisoned connection (earlier round failure) must not exempt a
+      // still-running partition from the shutdown cascade: reconnect once.
+      auto conn = net::TcpConnection::Connect(partition->endpoint.host, partition->endpoint.port);
+      if (!conn) {
+        continue;  // genuinely gone; nothing to stop
+      }
+      partition->conn = std::move(*conn);
+    }
+    partition->conn.SendFrame(net::Frame{net::FrameType::kShutdown, 0, {}});
+  }
+}
+
+}  // namespace vuvuzela::transport

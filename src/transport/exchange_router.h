@@ -1,0 +1,93 @@
+// Partitioned dead-drop exchange backend for the last chain server.
+//
+// ExchangeRouter implements deaddrop::ExchangeBackend over a fleet of
+// vuvuzela-exchanged shard servers: it splits a round's exchange requests by
+// dead-drop placement (the same ShardOfDeadDrop / ShardOfInvitationDrop maps
+// the daemons enforce), fans the slices out concurrently over the chunked hop
+// RPC framing, and merges replies — envelopes scattered back to their
+// round-batch positions, histograms summed in shard order — so the merged
+// outcome is byte-identical to the in-process sharded exchange.
+//
+// Failure model mirrors TcpTransport: a partition that stops answering
+// within the receive deadline surfaces as HopTimeoutError, any other wire
+// failure as HopError; either poisons that partition's connection only. The
+// next round that routes to the dead partition tries one reconnect and fails
+// fast if it is still down, while rounds whose requests all land on live
+// partitions keep completing — a dead shard server costs exactly the rounds
+// in flight on it, mirroring the dead-hop accounting.
+
+#ifndef VUVUZELA_SRC_TRANSPORT_EXCHANGE_ROUTER_H_
+#define VUVUZELA_SRC_TRANSPORT_EXCHANGE_ROUTER_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/deaddrop/exchange_backend.h"
+#include "src/net/tcp.h"
+#include "src/transport/hop_transport.h"
+#include "src/transport/hop_wire.h"
+
+namespace vuvuzela::transport {
+
+struct ExchangePartitionEndpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct ExchangeRouterConfig {
+  // One endpoint per shard; endpoint i serves shard i of partitions.size().
+  std::vector<ExchangePartitionEndpoint> partitions;
+  // Receive deadline per partition RPC — the dead-partition detector.
+  int recv_timeout_ms = 10000;
+  // Chunk budget for outgoing batch messages.
+  size_t chunk_payload = kDefaultChunkPayload;
+};
+
+class ExchangeRouter : public deaddrop::ExchangeBackend {
+ public:
+  // Connects every partition; nullptr if the list is empty or any partition
+  // is unreachable at startup (later deaths are per-round failures instead).
+  static std::unique_ptr<ExchangeRouter> Connect(const ExchangeRouterConfig& config);
+
+  size_t num_partitions() const { return partitions_.size(); }
+
+  deaddrop::ExchangeOutcome ExchangeConversation(
+      uint64_t round, std::span<const wire::ExchangeRequest> requests) override;
+  deaddrop::InvitationTable BuildInvitationTable(
+      uint64_t round, uint32_t num_drops, std::span<const wire::DialRequest> requests,
+      std::span<const deaddrop::NoiseInvitation> noise) override;
+
+  // Asks every reachable partition daemon to exit its serve loop (orderly
+  // multi-process shutdown). Best-effort.
+  void SendShutdown();
+
+ private:
+  struct Partition {
+    ExchangePartitionEndpoint endpoint;
+    std::mutex mutex;
+    net::TcpConnection conn;
+  };
+
+  explicit ExchangeRouter(const ExchangeRouterConfig& config);
+
+  // One request/response exchange with partition `shard`; reconnects a
+  // poisoned connection once, then throws HopError / HopTimeoutError.
+  BatchMessage CallPartition(size_t shard, net::FrameType op, uint64_t round,
+                             util::ByteSpan header, const std::vector<util::Bytes>& items);
+  [[noreturn]] void FailPartition(Partition& partition, const std::string& what);
+
+  // Runs `fn(shard)` concurrently for every shard in `shards`; rethrows the
+  // lowest-shard failure after all calls finish (deterministic when several
+  // partitions fail at once).
+  void FanOut(const std::vector<size_t>& shards, const std::function<void(size_t)>& fn);
+
+  ExchangeRouterConfig config_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+};
+
+}  // namespace vuvuzela::transport
+
+#endif  // VUVUZELA_SRC_TRANSPORT_EXCHANGE_ROUTER_H_

@@ -60,8 +60,56 @@ std::vector<std::unique_ptr<HopTransport>> MakeLocalTransports(
   return transports;
 }
 
+std::unique_ptr<ExchangePartitionGroup> ExchangePartitionGroup::Start(size_t num_partitions,
+                                                                      size_t chunk_payload) {
+  std::unique_ptr<ExchangePartitionGroup> group(new ExchangePartitionGroup());
+  group->chunk_payload_ = chunk_payload;
+  for (size_t i = 0; i < num_partitions; ++i) {
+    ExchangedConfig config;
+    config.port = 0;
+    config.shard_index = static_cast<uint32_t>(i);
+    config.num_shards = static_cast<uint32_t>(num_partitions);
+    config.chunk_payload = chunk_payload;
+    auto daemon = ExchangedDaemon::Create(config);
+    if (!daemon) {
+      return nullptr;
+    }
+    group->daemons_.push_back(std::move(daemon));
+  }
+  for (auto& daemon : group->daemons_) {
+    group->serve_threads_.emplace_back([d = daemon.get()] { d->Serve(); });
+  }
+  return group;
+}
+
+ExchangePartitionGroup::~ExchangePartitionGroup() {
+  for (size_t i = 0; i < daemons_.size(); ++i) {
+    Kill(i);
+  }
+}
+
+ExchangeRouterConfig ExchangePartitionGroup::RouterConfig(int recv_timeout_ms) const {
+  ExchangeRouterConfig config;
+  for (const auto& daemon : daemons_) {
+    config.partitions.push_back({"127.0.0.1", daemon->port()});
+  }
+  config.recv_timeout_ms = recv_timeout_ms;
+  config.chunk_payload = chunk_payload_;
+  return config;
+}
+
+void ExchangePartitionGroup::Kill(size_t shard) {
+  daemons_[shard]->Stop();
+  // Start() spawns serve threads only after every daemon bound, so a group
+  // torn down after a partial Start() has daemons without threads.
+  if (shard < serve_threads_.size() && serve_threads_[shard].joinable()) {
+    serve_threads_[shard].join();
+  }
+}
+
 std::unique_ptr<LoopbackChain> LoopbackChain::Start(const mixnet::ChainConfig& config,
-                                                    uint64_t seed, size_t chunk_payload) {
+                                                    uint64_t seed, size_t chunk_payload,
+                                                    const ExchangeRouterConfig& exchange) {
   std::unique_ptr<LoopbackChain> chain(new LoopbackChain());
   chain->keys_ = DeriveChainKeys(seed, config.num_servers);
   chain->chunk_payload_ = chunk_payload;
@@ -69,6 +117,9 @@ std::unique_ptr<LoopbackChain> LoopbackChain::Start(const mixnet::ChainConfig& c
     HopDaemonConfig daemon_config;
     daemon_config.port = 0;
     daemon_config.chunk_payload = chunk_payload;
+    if (i + 1 == config.num_servers) {
+      daemon_config.exchange = exchange;
+    }
     auto daemon = HopDaemon::Create(daemon_config, BuildMixServer(config, chain->keys_, i));
     if (!daemon) {
       return nullptr;

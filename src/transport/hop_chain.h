@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "src/mixnet/chain.h"
+#include "src/transport/exchange_daemon.h"
+#include "src/transport/exchange_router.h"
 #include "src/transport/hop_daemon.h"
 #include "src/transport/hop_transport.h"
 #include "src/transport/tcp_transport.h"
@@ -54,12 +56,48 @@ std::vector<std::unique_ptr<mixnet::MixServer>> BuildMixServers(const mixnet::Ch
 std::vector<std::unique_ptr<HopTransport>> MakeLocalTransports(
     const std::vector<std::unique_ptr<mixnet::MixServer>>& servers);
 
+// In-process fleet of exchange-partition daemons on ephemeral loopback ports
+// — the vuvuzela-exchanged analog of LoopbackChain, used by the conformance
+// and failure-injection suites and single-machine benches.
+class ExchangePartitionGroup {
+ public:
+  // Spawns `num_partitions` ExchangedDaemons (shard i of num_partitions),
+  // each serving from its own thread. nullptr if a listener cannot bind.
+  static std::unique_ptr<ExchangePartitionGroup> Start(
+      size_t num_partitions, size_t chunk_payload = kDefaultChunkPayload);
+
+  ~ExchangePartitionGroup();
+
+  ExchangePartitionGroup(const ExchangePartitionGroup&) = delete;
+  ExchangePartitionGroup& operator=(const ExchangePartitionGroup&) = delete;
+
+  size_t size() const { return daemons_.size(); }
+  uint16_t port(size_t shard) const { return daemons_[shard]->port(); }
+
+  // Router configuration addressing this group's daemons.
+  ExchangeRouterConfig RouterConfig(int recv_timeout_ms = 10000) const;
+
+  // Kills one partition (failure injection): stops its daemon and joins its
+  // serve thread. Rounds routing to the shard fail; others keep completing.
+  void Kill(size_t shard);
+
+ private:
+  ExchangePartitionGroup() = default;
+
+  size_t chunk_payload_ = kDefaultChunkPayload;
+  std::vector<std::unique_ptr<ExchangedDaemon>> daemons_;
+  std::vector<std::thread> serve_threads_;
+};
+
 class LoopbackChain {
  public:
   // Spawns one HopDaemon per server on an ephemeral loopback port, each
-  // serving from its own thread. nullptr if a listener cannot bind.
+  // serving from its own thread. nullptr if a listener cannot bind. A
+  // non-empty `exchange.partitions` makes the last hop drive its dead-drop
+  // stage through those vuvuzela-exchanged shard servers.
   static std::unique_ptr<LoopbackChain> Start(const mixnet::ChainConfig& config, uint64_t seed,
-                                              size_t chunk_payload = kDefaultChunkPayload);
+                                              size_t chunk_payload = kDefaultChunkPayload,
+                                              const ExchangeRouterConfig& exchange = {});
 
   ~LoopbackChain();
 

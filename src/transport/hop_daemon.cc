@@ -50,8 +50,16 @@ std::unique_ptr<HopDaemon> HopDaemon::Create(const HopDaemonConfig& config,
   if (!listener) {
     return nullptr;
   }
-  return std::unique_ptr<HopDaemon>(
+  auto daemon = std::unique_ptr<HopDaemon>(
       new HopDaemon(config, std::move(server), std::move(*listener)));
+  if (!config.exchange.partitions.empty()) {
+    daemon->exchange_router_ = ExchangeRouter::Connect(config.exchange);
+    if (!daemon->exchange_router_) {
+      return nullptr;  // a partition is unreachable at startup
+    }
+    daemon->server_->SetExchangeBackend(daemon->exchange_router_.get());
+  }
+  return daemon;
 }
 
 void HopDaemon::Serve() {

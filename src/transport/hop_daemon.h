@@ -23,6 +23,7 @@
 
 #include "src/mixnet/mix_server.h"
 #include "src/net/tcp.h"
+#include "src/transport/exchange_router.h"
 #include "src/transport/hop_wire.h"
 
 namespace vuvuzela::transport {
@@ -36,6 +37,10 @@ struct HopDaemonConfig {
   // wakes up this often to honor Stop(). Mid-batch chunk waits are untimed —
   // a slow coordinator stalls only its own connection (EOF still ends it).
   int poll_interval_ms = 500;
+  // Exchange partitioning (last hop only). A non-empty partition list makes
+  // the daemon drive its dead-drop stage through an ExchangeRouter over
+  // vuvuzela-exchanged shard servers instead of the in-process tables.
+  ExchangeRouterConfig exchange;
 };
 
 class HopDaemon {
@@ -46,6 +51,8 @@ class HopDaemon {
 
   uint16_t port() const { return listener_.port(); }
   uint64_t rpcs_served() const { return rpcs_served_.load(); }
+  // Non-null iff the daemon exchanges through partition servers.
+  ExchangeRouter* exchange_router() const { return exchange_router_.get(); }
 
   // Serves connections until a kShutdown frame arrives or Stop() is called.
   // Connections are served one at a time; a dropped coordinator can
@@ -65,6 +72,9 @@ class HopDaemon {
 
   HopDaemonConfig config_;
   std::unique_ptr<mixnet::MixServer> server_;
+  // Declared after server_ is fine: the server holds only a non-owning
+  // backend pointer and makes no calls during destruction.
+  std::unique_ptr<ExchangeRouter> exchange_router_;
   net::TcpListener listener_;
   std::atomic<uint64_t> rpcs_served_{0};
   std::atomic<bool> stop_{false};

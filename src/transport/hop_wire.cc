@@ -191,4 +191,60 @@ void WriteHistogram(wire::Writer& w, const deaddrop::AccessHistogram& histogram,
   w.U64(messages_exchanged);
 }
 
+std::optional<HistogramHeader> ReadHistogram(wire::Reader& r) {
+  auto singles = r.U64();
+  auto pairs = r.U64();
+  auto crowded = r.U64();
+  auto exchanged = r.U64();
+  if (!exchanged) {
+    return std::nullopt;
+  }
+  HistogramHeader header;
+  header.histogram = {*singles, *pairs, *crowded};
+  header.messages_exchanged = *exchanged;
+  return header;
+}
+
+util::Bytes EncodeExchangeConversationHeader(const ExchangeConversationHeader& header) {
+  wire::Writer w(8);
+  w.U32(header.shard_index);
+  w.U32(header.num_shards);
+  return w.Take();
+}
+
+std::optional<ExchangeConversationHeader> ParseExchangeConversationHeader(util::ByteSpan data) {
+  wire::Reader r(data);
+  auto shard_index = r.U32();
+  auto num_shards = r.U32();
+  if (!num_shards || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  if (*num_shards == 0 || *shard_index >= *num_shards) {
+    return std::nullopt;
+  }
+  return ExchangeConversationHeader{*shard_index, *num_shards};
+}
+
+util::Bytes EncodeExchangeDialingHeader(const ExchangeDialingHeader& header) {
+  wire::Writer w(12);
+  w.U32(header.shard_index);
+  w.U32(header.num_shards);
+  w.U32(header.num_drops);
+  return w.Take();
+}
+
+std::optional<ExchangeDialingHeader> ParseExchangeDialingHeader(util::ByteSpan data) {
+  wire::Reader r(data);
+  auto shard_index = r.U32();
+  auto num_shards = r.U32();
+  auto num_drops = r.U32();
+  if (!num_drops || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  if (*num_shards == 0 || *shard_index >= *num_shards || *num_drops == 0) {
+    return std::nullopt;
+  }
+  return ExchangeDialingHeader{*shard_index, *num_shards, *num_drops};
+}
+
 }  // namespace vuvuzela::transport

@@ -110,10 +110,49 @@ std::optional<BatchMessage> ReadBatchMessage(net::TcpConnection& conn, net::Fram
 void WriteStats(wire::Writer& w, const mixnet::ServerRoundStats& stats);
 std::optional<mixnet::ServerRoundStats> ReadStats(wire::Reader& r);
 
-// kHopLastConversation response header tail: the round's observable variables
-// plus the exchange count.
+// kHopLastConversation / kExchangeConversation response header tail: the
+// round's observable variables plus the exchange count.
 void WriteHistogram(wire::Writer& w, const deaddrop::AccessHistogram& histogram,
                     uint64_t messages_exchanged);
+
+struct HistogramHeader {
+  deaddrop::AccessHistogram histogram;
+  uint64_t messages_exchanged = 0;
+};
+std::optional<HistogramHeader> ReadHistogram(wire::Reader& r);
+
+// --- Exchange-partition messages (ExchangeRouter ↔ vuvuzela-exchanged) ------
+//
+// The router splits the last hop's exchange by dead-drop placement
+// (deaddrop::ShardOfDeadDrop / ShardOfInvitationDrop) and ships each shard's
+// slice as one chunked batch message. Every request names the partition map
+// it was routed under (shard_index of num_shards); a shard server rejects a
+// request for a map it does not serve, so a misconfigured or malicious router
+// cannot silently split one drop's accesses across two tables.
+
+// kExchangeConversation request header. Items: serialized ExchangeRequests
+// owned by the shard, in round-batch order. Response: header = histogram
+// (WriteHistogram), items = one envelope per request, aligned.
+struct ExchangeConversationHeader {
+  uint32_t shard_index = 0;
+  uint32_t num_shards = 0;
+};
+util::Bytes EncodeExchangeConversationHeader(const ExchangeConversationHeader& header);
+// Rejects truncation, trailing bytes, zero shards, and out-of-range indices.
+std::optional<ExchangeConversationHeader> ParseExchangeConversationHeader(util::ByteSpan data);
+
+// kExchangeDialing request header. Items: serialized DialRequests (real
+// deposits in round order, then the last server's pre-generated noise), every
+// index already reduced mod num_drops and owned by the shard. Response:
+// empty header, items = one packed drop (concatenated invitations) per owned
+// drop index, in increasing drop order.
+struct ExchangeDialingHeader {
+  uint32_t shard_index = 0;
+  uint32_t num_shards = 0;
+  uint32_t num_drops = 0;
+};
+util::Bytes EncodeExchangeDialingHeader(const ExchangeDialingHeader& header);
+std::optional<ExchangeDialingHeader> ParseExchangeDialingHeader(util::ByteSpan data);
 
 }  // namespace vuvuzela::transport
 

@@ -124,11 +124,8 @@ mixnet::MixServer::LastServerResult TcpTransport::ProcessConversationLastHop(
   BatchMessage reply = Call(net::FrameType::kHopLastConversation, round, {}, batch);
   wire::Reader r(reply.header);
   mixnet::ServerRoundStats remote = TakeStats(r, config_);
-  auto singles = r.U64();
-  auto pairs = r.U64();
-  auto crowded = r.U64();
-  auto exchanged = r.U64();
-  if (!exchanged) {
+  auto histogram = ReadHistogram(r);
+  if (!histogram) {
     throw HopError("hop " + Endpoint(config_) + ": truncated exchange header");
   }
   if (stats) {
@@ -136,8 +133,8 @@ mixnet::MixServer::LastServerResult TcpTransport::ProcessConversationLastHop(
   }
   mixnet::MixServer::LastServerResult result;
   result.responses = std::move(reply.items);
-  result.histogram = {*singles, *pairs, *crowded};
-  result.messages_exchanged = *exchanged;
+  result.histogram = histogram->histogram;
+  result.messages_exchanged = histogram->messages_exchanged;
   return result;
 }
 

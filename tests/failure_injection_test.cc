@@ -4,10 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <future>
+#include <thread>
+
 #include "src/conversation/protocol.h"
 #include "src/crypto/onion.h"
 #include "src/dialing/protocol.h"
+#include "src/engine/round_scheduler.h"
 #include "src/mixnet/chain.h"
+#include "src/transport/hop_chain.h"
 #include "src/util/random.h"
 
 namespace vuvuzela::mixnet {
@@ -185,6 +190,121 @@ TEST(FailureInjectionChains, TwoServerChainToleratesHalfGarbage) {
   auto result = chain.RunConversationRound(1, std::move(onions));
   EXPECT_EQ(result.responses.size(), 8u);
   EXPECT_EQ(result.stats.forward[0].requests_dropped, 4u);
+}
+
+// --- Exchange-partition failures --------------------------------------------
+//
+// A dead vuvuzela-exchanged shard server must cost exactly the rounds whose
+// dead drops route to it: rounds confined to surviving shards keep
+// completing, and the failure surfaces through the round future like a dead
+// hop (the PR 2 accounting).
+
+class ExchangePartitionFailure : public ::testing::Test {
+ protected:
+  // A 1-server chain (the last hop alone) with a 2-way partitioned exchange:
+  // the first ID byte selects the shard (0x00.. → shard 0, 0x80.. → shard 1).
+  void SetUp() override {
+    config_.num_servers = 1;
+    config_.conversation_noise = {.params = {1.0, 1.0}, .deterministic = true};
+    config_.dialing_noise = {.params = {1.0, 1.0}, .deterministic = true};
+    config_.parallel = false;
+    keys_ = transport::DeriveChainKeys(9, 1);
+    server_ = transport::BuildMixServer(config_, keys_, 0);
+  }
+
+  util::Bytes Onion(uint64_t round, uint8_t id_first_byte) {
+    wire::ExchangeRequest request;
+    rng_.Fill(request.dead_drop);
+    rng_.Fill(request.envelope);
+    request.dead_drop[0] = id_first_byte;
+    return crypto::OnionWrap(keys_.public_keys, round, request.Serialize(), rng_).data;
+  }
+
+  ChainConfig config_;
+  transport::ChainKeyMaterial keys_;
+  std::unique_ptr<MixServer> server_;
+  util::Xoshiro256Rng rng_{515};
+};
+
+TEST_F(ExchangePartitionFailure, KilledPartitionAbandonsOnlyRoundsTouchingItsShard) {
+  auto group = transport::ExchangePartitionGroup::Start(2);
+  ASSERT_NE(group, nullptr);
+  auto router = transport::ExchangeRouter::Connect(group->RouterConfig(/*recv_timeout_ms=*/500));
+  ASSERT_NE(router, nullptr);
+  server_->SetExchangeBackend(router.get());
+
+  std::vector<std::unique_ptr<transport::HopTransport>> hops;
+  hops.push_back(std::make_unique<transport::LocalTransport>(*server_));
+  engine::RoundScheduler scheduler(std::move(hops), {.max_in_flight = 1});
+
+  // Round 1 spans both shards and completes.
+  auto round1 = scheduler.SubmitConversation(1, {Onion(1, 0x00), Onion(1, 0xff)});
+  EXPECT_EQ(round1.get().responses.size(), 2u);
+
+  // Kill shard 0's server mid-deployment.
+  group->Kill(0);
+
+  // Rounds confined to shard 1 still complete...
+  auto round2 = scheduler.SubmitConversation(2, {Onion(2, 0xff), Onion(2, 0xcc)});
+  EXPECT_EQ(round2.get().responses.size(), 2u);
+
+  // ...a round routing to the dead shard is abandoned (its future throws)...
+  auto round3 = scheduler.SubmitConversation(3, {Onion(3, 0x00), Onion(3, 0xff)});
+  EXPECT_THROW(round3.get(), transport::HopError);
+
+  // ...and later shard-1-only rounds are unaffected by the earlier failure.
+  auto round4 = scheduler.SubmitConversation(4, {Onion(4, 0x80)});
+  EXPECT_EQ(round4.get().responses.size(), 1u);
+
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.stats().rounds_failed, 1u);
+  EXPECT_EQ(scheduler.stats().conversation_rounds_completed, 3u);
+}
+
+TEST_F(ExchangePartitionFailure, BlackHolePartitionTimesOutMidRoundWhileOthersComplete) {
+  // Shard 0 is a black hole — it accepts the slice and never answers — which
+  // models a shard server dying *mid-round* rather than refusing connections.
+  auto black_hole_listener = net::TcpListener::Listen(0);
+  ASSERT_TRUE(black_hole_listener.has_value());
+  std::thread black_hole([&] {
+    while (auto conn = black_hole_listener->Accept()) {
+      while (conn->RecvFrame()) {
+      }
+    }
+  });
+  transport::ExchangedConfig shard1_config;
+  shard1_config.shard_index = 1;
+  shard1_config.num_shards = 2;
+  auto shard1 = transport::ExchangedDaemon::Create(shard1_config);
+  ASSERT_NE(shard1, nullptr);
+  std::thread shard1_thread([&] { shard1->Serve(); });
+
+  transport::ExchangeRouterConfig router_config;
+  router_config.partitions = {{"127.0.0.1", black_hole_listener->port()},
+                              {"127.0.0.1", shard1->port()}};
+  router_config.recv_timeout_ms = 300;
+  auto router = transport::ExchangeRouter::Connect(router_config);
+  ASSERT_NE(router, nullptr);
+  server_->SetExchangeBackend(router.get());
+
+  std::vector<std::unique_ptr<transport::HopTransport>> hops;
+  hops.push_back(std::make_unique<transport::LocalTransport>(*server_));
+  engine::RoundScheduler scheduler(std::move(hops), {.max_in_flight = 2});
+
+  // Two rounds in flight: round 1 touches the black hole, round 2 does not.
+  auto round1 = scheduler.SubmitConversation(1, {Onion(1, 0x00), Onion(1, 0xff)});
+  auto round2 = scheduler.SubmitConversation(2, {Onion(2, 0xff)});
+  EXPECT_THROW(round1.get(), transport::HopTimeoutError);
+  EXPECT_EQ(round2.get().responses.size(), 1u);
+
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.stats().rounds_failed, 1u);
+  EXPECT_EQ(scheduler.stats().conversation_rounds_completed, 1u);
+
+  black_hole_listener->Shutdown();
+  black_hole.join();
+  shard1->Stop();
+  shard1_thread.join();
 }
 
 }  // namespace

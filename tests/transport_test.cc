@@ -260,6 +260,80 @@ TEST(CoordinatorDaemon, DrivesInterleavedRoundsOverLoopbackHops) {
   EXPECT_GT(result.messages_exchanged, 0u);
 }
 
+// Regression: the admission-window dedup map is keyed by round and must be
+// pruned by round *expiry*, not round completion — with a dead hop abandoning
+// every round, a long-running coordinator would otherwise accumulate one
+// dedup record per announced round forever.
+TEST(CoordinatorDaemon, PrunesAdmissionDedupForAbandonedRounds) {
+  mixnet::ChainConfig config1 = TestChainConfig();
+  config1.num_servers = 1;
+  auto keys = DeriveChainKeys(kKeySeed, 1);
+
+  // The only hop is a black hole: every announced round is abandoned.
+  auto dead = net::TcpListener::Listen(0);
+  ASSERT_TRUE(dead.has_value());
+  std::thread black_hole([&] {
+    while (auto conn = dead->Accept()) {
+      while (conn->RecvFrame()) {
+      }
+    }
+  });
+
+  constexpr uint64_t kTotalRounds = 16;
+  constexpr size_t kInFlight = 2;
+  CoordDaemonConfig config;
+  config.hops.push_back({"127.0.0.1", dead->port()});
+  config.scheduler.max_in_flight = kInFlight;
+  config.schedule.conversation_rounds_per_dialing_round = 1000;  // conversation only
+  config.total_rounds = kTotalRounds;
+  config.admission_window_seconds = 0.2;  // closes early once the client contributed
+  config.hop_timeout_ms = 100;
+  config.num_clients = 1;
+  config.key_seed = kKeySeed;
+
+  CoordinatorDaemon coordinator(std::move(config));
+  ASSERT_TRUE(coordinator.Start());
+
+  // One client that answers every announcement with a (garbage) onion — it
+  // only needs to exercise the admission window, not survive the mix chain.
+  std::thread client([&] {
+    auto conn = net::TcpConnection::Connect("127.0.0.1", coordinator.client_port());
+    if (!conn) {
+      return;
+    }
+    while (auto frame = conn->RecvFrame()) {
+      if (frame->type == net::FrameType::kShutdown) {
+        return;
+      }
+      if (frame->type != net::FrameType::kRoundAnnouncement) {
+        continue;
+      }
+      auto announcement = wire::RoundAnnouncement::Parse(frame->payload);
+      if (!announcement) {
+        continue;
+      }
+      net::FrameType type = announcement->type == wire::RoundType::kConversation
+                                ? net::FrameType::kConversationRequest
+                                : net::FrameType::kDialRequest;
+      conn->SendFrame(net::Frame{type, announcement->round, util::Bytes(416, 0xab)});
+    }
+  });
+
+  CoordDaemonResult result = coordinator.Run();
+  client.join();
+  EXPECT_EQ(result.rounds_abandoned, kTotalRounds);
+
+  // Despite every round being abandoned, dedup records are bounded by the
+  // expiry window (the scheduler's derived keep = 2K + 2), not by the number
+  // of rounds announced.
+  constexpr uint64_t kKeep = 2 * kInFlight + 2;
+  EXPECT_LE(coordinator.admission_dedup_rounds(), kKeep + 1);
+  EXPECT_LT(coordinator.admission_dedup_rounds(), kTotalRounds);
+
+  dead->Shutdown();
+  black_hole.join();
+}
+
 // A dead hop in the chain: every round that reaches it is abandoned — counted,
 // reclaimed, and the coordinator finishes instead of hanging.
 TEST(CoordinatorDaemon, AbandonsRoundsStuckOnDeadHop) {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/coord/keydir.h"
 #include "src/transport/coord_daemon.h"
 
 using namespace vuvuzela;
@@ -24,6 +25,7 @@ namespace {
 struct Flags {
   std::vector<transport::HopEndpoint> hops;
   uint64_t seed = 1;
+  std::string key_dir;
   uint64_t rounds = 20;
   size_t k = 3;
   uint64_t users = 40;
@@ -32,6 +34,9 @@ struct Flags {
   double window = 0.02;
   int hop_timeout_ms = 10000;
   uint64_t conv_per_dial = 20;
+  // Fault tolerance: submission attempts per round (1 = abandon on first
+  // failure, the pre-recovery behavior).
+  uint32_t retries = 3;
 };
 
 bool ParseHops(const std::string& list, std::vector<transport::HopEndpoint>* hops) {
@@ -58,9 +63,12 @@ bool ParseHops(const std::string& list, std::vector<transport::HopEndpoint>* hop
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --hops host:port[,host:port...] [--seed S] [--rounds N] [--k K]\n"
-               "          [--users U | --clients C [--client-port P]] [--window SEC]\n"
-               "          [--timeout-ms MS] [--conv-per-dial N]\n",
+               "usage: %s --hops host:port[,host:port...] [--seed S | --key-dir CHAIN.pub]\n"
+               "          [--rounds N] [--k K] [--users U | --clients C [--client-port P]]\n"
+               "          [--window SEC] [--timeout-ms MS] [--conv-per-dial N] [--retries R]\n"
+               "--key-dir loads the chain's public keys from vuvuzela-keygen output instead\n"
+               "of deriving them from the shared seed. --retries bounds submission attempts\n"
+               "per round (crashed rounds re-enter the next admission window; 1 disables).\n",
                argv0);
 }
 
@@ -95,6 +103,13 @@ bool Parse(int argc, char** argv, Flags* flags) {
       flags->hop_timeout_ms = static_cast<int>(std::strtol(value, nullptr, 10));
     } else if (arg == "--conv-per-dial" && (value = next())) {
       flags->conv_per_dial = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--retries" && (value = next())) {
+      flags->retries = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+      if (flags->retries == 0) {
+        return false;
+      }
+    } else if (arg == "--key-dir" && (value = next())) {
+      flags->key_dir = value;
     } else {
       return false;
     }
@@ -119,11 +134,27 @@ int main(int argc, char** argv) {
   config.admission_window_seconds = flags.window;
   config.hop_timeout_ms = flags.hop_timeout_ms;
   config.shutdown_hops_on_exit = true;
+  config.max_round_attempts = flags.retries;
   config.client_port = flags.client_port;
   config.num_clients = flags.clients;
   config.synthetic_users = flags.users;
   config.key_seed = flags.seed;
   config.workload_seed = flags.seed ^ 0x9e3779b97f4a7c15ULL;
+  if (!flags.key_dir.empty()) {
+    auto directory = coord::KeyDirectory::LoadFromFile(flags.key_dir);
+    if (!directory) {
+      std::fprintf(stderr, "vuvuzela-coordd: cannot read key directory %s\n",
+                   flags.key_dir.c_str());
+      return 1;
+    }
+    auto chain_keys = directory->ChainPublicKeys(flags.hops.size());
+    if (!chain_keys) {
+      std::fprintf(stderr, "vuvuzela-coordd: key directory %s lacks hop0..hop%zu\n",
+                   flags.key_dir.c_str(), flags.hops.size() - 1);
+      return 1;
+    }
+    config.public_keys = std::move(*chain_keys);
+  }
 
   transport::CoordinatorDaemon coordinator(std::move(config));
   if (!coordinator.Start()) {
@@ -139,10 +170,12 @@ int main(int argc, char** argv) {
   transport::CoordDaemonResult result = coordinator.Run();
   uint64_t completed = result.conversation_rounds_completed + result.dialing_rounds_completed;
   std::printf("vuvuzela-coordd: completed %llu conversation rounds, %llu dialing rounds, "
-              "%llu abandoned, %llu messages exchanged in %.2f s (%.0f msgs/sec)\n",
+              "%llu abandoned, %llu retried, %llu messages exchanged in %.2f s "
+              "(%.0f msgs/sec)\n",
               static_cast<unsigned long long>(result.conversation_rounds_completed),
               static_cast<unsigned long long>(result.dialing_rounds_completed),
               static_cast<unsigned long long>(result.rounds_abandoned),
+              static_cast<unsigned long long>(result.rounds_retried),
               static_cast<unsigned long long>(result.messages_exchanged), result.wall_seconds,
               result.wall_seconds > 0 ? result.messages_exchanged / result.wall_seconds : 0.0);
   return (completed == flags.rounds && result.rounds_abandoned == 0) ? 0 : 1;

@@ -3,10 +3,14 @@
 //   $ vuvuzela-hopd --position 0 --servers 3 --port 7341 --seed 42 --mu 50
 //
 // Serves the hop RPC protocol (transport::HopDaemon) until the coordinator
-// sends kShutdown. All processes of a deployment derive the chain's key
-// material from the shared --seed (demo-grade key ceremony; see
-// src/transport/hop_chain.h), so the only per-process secret state is which
-// position this hop holds.
+// sends kShutdown. Two key ceremonies:
+//
+//  * Real (--key-file + --key-dir): the hop reads its own secret and noise
+//    seed from a vuvuzela-keygen key file and everyone's public keys from
+//    the shared directory file — this process never holds another hop's
+//    private material. Position and chain length come from the files.
+//  * Shared seed (--seed, test/demo fallback): every process derives the
+//    full chain deterministically (src/transport/hop_chain.h).
 //
 // The last hop can partition its dead-drop exchange across
 // vuvuzela-exchanged shard servers:
@@ -21,9 +25,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/coord/keydir.h"
 #include "src/transport/hop_chain.h"
 #include "src/transport/hop_daemon.h"
 #include "src/util/logging.h"
@@ -34,9 +40,13 @@ namespace {
 
 struct Flags {
   size_t position = 0;
+  bool have_position = false;
   size_t servers = 3;
+  bool have_servers = false;
   uint16_t port = 0;
   uint64_t seed = 1;
+  std::string key_file;
+  std::string key_dir;
   double mu = 50.0;
   double dial_mu = 10.0;
   size_t exchange_shards = 0;  // 0 = one shard per pool worker (last hop only)
@@ -45,9 +55,13 @@ struct Flags {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --position I --servers N [--port P] [--seed S] [--mu M]\n"
-               "          [--dial-mu D] [--shards K] [--exchange host:port[,host:port...]]\n"
+               "usage: %s [--position I --servers N] [--port P] [--mu M] [--dial-mu D]\n"
+               "          [--seed S | --key-file HOP.key --key-dir CHAIN.pub]\n"
+               "          [--shards K] [--exchange host:port[,host:port...]]\n"
                "Runs one Vuvuzela chain hop; port 0 picks an ephemeral port and prints it.\n"
+               "--key-file/--key-dir load vuvuzela-keygen output (the hop holds only its\n"
+               "own secret; position and chain length come from the files). --seed is the\n"
+               "shared-seed test ceremony and needs --position/--servers.\n"
                "--exchange partitions the last hop's dead-drop exchange across\n"
                "vuvuzela-exchanged shard servers (endpoint i serves shard i).\n",
                argv0);
@@ -80,8 +94,14 @@ bool Parse(int argc, char** argv, Flags* flags) {
     const char* value = nullptr;
     if (arg == "--position" && (value = next())) {
       flags->position = std::strtoul(value, nullptr, 10);
+      flags->have_position = true;
     } else if (arg == "--servers" && (value = next())) {
       flags->servers = std::strtoul(value, nullptr, 10);
+      flags->have_servers = true;
+    } else if (arg == "--key-file" && (value = next())) {
+      flags->key_file = value;
+    } else if (arg == "--key-dir" && (value = next())) {
+      flags->key_dir = value;
     } else if (arg == "--port" && (value = next())) {
       unsigned long port = std::strtoul(value, nullptr, 10);
       if (port > 65535) {
@@ -104,10 +124,15 @@ bool Parse(int argc, char** argv, Flags* flags) {
       return false;
     }
   }
-  if (!flags->exchange.empty() && flags->position + 1 != flags->servers) {
-    return false;  // only the last hop hosts the dead drops
+  // Key files carry the hop's position and the directory its chain length;
+  // either ceremony must end with a coherent (position, servers) pair.
+  if (flags->key_file.empty() != flags->key_dir.empty()) {
+    return false;  // --key-file and --key-dir travel together
   }
-  return flags->servers > 0 && flags->position < flags->servers;
+  if (flags->key_file.empty() && !flags->have_position) {
+    return false;  // shared-seed ceremony needs an explicit position
+  }
+  return true;
 }
 
 }  // namespace
@@ -116,6 +141,60 @@ int main(int argc, char** argv) {
   Flags flags;
   if (!Parse(argc, argv, &flags)) {
     Usage(argv[0]);
+    return 2;
+  }
+
+  // Resolve the key ceremony: every path ends with this hop's key pair and
+  // noise seed plus the whole chain's public keys.
+  crypto::X25519KeyPair key_pair;
+  crypto::ChaCha20Key noise_seed;
+  std::vector<crypto::X25519PublicKey> public_keys;
+  if (!flags.key_file.empty()) {
+    auto hop_key = coord::ReadHopKeyFile(flags.key_file);
+    if (!hop_key) {
+      std::fprintf(stderr, "vuvuzela-hopd: cannot read key file %s\n", flags.key_file.c_str());
+      return 1;
+    }
+    auto directory = coord::KeyDirectory::LoadFromFile(flags.key_dir);
+    if (!directory) {
+      std::fprintf(stderr, "vuvuzela-hopd: cannot read key directory %s\n",
+                   flags.key_dir.c_str());
+      return 1;
+    }
+    size_t chain_length = directory->ChainLength();
+    auto chain_keys = directory->ChainPublicKeys(chain_length);
+    if (chain_length == 0 || !chain_keys) {
+      std::fprintf(stderr, "vuvuzela-hopd: key directory %s has no hop0..hopN chain\n",
+                   flags.key_dir.c_str());
+      return 1;
+    }
+    flags.position = flags.have_position ? flags.position : hop_key->position;
+    flags.servers = flags.have_servers ? flags.servers : chain_length;
+    key_pair = hop_key->key_pair;
+    noise_seed = hop_key->noise_seed;
+    public_keys = std::move(*chain_keys);
+    if (flags.position != hop_key->position || flags.servers != chain_length ||
+        flags.position >= flags.servers) {
+      std::fprintf(stderr, "vuvuzela-hopd: flags disagree with key files (position %zu/%zu)\n",
+                   flags.position, flags.servers);
+      return 1;
+    }
+    if (public_keys[flags.position] != key_pair.public_key) {
+      std::fprintf(stderr, "vuvuzela-hopd: key file secret does not match directory entry\n");
+      return 1;
+    }
+  } else {
+    transport::ChainKeyMaterial keys = transport::DeriveChainKeys(flags.seed, flags.servers);
+    if (flags.servers == 0 || flags.position >= flags.servers) {
+      Usage(argv[0]);
+      return 2;
+    }
+    key_pair = keys.key_pairs[flags.position];
+    noise_seed = keys.rng_seeds[flags.position];
+    public_keys = keys.public_keys;
+  }
+  if (!flags.exchange.empty() && flags.position + 1 != flags.servers) {
+    std::fprintf(stderr, "vuvuzela-hopd: only the last hop hosts the dead drops\n");
     return 2;
   }
 
@@ -128,12 +207,20 @@ int main(int argc, char** argv) {
   chain_config.parallel = true;
   chain_config.exchange_shards = flags.exchange_shards;
 
-  transport::ChainKeyMaterial keys = transport::DeriveChainKeys(flags.seed, flags.servers);
+  mixnet::MixServerConfig server_config;
+  server_config.position = flags.position;
+  server_config.chain_length = flags.servers;
+  server_config.conversation_noise = chain_config.conversation_noise;
+  server_config.dialing_noise = chain_config.dialing_noise;
+  server_config.parallel = chain_config.parallel;
+  server_config.exchange_shards = chain_config.exchange_shards;
+
   transport::HopDaemonConfig daemon_config;
   daemon_config.port = flags.port;
   daemon_config.exchange.partitions = flags.exchange;
   auto daemon = transport::HopDaemon::Create(
-      daemon_config, transport::BuildMixServer(chain_config, keys, flags.position));
+      daemon_config,
+      std::make_unique<mixnet::MixServer>(server_config, key_pair, public_keys, noise_seed));
   if (!daemon) {
     std::fprintf(stderr,
                  "vuvuzela-hopd: cannot listen on port %u (or an exchange partition is "

@@ -1,6 +1,38 @@
 #include "src/coord/keydir.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/bytes.h"
+
 namespace vuvuzela::coord {
+
+namespace {
+
+constexpr char kDirectoryMagic[] = "vuvuzela-key-directory-v1";
+constexpr char kHopKeyMagic[] = "vuvuzela-hop-key-v1";
+
+// Decodes exactly 32 bytes of hex into `out`; false otherwise.
+template <typename Array>
+bool ParseHex32(const std::string& hex, Array& out) {
+  if (hex.size() != 2 * out.size()) {
+    return false;
+  }
+  try {
+    util::Bytes decoded = util::HexDecode(hex);
+    std::copy(decoded.begin(), decoded.end(), out.begin());
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 bool KeyDirectory::AddContact(const std::string& name, const crypto::X25519PublicKey& key) {
   auto key_it = by_key_.find(key);
@@ -50,6 +82,139 @@ std::vector<std::string> KeyDirectory::ContactNames() const {
     names.push_back(name);
   }
   return names;
+}
+
+bool KeyDirectory::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << kDirectoryMagic << "\n";
+  for (const auto& [name, key] : by_name_) {
+    out << name << " " << util::HexEncode(key) << "\n";
+  }
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::optional<KeyDirectory> KeyDirectory::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kDirectoryMagic) {
+    return std::nullopt;
+  }
+  KeyDirectory directory;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string name, hex, extra;
+    if (!(fields >> name >> hex) || (fields >> extra)) {
+      return std::nullopt;
+    }
+    crypto::X25519PublicKey key;
+    if (!ParseHex32(hex, key) || !directory.AddContact(name, key)) {
+      return std::nullopt;
+    }
+  }
+  return directory;
+}
+
+std::optional<std::vector<crypto::X25519PublicKey>> KeyDirectory::ChainPublicKeys(
+    size_t num_servers) const {
+  std::vector<crypto::X25519PublicKey> keys;
+  keys.reserve(num_servers);
+  for (size_t i = 0; i < num_servers; ++i) {
+    auto key = Lookup("hop" + std::to_string(i));
+    if (!key) {
+      return std::nullopt;
+    }
+    keys.push_back(*key);
+  }
+  return keys;
+}
+
+size_t KeyDirectory::ChainLength() const {
+  size_t length = 0;
+  while (Lookup("hop" + std::to_string(length)).has_value()) {
+    ++length;
+  }
+  return length;
+}
+
+bool WriteHopKeyFile(const std::string& path, const HopKeyFile& key) {
+  // Create 0600 *before* any secret byte lands in the file — a chmod after
+  // writing would leave a window where the umask-default permissions let
+  // another local user open the secret.
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
+  if (fd < 0) {
+    return false;
+  }
+  ::close(fd);
+  ::chmod(path.c_str(), 0600);  // pre-existing files keep their old mode otherwise
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << kHopKeyMagic << "\n";
+  out << "position " << key.position << "\n";
+  out << "secret " << util::HexEncode(key.key_pair.secret_key) << "\n";
+  out << "noise-seed " << util::HexEncode(key.noise_seed) << "\n";
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::optional<HopKeyFile> ReadHopKeyFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kHopKeyMagic) {
+    return std::nullopt;
+  }
+  HopKeyFile key;
+  bool have_position = false, have_secret = false, have_seed = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag, value, extra;
+    if (!(fields >> tag >> value) || (fields >> extra)) {
+      return std::nullopt;
+    }
+    if (tag == "position") {
+      char* end = nullptr;
+      key.position = std::strtoul(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return std::nullopt;
+      }
+      have_position = true;
+    } else if (tag == "secret") {
+      if (!ParseHex32(value, key.key_pair.secret_key)) {
+        return std::nullopt;
+      }
+      have_secret = true;
+    } else if (tag == "noise-seed") {
+      if (!ParseHex32(value, key.noise_seed)) {
+        return std::nullopt;
+      }
+      have_seed = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_position || !have_secret || !have_seed) {
+    return std::nullopt;
+  }
+  // The public half is derived, never trusted from disk.
+  key.key_pair.public_key = crypto::X25519BasePoint(key.key_pair.secret_key);
+  return key;
 }
 
 }  // namespace vuvuzela::coord

@@ -7,6 +7,14 @@
 // ahead-of-time contact store the paper prescribes: out-of-band verified
 // (name, key) pairs, plus the reverse lookup a client performs on each
 // incoming call.
+//
+// The same directory doubles as the chain's key ceremony for real
+// deployments (ROADMAP "real key ceremony"): vuvuzela-keygen writes one
+// secret file per hop plus a shared public directory whose contacts are
+// named "hop0".."hopN-1"; each hop process reads only its own secret
+// (--key-file) and the public directory (--key-dir), so no process but hop i
+// ever holds hop i's private material — unlike the demo-grade shared --seed
+// derivation, where every process can reconstruct every key.
 
 #ifndef VUVUZELA_SRC_COORD_KEYDIR_H_
 #define VUVUZELA_SRC_COORD_KEYDIR_H_
@@ -16,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/crypto/chacha20.h"
 #include "src/crypto/x25519.h"
 
 namespace vuvuzela::coord {
@@ -41,6 +50,23 @@ class KeyDirectory {
   std::vector<std::string> ContactNames() const;
   size_t size() const { return by_name_.size(); }
 
+  // --- Chain-ceremony file format -----------------------------------------
+
+  // Text format, one binding per line:
+  //   vuvuzela-key-directory-v1
+  //   <name> <64 hex chars>
+  bool SaveToFile(const std::string& path) const;
+  // nullopt on I/O failure, bad magic, malformed lines, or conflicting
+  // bindings.
+  static std::optional<KeyDirectory> LoadFromFile(const std::string& path);
+
+  // Chain view: the public keys of contacts "hop0".."hopN-1" in order;
+  // nullopt if any is missing.
+  std::optional<std::vector<crypto::X25519PublicKey>> ChainPublicKeys(size_t num_servers) const;
+  // Longest contiguous hop0..hopN-1 prefix present (the chain length a
+  // directory file describes).
+  size_t ChainLength() const;
+
  private:
   struct KeyLess {
     bool operator()(const crypto::X25519PublicKey& a, const crypto::X25519PublicKey& b) const {
@@ -51,6 +77,27 @@ class KeyDirectory {
   std::map<std::string, crypto::X25519PublicKey> by_name_;
   std::map<crypto::X25519PublicKey, std::string, KeyLess> by_key_;
 };
+
+// One hop's private material: the only secrets its process ever holds. The
+// noise seed is private too — an adversary who knows it can strip the hop's
+// cover traffic (§6).
+//
+// Text format:
+//   vuvuzela-hop-key-v1
+//   position <i>
+//   secret <64 hex chars>
+//   noise-seed <64 hex chars>
+struct HopKeyFile {
+  size_t position = 0;
+  crypto::X25519KeyPair key_pair;  // public key recomputed from the secret
+  crypto::ChaCha20Key noise_seed{};
+};
+
+// Writes with mode 0600 (best-effort). False on I/O failure.
+bool WriteHopKeyFile(const std::string& path, const HopKeyFile& key);
+// nullopt on I/O failure or malformed content. Recomputes the public key
+// from the secret, so a key file cannot lie about its public half.
+std::optional<HopKeyFile> ReadHopKeyFile(const std::string& path);
 
 }  // namespace vuvuzela::coord
 

@@ -1,0 +1,212 @@
+#include "src/engine/round_lifecycle.h"
+
+#include <stdexcept>
+
+namespace vuvuzela::engine {
+
+const char* RoundPhaseName(RoundPhase phase) {
+  switch (phase) {
+    case RoundPhase::kAnnounced:
+      return "Announced";
+    case RoundPhase::kSubmitting:
+      return "Submitting";
+    case RoundPhase::kForward:
+      return "Forward";
+    case RoundPhase::kExchange:
+      return "Exchange";
+    case RoundPhase::kBackward:
+      return "Backward";
+    case RoundPhase::kComplete:
+      return "Complete";
+    case RoundPhase::kRetrying:
+      return "Retrying";
+    case RoundPhase::kAbandoned:
+      return "Abandoned";
+  }
+  return "?";
+}
+
+RoundLifecycle::RoundLifecycle(Listener listener) : listener_(std::move(listener)) {}
+
+RoundStatus& RoundLifecycle::Require(uint64_t round, const char* verb) {
+  auto it = rounds_.find(round);
+  if (it == rounds_.end()) {
+    throw std::logic_error(std::string("RoundLifecycle: ") + verb + " on unknown round " +
+                           std::to_string(round));
+  }
+  return it->second;
+}
+
+void RoundLifecycle::Reject(const RoundStatus& status, const char* verb) {
+  throw std::logic_error(std::string("RoundLifecycle: invalid transition ") +
+                         RoundPhaseName(status.phase) + " -> " + verb + " (round " +
+                         std::to_string(status.round) + ")");
+}
+
+void RoundLifecycle::Notify(const RoundStatus& status) {
+  if (listener_) {
+    listener_(status);
+  }
+}
+
+void RoundLifecycle::Announce(uint64_t round, wire::RoundType type) {
+  RoundStatus snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = rounds_.try_emplace(round);
+    if (!inserted) {
+      Reject(it->second, "Announced");
+    }
+    it->second.round = round;
+    it->second.type = type;
+    it->second.phase = RoundPhase::kAnnounced;
+    ++counters_.announced;
+    snapshot = it->second;
+  }
+  Notify(snapshot);
+}
+
+void RoundLifecycle::BeginAttempt(uint64_t round, wire::RoundType type) {
+  RoundStatus snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = rounds_.try_emplace(round);
+    RoundStatus& status = it->second;
+    if (inserted) {
+      // Direct scheduler users skip the coordinator's announcement.
+      status.round = round;
+      status.type = type;
+      ++counters_.announced;
+    } else if (status.phase == RoundPhase::kRetrying) {
+      ++status.attempt;
+      ++counters_.retries;
+    } else if (status.phase != RoundPhase::kAnnounced) {
+      Reject(status, "Submitting");
+    }
+    status.phase = RoundPhase::kSubmitting;
+    snapshot = status;
+  }
+  Notify(snapshot);
+}
+
+void RoundLifecycle::EnterForward(uint64_t round, size_t hop) {
+  RoundStatus snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RoundStatus& status = Require(round, "Forward");
+    bool from_submit = status.phase == RoundPhase::kSubmitting;
+    bool advances = status.phase == RoundPhase::kForward && hop > status.hop;
+    if (!from_submit && !advances) {
+      Reject(status, "Forward");
+    }
+    status.phase = RoundPhase::kForward;
+    status.hop = hop;
+    snapshot = status;
+  }
+  Notify(snapshot);
+}
+
+void RoundLifecycle::EnterExchange(uint64_t round) {
+  RoundStatus snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RoundStatus& status = Require(round, "Exchange");
+    // A single-hop chain enters the exchange straight from submission.
+    if (status.phase != RoundPhase::kForward && status.phase != RoundPhase::kSubmitting) {
+      Reject(status, "Exchange");
+    }
+    status.phase = RoundPhase::kExchange;
+    snapshot = status;
+  }
+  Notify(snapshot);
+}
+
+void RoundLifecycle::EnterBackward(uint64_t round, size_t hop) {
+  RoundStatus snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RoundStatus& status = Require(round, "Backward");
+    bool from_exchange = status.phase == RoundPhase::kExchange;
+    bool descends = status.phase == RoundPhase::kBackward && hop < status.hop;
+    if (!from_exchange && !descends) {
+      Reject(status, "Backward");
+    }
+    status.phase = RoundPhase::kBackward;
+    status.hop = hop;
+    snapshot = status;
+  }
+  Notify(snapshot);
+}
+
+void RoundLifecycle::Complete(uint64_t round) {
+  RoundStatus snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RoundStatus& status = Require(round, "Complete");
+    // Conversation rounds complete off the final backward pass (or the
+    // exchange itself on a single-hop chain); dialing rounds complete off the
+    // exchange (no return pass).
+    if (status.phase != RoundPhase::kBackward && status.phase != RoundPhase::kExchange) {
+      Reject(status, "Complete");
+    }
+    status.phase = RoundPhase::kComplete;
+    ++counters_.completed;
+    snapshot = status;
+    rounds_.erase(round);
+  }
+  Notify(snapshot);
+}
+
+void RoundLifecycle::Retrying(uint64_t round, const std::string& error) {
+  RoundStatus snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RoundStatus& status = Require(round, "Retrying");
+    if (status.phase == RoundPhase::kComplete || status.phase == RoundPhase::kAbandoned ||
+        status.phase == RoundPhase::kRetrying) {
+      Reject(status, "Retrying");
+    }
+    status.phase = RoundPhase::kRetrying;
+    status.last_error = error;
+    snapshot = status;
+  }
+  Notify(snapshot);
+}
+
+void RoundLifecycle::Abandon(uint64_t round, const std::string& error) {
+  RoundStatus snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RoundStatus& status = Require(round, "Abandoned");
+    if (status.phase == RoundPhase::kComplete || status.phase == RoundPhase::kAbandoned) {
+      Reject(status, "Abandoned");
+    }
+    status.phase = RoundPhase::kAbandoned;
+    status.last_error = error;
+    ++counters_.abandoned;
+    snapshot = status;
+    rounds_.erase(round);
+  }
+  Notify(snapshot);
+}
+
+std::optional<RoundStatus> RoundLifecycle::Status(uint64_t round) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = rounds_.find(round);
+  if (it == rounds_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+size_t RoundLifecycle::live_rounds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rounds_.size();
+}
+
+RoundLifecycle::Counters RoundLifecycle::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace vuvuzela::engine

@@ -189,6 +189,9 @@ void RoundScheduler::FailDialing(std::shared_ptr<DialingContext> ctx, std::excep
 std::future<mixnet::Chain::ConversationResult> RoundScheduler::SubmitConversation(
     uint64_t round, std::vector<util::Bytes> onions) {
   Admit();
+  if (config_.lifecycle) {
+    config_.lifecycle->BeginAttempt(round, wire::RoundType::kConversation);
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     newest_conversation_round_ = std::max(newest_conversation_round_, round);
@@ -217,6 +220,9 @@ void RoundScheduler::PostConversationForward(std::shared_ptr<ConversationContext
   workers_[position]->Post([this, ctx = std::move(ctx), position]() mutable {
     transport::HopTransport& hop = *hops_[position];
     try {
+      if (config_.lifecycle) {
+        config_.lifecycle->EnterForward(ctx->round, position);
+      }
       // Shed state from rounds abandoned mid-pipeline before taking on
       // more. The horizon is the oldest round still in flight, so a live
       // round can never be expired, whatever the round numbering gaps.
@@ -249,6 +255,9 @@ void RoundScheduler::PostConversationLastHop(std::shared_ptr<ConversationContext
   size_t last = num_stages() - 1;
   workers_[last]->Post([this, ctx = std::move(ctx), last]() mutable {
     try {
+      if (config_.lifecycle) {
+        config_.lifecycle->EnterExchange(ctx->round);
+      }
       mixnet::ChainObserver* obs = observer();
       std::vector<util::Bytes> input_copy;
       if (obs) {
@@ -282,6 +291,9 @@ void RoundScheduler::PostConversationBackward(std::shared_ptr<ConversationContex
                                               size_t position) {
   workers_[position]->Post([this, ctx = std::move(ctx), position]() mutable {
     try {
+      if (config_.lifecycle) {
+        config_.lifecycle->EnterBackward(ctx->round, position);
+      }
       ctx->batch = hops_[position]->BackwardConversation(
           ctx->round, std::move(ctx->batch), &ctx->result.stats.backward[position]);
     } catch (...) {
@@ -300,6 +312,9 @@ void RoundScheduler::CompleteConversation(std::shared_ptr<ConversationContext> c
   ctx->result.stats.backward_seconds = SecondsSince(ctx->backward_start);
   ctx->result.responses = std::move(ctx->batch);
   double latency = SecondsSince(ctx->submitted);
+  if (config_.lifecycle) {
+    config_.lifecycle->Complete(ctx->round);
+  }
   // Release before fulfilling the promise: a caller woken by future.get()
   // must observe the round already counted in stats() and in_flight().
   RemoveActiveRound(ctx->round);
@@ -312,6 +327,9 @@ void RoundScheduler::CompleteConversation(std::shared_ptr<ConversationContext> c
 std::future<mixnet::Chain::DialingResult> RoundScheduler::SubmitDialing(
     uint64_t round, std::vector<util::Bytes> onions, uint32_t num_drops) {
   Admit();
+  if (config_.lifecycle) {
+    config_.lifecycle->BeginAttempt(round, wire::RoundType::kDialing);
+  }
 
   auto ctx = std::make_shared<DialingContext>();
   ctx->round = round;
@@ -332,6 +350,9 @@ std::future<mixnet::Chain::DialingResult> RoundScheduler::SubmitDialing(
 void RoundScheduler::PostDialingForward(std::shared_ptr<DialingContext> ctx, size_t position) {
   workers_[position]->Post([this, ctx = std::move(ctx), position]() mutable {
     try {
+      if (config_.lifecycle) {
+        config_.lifecycle->EnterForward(ctx->round, position);
+      }
       mixnet::ChainObserver* obs = observer();
       std::vector<util::Bytes> input_copy;
       if (obs) {
@@ -359,12 +380,18 @@ void RoundScheduler::PostDialingLastHop(std::shared_ptr<DialingContext> ctx) {
   workers_[last]->Post([this, ctx = std::move(ctx), last]() mutable {
     deaddrop::InvitationTable table(1);
     try {
+      if (config_.lifecycle) {
+        config_.lifecycle->EnterExchange(ctx->round);
+      }
       table = hops_[last]->ProcessDialingLastHop(ctx->round, std::move(ctx->batch),
                                                  ctx->num_drops, &ctx->stats.forward[last]);
       ctx->stats.forward_seconds = SecondsSince(ctx->forward_start);
     } catch (...) {
       FailDialing(std::move(ctx), std::current_exception());
       return;
+    }
+    if (config_.lifecycle) {
+      config_.lifecycle->Complete(ctx->round);
     }
     Release(/*failed=*/false, 0.0, /*dialing=*/true);
     ctx->promise.set_value(mixnet::Chain::DialingResult{std::move(table), std::move(ctx->stats)});

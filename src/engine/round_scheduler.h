@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "src/coord/coordinator.h"
+#include "src/engine/round_lifecycle.h"
 #include "src/mixnet/chain.h"
 #include "src/transport/hop_transport.h"
 
@@ -66,6 +67,12 @@ struct SchedulerConfig {
   // rounds behind the newest admitted round. 0 derives a safe default
   // (2*K + 2, so in-flight rounds are never expired).
   uint64_t expire_keep = 0;
+  // Optional round-lifecycle registry (must outlive the scheduler). The
+  // scheduler drives the pipeline phases — Submitting, Forward(i), Exchange,
+  // Backward(i), Complete — as a round crosses stage workers; the *failure*
+  // transitions (Retrying / Abandoned) belong to whoever owns the round
+  // future, since only that layer knows the retry policy.
+  RoundLifecycle* lifecycle = nullptr;
 };
 
 // Aggregate counters; one snapshot is cheap and thread-safe to take.

@@ -3,12 +3,21 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "src/crypto/hkdf.h"
 #include "src/mixnet/shuffler.h"
 #include "src/wire/messages.h"
 
 namespace vuvuzela::mixnet {
 
 namespace {
+
+// Domain-separation labels for the per-round RNG derivation; distinct per
+// pass kind so no two passes ever share a stream.
+constexpr uint8_t kRngForwardConversation = 1;
+constexpr uint8_t kRngBackwardConversation = 2;
+constexpr uint8_t kRngLastConversation = 3;
+constexpr uint8_t kRngForwardDialing = 4;
+constexpr uint8_t kRngLastDialing = 5;
 
 // Builds the fixed-size plaintext of one fake exchange request (Algorithm 2
 // step 2): a random dead-drop ID and a random envelope. Random bytes are
@@ -28,13 +37,25 @@ MixServer::MixServer(const MixServerConfig& config, crypto::X25519KeyPair key_pa
     : config_(config),
       key_pair_(key_pair),
       chain_public_keys_(std::move(chain_public_keys)),
-      rng_(rng_seed) {
+      rng_seed_(rng_seed) {
   if (config_.chain_length == 0 || config_.position >= config_.chain_length) {
     throw std::invalid_argument("MixServer: bad chain position");
   }
   if (chain_public_keys_.size() != config_.chain_length) {
     throw std::invalid_argument("MixServer: chain key count mismatch");
   }
+}
+
+crypto::ChaChaRng MixServer::RoundRng(uint8_t pass, uint64_t round) const {
+  uint8_t label[8] = {'v', 'z', '-', 'r', 'n', 'g', '/', pass};
+  util::Bytes info(label, label + sizeof(label));
+  for (int i = 0; i < 8; ++i) {
+    info.push_back(static_cast<uint8_t>(round >> (8 * i)));
+  }
+  util::Bytes okm = crypto::Hkdf(/*salt=*/{}, rng_seed_, info, crypto::kChaCha20KeySize);
+  crypto::ChaCha20Key key;
+  std::copy(okm.begin(), okm.end(), key.begin());
+  return crypto::ChaChaRng(key);
 }
 
 std::span<const crypto::X25519PublicKey> MixServer::ChainSuffix() const {
@@ -102,17 +123,19 @@ std::vector<util::Bytes> MixServer::ForwardConversation(uint64_t round,
 
   // Cover traffic (Algorithm 2 step 2): ⌈n1⌉ singles + ⌈n2/2⌉ pairs, each
   // onion-wrapped for the rest of the chain so downstream servers cannot tell
-  // them from client requests.
-  noise::ConversationNoisePlan plan = PlanConversationNoise(config_.conversation_noise, rng_);
+  // them from client requests. All randomness comes from the per-round RNG,
+  // so a retried or replayed round reproduces the identical pass.
+  crypto::ChaChaRng rng = RoundRng(kRngForwardConversation, round);
+  noise::ConversationNoisePlan plan = PlanConversationNoise(config_.conversation_noise, rng);
   size_t noise_items = plan.singles + 2 * plan.pairs;
   std::vector<util::Bytes> noise_payloads;
   noise_payloads.reserve(noise_items);
   for (uint64_t i = 0; i < plan.singles; ++i) {
-    noise_payloads.push_back(FakeExchange(rng_).Serialize());
+    noise_payloads.push_back(FakeExchange(rng).Serialize());
   }
   for (uint64_t i = 0; i < plan.pairs; ++i) {
-    wire::ExchangeRequest first = FakeExchange(rng_);
-    wire::ExchangeRequest second = FakeExchange(rng_);
+    wire::ExchangeRequest first = FakeExchange(rng);
+    wire::ExchangeRequest second = FakeExchange(rng);
     second.dead_drop = first.dead_drop;  // the pair meets in one dead drop
     noise_payloads.push_back(first.Serialize());
     noise_payloads.push_back(second.Serialize());
@@ -123,7 +146,7 @@ std::vector<util::Bytes> MixServer::ForwardConversation(uint64_t round,
   std::span<const crypto::X25519PublicKey> suffix = ChainSuffix();
   std::vector<crypto::ChaCha20Key> seeds(noise_payloads.size());
   for (auto& seed : seeds) {
-    rng_.Fill(seed);
+    rng.Fill(seed);
   }
   std::vector<util::Bytes> noise_onions(noise_payloads.size());
   auto wrap_one = [&](size_t i) {
@@ -147,7 +170,7 @@ std::vector<util::Bytes> MixServer::ForwardConversation(uint64_t round,
     combined.push_back(std::move(onion));
   }
 
-  Permutation perm = config_.mix ? Permutation::Random(combined.size(), rng_)
+  Permutation perm = config_.mix ? Permutation::Random(combined.size(), rng)
                                  : Permutation::Identity(combined.size());
   state.perm = perm.indices();
   std::vector<util::Bytes> out = perm.Apply(std::move(combined));
@@ -207,10 +230,11 @@ std::vector<util::Bytes> MixServer::BackwardConversation(uint64_t round,
   // Requests this server dropped on the forward pass still owe the previous
   // hop a response slot; synthesize random bytes of the correct size
   // (indistinguishable from a sealed response).
+  crypto::ChaChaRng rng = RoundRng(kRngBackwardConversation, round);
   size_t out_size = state.response_size_in + crypto::kOnionResponseLayerOverhead;
   for (auto& slot : out) {
     if (slot.empty()) {
-      slot = rng_.RandomBytes(out_size);
+      slot = rng.RandomBytes(out_size);
     }
   }
 
@@ -283,10 +307,11 @@ MixServer::LastServerResult MixServer::ProcessConversationLastHop(uint64_t round
       seal_one(j);
     }
   }
+  crypto::ChaChaRng rng = RoundRng(kRngLastConversation, round);
   size_t response_size = wire::kEnvelopeSize + crypto::kOnionResponseLayerOverhead;
   for (auto& slot : result.responses) {
     if (slot.empty()) {
-      slot = rng_.RandomBytes(response_size);
+      slot = rng.RandomBytes(response_size);
     }
   }
 
@@ -315,20 +340,21 @@ std::vector<util::Bytes> MixServer::ForwardDialing(uint64_t round, std::vector<u
   local.dh_ops += batch.size();
 
   // Per-drop noise invitations (§5.3), wrapped for the chain suffix.
-  std::vector<uint64_t> counts = PlanDialingNoise(config_.dialing_noise, num_drops, rng_);
+  crypto::ChaChaRng rng = RoundRng(kRngForwardDialing, round);
+  std::vector<uint64_t> counts = PlanDialingNoise(config_.dialing_noise, num_drops, rng);
   std::vector<util::Bytes> noise_payloads;
   for (uint32_t d = 0; d < num_drops; ++d) {
     for (uint64_t j = 0; j < counts[d]; ++j) {
       wire::DialRequest fake;
       fake.dead_drop_index = d;
-      rng_.Fill(fake.invitation);
+      rng.Fill(fake.invitation);
       noise_payloads.push_back(fake.Serialize());
     }
   }
   std::span<const crypto::X25519PublicKey> suffix = ChainSuffix();
   std::vector<crypto::ChaCha20Key> seeds(noise_payloads.size());
   for (auto& seed : seeds) {
-    rng_.Fill(seed);
+    rng.Fill(seed);
   }
   std::vector<util::Bytes> noise_onions(noise_payloads.size());
   auto wrap_one = [&](size_t i) {
@@ -350,7 +376,7 @@ std::vector<util::Bytes> MixServer::ForwardDialing(uint64_t round, std::vector<u
   for (auto& onion : noise_onions) {
     combined.push_back(std::move(onion));
   }
-  Permutation perm = config_.mix ? Permutation::Random(combined.size(), rng_)
+  Permutation perm = config_.mix ? Permutation::Random(combined.size(), rng)
                                  : Permutation::Identity(combined.size());
   std::vector<util::Bytes> out = perm.Apply(std::move(combined));
 
@@ -410,13 +436,14 @@ deaddrop::InvitationTable MixServer::ProcessDialingLastHop(uint64_t round,
   // The noise bytes are drawn here, per drop in order, so every exchange
   // backend deposits the identical invitations (same RNG consumption as the
   // pre-backend AddNoise path).
-  std::vector<uint64_t> counts = PlanDialingNoise(config_.dialing_noise, num_drops, rng_);
+  crypto::ChaChaRng rng = RoundRng(kRngLastDialing, round);
+  std::vector<uint64_t> counts = PlanDialingNoise(config_.dialing_noise, num_drops, rng);
   std::vector<deaddrop::NoiseInvitation> noise;
   for (uint32_t d = 0; d < num_drops; ++d) {
     for (uint64_t j = 0; j < counts[d]; ++j) {
       deaddrop::NoiseInvitation fake;
       fake.drop = d;
-      rng_.Fill(fake.invitation);
+      rng.Fill(fake.invitation);
       noise.push_back(fake);
     }
   }

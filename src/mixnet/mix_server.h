@@ -9,6 +9,15 @@
 //
 // The class is deployment-agnostic: the chain driver, the TCP server wrapper
 // in examples, and the benches all call the same ForwardX/BackwardX methods.
+//
+// Determinism contract (crash recovery): all of a round's randomness — noise
+// plans, fake payloads, the shuffle, and the garbage filling dropped response
+// slots — is drawn from a per-(round, pass) RNG derived by HKDF from the
+// server's seed, never from RNG state carried across rounds. Every pass is
+// therefore a pure function of (seed, round, input batch), so a server
+// restarted from its key file replays any round bit-for-bit, whatever rounds
+// it processed before the crash — which is what lets the round engine retry a
+// crashed round and get output byte-identical to an uninterrupted run.
 
 #ifndef VUVUZELA_SRC_MIXNET_MIX_SERVER_H_
 #define VUVUZELA_SRC_MIXNET_MIX_SERVER_H_
@@ -157,11 +166,14 @@ class MixServer {
 
   std::span<const crypto::X25519PublicKey> ChainSuffix() const;
   size_t ResponseSizeFromNextHop() const;
+  // Derives the per-(round, pass) RNG; `pass` is a domain-separation label so
+  // the forward and backward passes of one round never share a stream.
+  crypto::ChaChaRng RoundRng(uint8_t pass, uint64_t round) const;
 
   MixServerConfig config_;
   crypto::X25519KeyPair key_pair_;
   std::vector<crypto::X25519PublicKey> chain_public_keys_;
-  crypto::ChaChaRng rng_;
+  crypto::ChaCha20Key rng_seed_;
   std::unordered_map<uint64_t, RoundState> rounds_;
   deaddrop::ExchangeBackend* exchange_backend_ = nullptr;
 };

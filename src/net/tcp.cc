@@ -1,8 +1,10 @@
 #include "src/net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -41,25 +43,66 @@ void TcpConnection::Close() {
   }
 }
 
-std::optional<TcpConnection> TcpConnection::Connect(const std::string& host, uint16_t port) {
+std::optional<TcpConnection> TcpConnection::Connect(const std::string& host, uint16_t port,
+                                                    int timeout_ms, ConnectStatus* status) {
+  auto fail = [&](ConnectStatus why, int fd) -> std::optional<TcpConnection> {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+    if (status) {
+      *status = why;
+    }
+    return std::nullopt;
+  };
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return std::nullopt;
+    return fail(ConnectStatus::kError, -1);
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   std::string ip = (host == "localhost") ? "127.0.0.1" : host;
   if (inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return std::nullopt;
+    return fail(ConnectStatus::kError, fd);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return std::nullopt;
+
+  int flags = 0;
+  if (timeout_ms > 0) {
+    flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+      return fail(ConnectStatus::kError, fd);
+    }
+  }
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0) {
+    if (timeout_ms <= 0 || errno != EINPROGRESS) {
+      return fail(errno == ECONNREFUSED ? ConnectStatus::kRefused : ConnectStatus::kError, fd);
+    }
+    // Deadline-bounded completion wait: a host black-holing SYNs surfaces as
+    // kTimeout here instead of minutes of kernel retransmission.
+    pollfd pfd{fd, POLLOUT, 0};
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) {
+      return fail(ConnectStatus::kTimeout, fd);
+    }
+    if (ready < 0) {
+      return fail(ConnectStatus::kError, fd);
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 || so_error != 0) {
+      return fail(so_error == ECONNREFUSED ? ConnectStatus::kRefused : ConnectStatus::kError,
+                  fd);
+    }
+  }
+  if (timeout_ms > 0 && ::fcntl(fd, F_SETFL, flags) != 0) {
+    return fail(ConnectStatus::kError, fd);
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (status) {
+    *status = ConnectStatus::kOk;
+  }
   return TcpConnection(fd);
 }
 

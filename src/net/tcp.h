@@ -28,6 +28,17 @@ enum class RecvStatus : uint8_t {
   kMalformed,  // framing violated (bad length, bad type, truncation)
 };
 
+// Why Connect failed. A host that silently swallows SYNs (down machine,
+// black-holed route) must be distinguishable from one actively refusing
+// (nothing listening on the port): a reconnect supervisor backs off on the
+// former and can retry quickly on the latter.
+enum class ConnectStatus : uint8_t {
+  kOk = 0,
+  kRefused,  // peer reachable, connection refused (no listener)
+  kTimeout,  // connect deadline elapsed with no answer
+  kError,    // bad address, no route, or other socket error
+};
+
 class TcpConnection {
  public:
   TcpConnection() = default;
@@ -39,8 +50,14 @@ class TcpConnection {
   TcpConnection(const TcpConnection&) = delete;
   TcpConnection& operator=(const TcpConnection&) = delete;
 
-  // Connects to host:port (IPv4 dotted or "localhost").
-  static std::optional<TcpConnection> Connect(const std::string& host, uint16_t port);
+  // Connects to host:port (IPv4 dotted or "localhost"). `timeout_ms > 0`
+  // arms a connect deadline (non-blocking connect + poll, mirroring the
+  // SO_RCVTIMEO receive deadlines) so an unroutable or silently-dropping host
+  // cannot wedge the caller; 0 keeps the OS default blocking connect.
+  // `status` (optional) reports why a failed connect failed.
+  static std::optional<TcpConnection> Connect(const std::string& host, uint16_t port,
+                                              int timeout_ms = 0,
+                                              ConnectStatus* status = nullptr);
 
   bool valid() const { return fd_ >= 0; }
 

@@ -24,20 +24,31 @@ bool CoordinatorDaemon::Start() {
   if (config_.hops.empty()) {
     return false;
   }
-  public_keys_ = DeriveChainKeys(config_.key_seed, config_.hops.size()).public_keys;
+  if (!config_.public_keys.empty()) {
+    if (config_.public_keys.size() != config_.hops.size()) {
+      VZ_LOG_ERROR << "coordinator: key directory has " << config_.public_keys.size()
+                   << " hops, deployment has " << config_.hops.size();
+      return false;
+    }
+    public_keys_ = config_.public_keys;
+  } else {
+    public_keys_ = DeriveChainKeys(config_.key_seed, config_.hops.size()).public_keys;
+  }
   for (const auto& endpoint : config_.hops) {
     TcpTransportConfig transport_config;
     transport_config.host = endpoint.host;
     transport_config.port = endpoint.port;
     transport_config.recv_timeout_ms = config_.hop_timeout_ms;
+    transport_config.connect_timeout_ms = config_.connect_timeout_ms;
     transport_config.chunk_payload = config_.chunk_payload;
-    auto transport = TcpTransport::Connect(transport_config);
-    if (!transport) {
+    auto transport =
+        std::make_unique<ReconnectingTransport>(transport_config, config_.reconnect);
+    if (!transport->Connect()) {
       VZ_LOG_ERROR << "coordinator: hop " << endpoint.host << ":" << endpoint.port
                    << " unreachable";
       return false;
     }
-    tcp_hops_.push_back(transport.get());
+    recon_hops_.push_back(transport.get());
     hop_transports_.push_back(std::move(transport));
   }
   if (config_.num_clients > 0) {
@@ -155,6 +166,8 @@ void CoordinatorDaemon::CollectLoop(CoordDaemonResult& result) {
     }
     try {
       if (round.announcement.type == wire::RoundType::kDialing) {
+        // The scheduler drives the lifecycle's Complete transition as the
+        // final pass finishes; this thread only resolves the accounting.
         round.dialing.get();
         ++result.dialing_rounds_completed;
         // Acknowledge the round to contributing clients. Invitation
@@ -168,28 +181,119 @@ void CoordinatorDaemon::CollectLoop(CoordDaemonResult& result) {
                 net::Frame{net::FrameType::kDialAck, round.announcement.round, {}});
           }
         }
-        continue;
-      }
-      mixnet::Chain::ConversationResult conversation = round.conversation.get();
-      result.messages_exchanged += conversation.messages_exchanged;
-      ++result.conversation_rounds_completed;
-      for (size_t slot = 0; slot < round.contributors.size(); ++slot) {
-        ClientSlot& client = *clients_[round.contributors[slot]];
-        std::lock_guard<std::mutex> lock(client.send_mutex);
-        if (client.alive.load()) {
-          client.conn.SendFrame(net::Frame{net::FrameType::kConversationResponse,
-                                           round.announcement.round,
-                                           std::move(conversation.responses[slot])});
+      } else {
+        mixnet::Chain::ConversationResult conversation = round.conversation.get();
+        result.messages_exchanged += conversation.messages_exchanged;
+        ++result.conversation_rounds_completed;
+        for (size_t slot = 0; slot < round.contributors.size(); ++slot) {
+          ClientSlot& client = *clients_[round.contributors[slot]];
+          std::lock_guard<std::mutex> lock(client.send_mutex);
+          if (client.alive.load()) {
+            // Copy only when the batch is also being retained for the test
+            // hook; the production path moves as before.
+            client.conn.SendFrame(net::Frame{
+                net::FrameType::kConversationResponse, round.announcement.round,
+                config_.record_responses ? conversation.responses[slot]
+                                         : std::move(conversation.responses[slot])});
+          }
+        }
+        if (config_.record_responses) {
+          result.responses[round.announcement.round] = std::move(conversation.responses);
         }
       }
     } catch (const std::exception& e) {
-      // A dead or failing hop: this round is abandoned (its state at the
-      // surviving hops is reclaimed by the scheduler's expiry path) and the
-      // pipeline keeps moving.
+      if (round.attempt < config_.max_round_attempts) {
+        // Recovery: re-enqueue the banked onions under the SAME round number
+        // for the announcing thread to re-submit into the next admission
+        // window. A crash costs latency, not messages.
+        lifecycle_.Retrying(round.announcement.round, e.what());
+        VZ_LOG_WARN << "coordinator: retrying round " << round.announcement.round
+                    << " (attempt " << round.attempt << "): " << e.what();
+        ++result.rounds_retried;
+        ++round.attempt;
+        round.not_before = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                              std::chrono::duration<double>(
+                                                  config_.retry_backoff_seconds));
+        round.conversation = {};
+        round.dialing = {};
+        {
+          std::lock_guard<std::mutex> lock(retry_mutex_);
+          retry_queue_.push_back(std::move(round));
+        }
+        retry_cv_.notify_all();
+        continue;
+      }
+      // Bounded abandonment: the retry budget is exhausted (or retries are
+      // disabled); the scheduler's expiry path reclaims the round's state at
+      // the surviving hops.
+      lifecycle_.Abandon(round.announcement.round, e.what());
       ++result.rounds_abandoned;
-      VZ_LOG_WARN << "coordinator: abandoning round " << round.announcement.round << ": "
-                  << e.what();
+      VZ_LOG_WARN << "coordinator: abandoning round " << round.announcement.round << " after "
+                  << round.attempt << " attempts: " << e.what();
     }
+    {
+      std::lock_guard<std::mutex> lock(retry_mutex_);
+      --unresolved_rounds_;
+    }
+    retry_cv_.notify_all();
+  }
+}
+
+void CoordinatorDaemon::SupervisorLoop() {
+  // Between rounds, proactively reconnect dead hop links so a restarted
+  // daemon rejoins the schedule before the next pass needs it. Probe() never
+  // blocks on an in-flight RPC and honors each transport's backoff window.
+  std::unique_lock<std::mutex> lock(supervisor_mutex_);
+  while (!supervisor_stop_) {
+    supervisor_cv_.wait_for(lock, std::chrono::milliseconds(config_.supervisor_interval_ms),
+                            [this] { return supervisor_stop_; });
+    if (supervisor_stop_) {
+      return;
+    }
+    lock.unlock();
+    for (ReconnectingTransport* hop : recon_hops_) {
+      hop->Probe();
+    }
+    lock.lock();
+  }
+}
+
+void CoordinatorDaemon::SubmitAttempt(engine::RoundScheduler& scheduler, PendingRound round) {
+  std::vector<util::Bytes> batch;
+  if (round.attempt < config_.max_round_attempts) {
+    batch = round.onions;  // bank for further attempts
+  } else {
+    batch = std::move(round.onions);
+    round.onions.clear();
+  }
+  // Submit blocks while K rounds are in flight — the §8.3 backpressure.
+  if (round.announcement.type == wire::RoundType::kConversation) {
+    round.conversation = scheduler.SubmitConversation(round.announcement.round, std::move(batch));
+  } else {
+    round.dialing = scheduler.SubmitDialing(round.announcement.round, std::move(batch),
+                                            round.announcement.num_dial_dead_drops);
+  }
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_.push_back(std::move(round));
+  }
+  pending_cv_.notify_one();
+}
+
+void CoordinatorDaemon::SubmitRetries(engine::RoundScheduler& scheduler) {
+  for (;;) {
+    PendingRound retry;
+    {
+      std::lock_guard<std::mutex> lock(retry_mutex_);
+      // Failures are timestamped in collection order, so the queue is sorted
+      // by not_before: a not-yet-due head means nothing later is due either.
+      if (retry_queue_.empty() || Clock::now() < retry_queue_.front().not_before) {
+        return;
+      }
+      retry = std::move(retry_queue_.front());
+      retry_queue_.pop_front();
+    }
+    SubmitAttempt(scheduler, std::move(retry));
   }
 }
 
@@ -210,19 +314,39 @@ CoordDaemonResult CoordinatorDaemon::Run() {
     clients_[i]->reader = std::thread([this, i] { ReadClient(i); });
   }
 
-  engine::RoundScheduler scheduler(std::move(hop_transports_), config_.scheduler);
+  // The scheduler drives the pipeline phases of the shared round lifecycle;
+  // this daemon drives announcements and the failure policy.
+  engine::SchedulerConfig scheduler_config = config_.scheduler;
+  scheduler_config.lifecycle = &lifecycle_;
+  engine::RoundScheduler scheduler(std::move(hop_transports_), scheduler_config);
   coord::RoundSchedule schedule(config_.schedule);
   std::thread collector([this, &result] { CollectLoop(result); });
+  if (config_.supervisor_interval_ms > 0) {
+    supervisor_ = std::thread([this] { SupervisorLoop(); });
+  }
 
   auto start = Clock::now();
   for (uint64_t i = 0; i < config_.total_rounds; ++i) {
+    // Recovered rounds rejoin ahead of the next admission window.
+    SubmitRetries(scheduler);
+
     wire::RoundAnnouncement announcement = schedule.Next();
+    lifecycle_.Announce(announcement.round, announcement.type);
+    {
+      std::lock_guard<std::mutex> lock(retry_mutex_);
+      ++unresolved_rounds_;
+    }
     PendingRound pending;
     pending.announcement = announcement;
 
-    std::vector<util::Bytes> batch;
     if (clients_.empty()) {
-      batch = SyntheticBatch(announcement);
+      if (config_.admission_window_seconds > 0) {
+        // Pace synthetic rounds like real admission windows (also what keeps
+        // multi-process smoke runs long enough to inject failures into).
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(config_.admission_window_seconds));
+      }
+      pending.onions = SyntheticBatch(announcement);
     } else {
       {
         std::lock_guard<std::mutex> lock(admission_mutex_);
@@ -236,22 +360,30 @@ CoordDaemonResult CoordinatorDaemon::Run() {
       }
       BroadcastAnnouncement(announcement);
       auto closed = CloseAdmission();
-      batch = std::move(closed.first);
+      pending.onions = std::move(closed.first);
       pending.contributors = std::move(closed.second);
     }
+    SubmitAttempt(scheduler, std::move(pending));
+  }
 
-    // Submit blocks while K rounds are in flight — the §8.3 backpressure.
-    if (announcement.type == wire::RoundType::kConversation) {
-      pending.conversation = scheduler.SubmitConversation(announcement.round, std::move(batch));
-    } else {
-      pending.dialing = scheduler.SubmitDialing(announcement.round, std::move(batch),
-                                                announcement.num_dial_dead_drops);
-    }
+  // Tail drain: keep re-submitting recovered rounds until every announced
+  // round reaches a terminal state (Complete or Abandoned).
+  for (;;) {
+    Clock::time_point not_before;
     {
-      std::lock_guard<std::mutex> lock(pending_mutex_);
-      pending_.push_back(std::move(pending));
+      std::unique_lock<std::mutex> lock(retry_mutex_);
+      retry_cv_.wait(lock,
+                     [this] { return !retry_queue_.empty() || unresolved_rounds_ == 0; });
+      if (retry_queue_.empty()) {
+        if (unresolved_rounds_ == 0) {
+          break;
+        }
+        continue;
+      }
+      not_before = retry_queue_.front().not_before;
     }
-    pending_cv_.notify_one();
+    std::this_thread::sleep_until(not_before);
+    SubmitRetries(scheduler);
   }
 
   scheduler.Drain();
@@ -261,6 +393,14 @@ CoordDaemonResult CoordinatorDaemon::Run() {
   }
   pending_cv_.notify_all();
   collector.join();
+  if (supervisor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(supervisor_mutex_);
+      supervisor_stop_ = true;
+    }
+    supervisor_cv_.notify_all();
+    supervisor_.join();
+  }
   result.wall_seconds = SecondsSince(start);
 
   for (auto& client : clients_) {
@@ -278,11 +418,11 @@ CoordDaemonResult CoordinatorDaemon::Run() {
   clients_.clear();
 
   if (config_.shutdown_hops_on_exit) {
-    for (TcpTransport* hop : tcp_hops_) {
+    for (ReconnectingTransport* hop : recon_hops_) {
       hop->SendShutdown();
     }
   }
-  tcp_hops_.clear();
+  recon_hops_.clear();
   return result;
 }
 

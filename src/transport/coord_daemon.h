@@ -8,11 +8,26 @@
 // (K in flight, §8.3), and multiplexes client connections — the untrusted
 // entry-server role folded in, seeing only onion ciphertexts.
 //
-// Dead-hop handling: each hop transport carries a receive deadline, so a hop
+// Failure model: each hop transport carries a receive deadline, so a hop
 // that stops answering fails the rounds that touch it (HopTimeoutError
-// through the round future) instead of wedging the pipeline; the coordinator
-// counts the round abandoned and keeps announcing, and the scheduler's expiry
-// path reclaims the abandoned round's state at the surviving hops.
+// through the round future) instead of wedging the pipeline. Recovery is
+// part of the round state machine (engine::RoundLifecycle), in three layers:
+//
+//  1. Reconnecting transports. Every hop connection is a
+//     transport::ReconnectingTransport (bounded-backoff reconnect + in-call
+//     re-send, idempotent thanks to the hop daemons' replay caches), and a
+//     connection supervisor thread Probe()s disconnected hops between
+//     rounds, so a restarted vuvuzela-hopd rejoins mid-schedule.
+//  2. Onion re-submission. The coordinator banks every admitted round's
+//     client onions until the round completes; a round that still fails
+//     (kRetrying) is re-enqueued into the next admission window as the SAME
+//     round number with the SAME onions (onions are round-bound by the
+//     onion nonce), up to max_round_attempts. A crash costs latency, never
+//     messages.
+//  3. Bounded abandonment. A hop that never comes back exhausts the retry
+//     budget and the round is abandoned (kAbandoned) — the pre-existing
+//     accounting — and the scheduler's expiry path reclaims its state at
+//     the surviving hops.
 //
 // Two client modes:
 //  * TCP clients (num_clients > 0): real connections, kRoundAnnouncement /
@@ -26,6 +41,7 @@
 #define VUVUZELA_SRC_TRANSPORT_COORD_DAEMON_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -37,8 +53,10 @@
 #include <vector>
 
 #include "src/coord/coordinator.h"
+#include "src/engine/round_lifecycle.h"
 #include "src/engine/round_scheduler.h"
 #include "src/net/tcp.h"
+#include "src/transport/reconnecting_transport.h"
 #include "src/transport/tcp_transport.h"
 
 namespace vuvuzela::transport {
@@ -53,13 +71,28 @@ struct CoordDaemonConfig {
   engine::SchedulerConfig scheduler;
   coord::ScheduleConfig schedule;
   uint64_t total_rounds = 20;
-  // Admission window per round (client mode only; §3.1).
+  // Admission window per round (§3.1). Client mode holds the window open for
+  // submissions; synthetic mode sleeps it as round pacing (0 disables).
   double admission_window_seconds = 0.05;
   // Receive deadline per hop RPC — the dead-hop detector.
   int hop_timeout_ms = 10000;
+  // Connect deadline per hop (re)connect attempt.
+  int connect_timeout_ms = 5000;
   size_t chunk_payload = kDefaultChunkPayload;
   // On exit, send kShutdown to every hop daemon (multi-process deployments).
   bool shutdown_hops_on_exit = false;
+
+  // Fault tolerance (see the class comment). max_round_attempts = 1 restores
+  // the pre-recovery abandon-on-first-failure behavior; supervisor interval
+  // 0 disables the background reconnect probes (in-call reconnect remains).
+  // retry_backoff_seconds spaces a round's re-submissions so a fast-failing
+  // round (e.g. a hop reporting errors while its dependency restarts) cannot
+  // burn its whole attempt budget inside one short outage — retried rounds
+  // re-enter at admission-window cadence, not in a tight loop.
+  ReconnectPolicy reconnect;
+  uint32_t max_round_attempts = 3;
+  int supervisor_interval_ms = 100;
+  double retry_backoff_seconds = 0.1;
 
   // Client admission (TCP mode). 0 clients selects synthetic mode.
   uint16_t client_port = 0;  // 0 picks an ephemeral port
@@ -69,17 +102,27 @@ struct CoordDaemonConfig {
   uint64_t synthetic_users = 0;
   double synthetic_dial_fraction = 0.05;
   // Chain key-ceremony seed (must match the hop daemons'); synthetic onions
-  // are wrapped for the derived public keys.
+  // are wrapped for the derived public keys — unless `public_keys` is set
+  // (key-directory ceremony), which overrides the seed derivation.
   uint64_t key_seed = 1;
   uint64_t workload_seed = 1;
+  std::vector<crypto::X25519PublicKey> public_keys;
+
+  // Test hook: keep every completed round's response batch in the result,
+  // keyed by round number (byte-identity assertions in the recovery suite).
+  bool record_responses = false;
 };
 
 struct CoordDaemonResult {
   uint64_t conversation_rounds_completed = 0;
   uint64_t dialing_rounds_completed = 0;
   uint64_t rounds_abandoned = 0;
+  // Re-submissions of failed rounds (a round retried twice counts twice).
+  uint64_t rounds_retried = 0;
   uint64_t messages_exchanged = 0;
   double wall_seconds = 0.0;
+  // Populated when config.record_responses is set.
+  std::map<uint64_t, std::vector<util::Bytes>> responses;
 };
 
 class CoordinatorDaemon {
@@ -102,6 +145,10 @@ class CoordinatorDaemon {
   // dedup-pruning regression test pins that down.
   size_t admission_dedup_rounds() const;
 
+  // Live view of the per-round state machine (poll-safe from other threads;
+  // the recovery tests use it to time failure injection).
+  const engine::RoundLifecycle& lifecycle() const { return lifecycle_; }
+
  private:
   struct ClientSlot {
     net::TcpConnection conn;
@@ -113,11 +160,24 @@ class CoordinatorDaemon {
   struct PendingRound {
     wire::RoundAnnouncement announcement;
     std::vector<size_t> contributors;  // client index per batch slot
+    // Banked onions: held until the round completes so a failed round can be
+    // re-submitted with the identical batch (onions are round-bound).
+    std::vector<util::Bytes> onions;
+    uint32_t attempt = 1;
+    // Earliest re-submission time (retry backoff).
+    std::chrono::steady_clock::time_point not_before{};
     std::future<mixnet::Chain::ConversationResult> conversation;
     std::future<mixnet::Chain::DialingResult> dialing;
   };
 
   void ReadClient(size_t index);
+  // Submits one attempt of a round into the scheduler and enqueues it for
+  // the collector. Banks the onions when further attempts remain.
+  void SubmitAttempt(engine::RoundScheduler& scheduler, PendingRound round);
+  // Drains the retry queue into the scheduler (called from the announcing
+  // thread between admission windows and during the tail drain).
+  void SubmitRetries(engine::RoundScheduler& scheduler);
+  void SupervisorLoop();
   // Drops dedup records for rounds that left the expiry window (same horizon
   // the scheduler uses for hop state). Requires admission_mutex_ held.
   void PruneAdmissionDedup(uint64_t announced_round);
@@ -131,7 +191,23 @@ class CoordinatorDaemon {
   CoordDaemonConfig config_;
   std::vector<crypto::X25519PublicKey> public_keys_;
   std::vector<std::unique_ptr<HopTransport>> hop_transports_;
-  std::vector<TcpTransport*> tcp_hops_;  // borrowed views for shutdown frames
+  // Borrowed views for the supervisor's Probe() and shutdown frames; valid
+  // while the scheduler (which takes ownership) is alive.
+  std::vector<ReconnectingTransport*> recon_hops_;
+  engine::RoundLifecycle lifecycle_;
+
+  // Connection supervisor.
+  std::thread supervisor_;
+  std::mutex supervisor_mutex_;
+  std::condition_variable supervisor_cv_;
+  bool supervisor_stop_ = false;
+
+  // Failed rounds awaiting re-submission, and the resolution accounting the
+  // announcing thread's tail drain blocks on.
+  std::mutex retry_mutex_;
+  std::condition_variable retry_cv_;
+  std::deque<PendingRound> retry_queue_;
+  uint64_t unresolved_rounds_ = 0;
 
   net::TcpListener client_listener_;
   std::vector<std::unique_ptr<ClientSlot>> clients_;

@@ -49,7 +49,21 @@ void ExchangedDaemon::Serve() {
     if (!conn) {
       return;  // listener closed (Stop) or unrecoverable accept error
     }
-    if (!ServeConnection(*conn)) {
+    {
+      std::lock_guard<std::mutex> lock(active_conn_mutex_);
+      active_conn_ = &*conn;
+      if (stop_.load()) {
+        // Stop() may have run between Accept() returning and this
+        // registration; it could not see the connection, so cut it here.
+        active_conn_->Shutdown();
+      }
+    }
+    bool keep_serving = ServeConnection(*conn);
+    {
+      std::lock_guard<std::mutex> lock(active_conn_mutex_);
+      active_conn_ = nullptr;
+    }
+    if (!keep_serving) {
       return;  // orderly kShutdown
     }
   }
@@ -58,6 +72,12 @@ void ExchangedDaemon::Serve() {
 void ExchangedDaemon::Stop() {
   stop_.store(true);
   listener_.Shutdown();
+  // Interrupt a serve loop busy on a live connection (continuous exchange
+  // traffic would otherwise keep it from ever seeing the stop flag).
+  std::lock_guard<std::mutex> lock(active_conn_mutex_);
+  if (active_conn_ != nullptr) {
+    active_conn_->Shutdown();
+  }
 }
 
 bool ExchangedDaemon::ServeConnection(net::TcpConnection& conn) {

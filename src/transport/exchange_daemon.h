@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
 #include "src/net/tcp.h"
 #include "src/transport/hop_wire.h"
@@ -58,7 +59,8 @@ class ExchangedDaemon {
   // Serves connections until a kShutdown frame arrives or Stop() is called.
   void Serve();
 
-  // Unblocks Serve() from another thread.
+  // Unblocks Serve() from another thread, interrupting an active connection
+  // so a daemon under continuous traffic still stops promptly.
   void Stop();
 
  private:
@@ -73,6 +75,9 @@ class ExchangedDaemon {
   net::TcpListener listener_;
   std::atomic<uint64_t> rpcs_served_{0};
   std::atomic<bool> stop_{false};
+  // The connection currently being served, so Stop() can interrupt it.
+  std::mutex active_conn_mutex_;
+  net::TcpConnection* active_conn_ = nullptr;
 };
 
 }  // namespace vuvuzela::transport

@@ -28,7 +28,8 @@ std::unique_ptr<ExchangeRouter> ExchangeRouter::Connect(const ExchangeRouterConf
   }
   std::unique_ptr<ExchangeRouter> router(new ExchangeRouter(config));
   for (auto& partition : router->partitions_) {
-    auto conn = net::TcpConnection::Connect(partition->endpoint.host, partition->endpoint.port);
+    auto conn = net::TcpConnection::Connect(partition->endpoint.host, partition->endpoint.port,
+                                            config.connect_timeout_ms);
     if (!conn) {
       return nullptr;
     }
@@ -56,7 +57,8 @@ BatchMessage ExchangeRouter::CallPartition(size_t shard, net::FrameType op, uint
   if (!partition.conn.valid()) {
     // One reconnect attempt per call: a restarted shard server rejoins on the
     // next round that routes to it; a still-dead one fails this round fast.
-    auto conn = net::TcpConnection::Connect(partition.endpoint.host, partition.endpoint.port);
+    auto conn = net::TcpConnection::Connect(partition.endpoint.host, partition.endpoint.port,
+                                            config_.connect_timeout_ms);
     if (!conn) {
       throw HopError("exchange partition " + Endpoint(partition.endpoint) + ": unreachable");
     }
@@ -262,7 +264,9 @@ void ExchangeRouter::SendShutdown() {
     if (!partition->conn.valid()) {
       // A poisoned connection (earlier round failure) must not exempt a
       // still-running partition from the shutdown cascade: reconnect once.
-      auto conn = net::TcpConnection::Connect(partition->endpoint.host, partition->endpoint.port);
+      auto conn = net::TcpConnection::Connect(partition->endpoint.host,
+                                              partition->endpoint.port,
+                                              config_.connect_timeout_ms);
       if (!conn) {
         continue;  // genuinely gone; nothing to stop
       }

@@ -42,6 +42,8 @@ struct ExchangeRouterConfig {
   std::vector<ExchangePartitionEndpoint> partitions;
   // Receive deadline per partition RPC — the dead-partition detector.
   int recv_timeout_ms = 10000;
+  // Connect deadline per (re)connect attempt; 0 = OS blocking connect.
+  int connect_timeout_ms = 5000;
   // Chunk budget for outgoing batch messages.
   size_t chunk_payload = kDefaultChunkPayload;
 };

@@ -74,6 +74,7 @@ std::unique_ptr<ExchangePartitionGroup> ExchangePartitionGroup::Start(size_t num
     if (!daemon) {
       return nullptr;
     }
+    group->ports_.push_back(daemon->port());
     group->daemons_.push_back(std::move(daemon));
   }
   for (auto& daemon : group->daemons_) {
@@ -88,10 +89,28 @@ ExchangePartitionGroup::~ExchangePartitionGroup() {
   }
 }
 
+bool ExchangePartitionGroup::Restart(size_t shard) {
+  if (daemons_[shard]) {
+    return false;  // only a killed shard can restart (its thread is joined)
+  }
+  ExchangedConfig config;
+  config.port = ports_[shard];
+  config.shard_index = static_cast<uint32_t>(shard);
+  config.num_shards = static_cast<uint32_t>(daemons_.size());
+  config.chunk_payload = chunk_payload_;
+  auto daemon = ExchangedDaemon::Create(config);
+  if (!daemon) {
+    return false;
+  }
+  daemons_[shard] = std::move(daemon);
+  serve_threads_[shard] = std::thread([d = daemons_[shard].get()] { d->Serve(); });
+  return true;
+}
+
 ExchangeRouterConfig ExchangePartitionGroup::RouterConfig(int recv_timeout_ms) const {
   ExchangeRouterConfig config;
-  for (const auto& daemon : daemons_) {
-    config.partitions.push_back({"127.0.0.1", daemon->port()});
+  for (uint16_t port : ports_) {
+    config.partitions.push_back({"127.0.0.1", port});
   }
   config.recv_timeout_ms = recv_timeout_ms;
   config.chunk_payload = chunk_payload_;
@@ -99,20 +118,28 @@ ExchangeRouterConfig ExchangePartitionGroup::RouterConfig(int recv_timeout_ms) c
 }
 
 void ExchangePartitionGroup::Kill(size_t shard) {
+  if (!daemons_[shard]) {
+    return;  // already killed
+  }
   daemons_[shard]->Stop();
   // Start() spawns serve threads only after every daemon bound, so a group
   // torn down after a partial Start() has daemons without threads.
   if (shard < serve_threads_.size() && serve_threads_[shard].joinable()) {
     serve_threads_[shard].join();
   }
+  // Destroy the daemon so its listener descriptor is released and Restart
+  // can rebind the port.
+  daemons_[shard].reset();
 }
 
 std::unique_ptr<LoopbackChain> LoopbackChain::Start(const mixnet::ChainConfig& config,
                                                     uint64_t seed, size_t chunk_payload,
                                                     const ExchangeRouterConfig& exchange) {
   std::unique_ptr<LoopbackChain> chain(new LoopbackChain());
+  chain->config_ = config;
   chain->keys_ = DeriveChainKeys(seed, config.num_servers);
   chain->chunk_payload_ = chunk_payload;
+  chain->exchange_ = exchange;
   for (size_t i = 0; i < config.num_servers; ++i) {
     HopDaemonConfig daemon_config;
     daemon_config.port = 0;
@@ -124,6 +151,7 @@ std::unique_ptr<LoopbackChain> LoopbackChain::Start(const mixnet::ChainConfig& c
     if (!daemon) {
       return nullptr;
     }
+    chain->ports_.push_back(daemon->port());
     chain->daemons_.push_back(std::move(daemon));
   }
   for (auto& daemon : chain->daemons_) {
@@ -135,22 +163,52 @@ std::unique_ptr<LoopbackChain> LoopbackChain::Start(const mixnet::ChainConfig& c
 LoopbackChain::~LoopbackChain() {
   // Stop() closes each listener; a serve loop blocked on an idle connection
   // notices at its next receive-poll tick.
-  for (auto& daemon : daemons_) {
-    daemon->Stop();
+  for (size_t i = 0; i < daemons_.size(); ++i) {
+    Kill(i);
   }
-  for (auto& thread : serve_threads_) {
-    thread.join();
+}
+
+void LoopbackChain::Kill(size_t position) {
+  if (!daemons_[position]) {
+    return;  // already killed
   }
+  daemons_[position]->Stop();
+  if (position < serve_threads_.size() && serve_threads_[position].joinable()) {
+    serve_threads_[position].join();
+  }
+  // Destroy the daemon so its listener descriptor is released and Restart
+  // can rebind the same port.
+  daemons_[position].reset();
+}
+
+bool LoopbackChain::Restart(size_t position) {
+  if (daemons_[position]) {
+    return false;  // only a killed hop can restart (its thread is joined)
+  }
+  HopDaemonConfig daemon_config;
+  daemon_config.port = ports_[position];
+  daemon_config.chunk_payload = chunk_payload_;
+  if (position + 1 == daemons_.size()) {
+    daemon_config.exchange = exchange_;
+  }
+  auto daemon =
+      HopDaemon::Create(daemon_config, BuildMixServer(config_, keys_, position));
+  if (!daemon) {
+    return false;
+  }
+  daemons_[position] = std::move(daemon);
+  serve_threads_[position] = std::thread([d = daemons_[position].get()] { d->Serve(); });
+  return true;
 }
 
 std::vector<std::unique_ptr<HopTransport>> LoopbackChain::ConnectTransports(
     int recv_timeout_ms) const {
   std::vector<std::unique_ptr<HopTransport>> transports;
-  transports.reserve(daemons_.size());
-  for (const auto& daemon : daemons_) {
+  transports.reserve(ports_.size());
+  for (uint16_t port : ports_) {
     TcpTransportConfig config;
     config.host = "127.0.0.1";
-    config.port = daemon->port();
+    config.port = port;
     config.recv_timeout_ms = recv_timeout_ms;
     config.chunk_payload = chunk_payload_;
     auto transport = TcpTransport::Connect(config);

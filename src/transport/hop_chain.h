@@ -72,7 +72,7 @@ class ExchangePartitionGroup {
   ExchangePartitionGroup& operator=(const ExchangePartitionGroup&) = delete;
 
   size_t size() const { return daemons_.size(); }
-  uint16_t port(size_t shard) const { return daemons_[shard]->port(); }
+  uint16_t port(size_t shard) const { return ports_[shard]; }
 
   // Router configuration addressing this group's daemons.
   ExchangeRouterConfig RouterConfig(int recv_timeout_ms = 10000) const;
@@ -81,12 +81,18 @@ class ExchangePartitionGroup {
   // serve thread. Rounds routing to the shard fail; others keep completing.
   void Kill(size_t shard);
 
+  // Restarts a killed partition on its original port (crash recovery): the
+  // daemons are stateless across rounds, so the ExchangeRouter's next
+  // reconnect picks it straight back up. False if the port cannot rebind.
+  bool Restart(size_t shard);
+
  private:
   ExchangePartitionGroup() = default;
 
   size_t chunk_payload_ = kDefaultChunkPayload;
   std::vector<std::unique_ptr<ExchangedDaemon>> daemons_;
   std::vector<std::thread> serve_threads_;
+  std::vector<uint16_t> ports_;  // original bindings, for Restart
 };
 
 class LoopbackChain {
@@ -105,20 +111,36 @@ class LoopbackChain {
   LoopbackChain& operator=(const LoopbackChain&) = delete;
 
   size_t size() const { return daemons_.size(); }
-  uint16_t port(size_t position) const { return daemons_[position]->port(); }
+  uint16_t port(size_t position) const { return ports_[position]; }
   const std::vector<crypto::X25519PublicKey>& public_keys() const { return keys_.public_keys; }
+  // Test access to a hop's daemon (replay-cache observability); nullptr
+  // while the hop is killed.
+  HopDaemon* daemon(size_t position) const { return daemons_[position].get(); }
 
   // Connects one TcpTransport per hop; empty vector if any hop is
   // unreachable.
   std::vector<std::unique_ptr<HopTransport>> ConnectTransports(int recv_timeout_ms = 10000) const;
 
+  // Failure injection: stops hop `position`'s daemon, joins its serve
+  // thread, and releases its port. In-flight rounds touching the hop fail.
+  void Kill(size_t position);
+
+  // Crash recovery: restarts a killed hop on its original port with a fresh
+  // MixServer rebuilt from the chain's key material — per-round state and
+  // the replay cache are lost, exactly like a restarted vuvuzela-hopd.
+  // False if the port cannot rebind.
+  bool Restart(size_t position);
+
  private:
   LoopbackChain() = default;
 
+  mixnet::ChainConfig config_;
   ChainKeyMaterial keys_;
   size_t chunk_payload_ = kDefaultChunkPayload;
+  ExchangeRouterConfig exchange_;
   std::vector<std::unique_ptr<HopDaemon>> daemons_;
   std::vector<std::thread> serve_threads_;
+  std::vector<uint16_t> ports_;  // original bindings, for Restart
 };
 
 }  // namespace vuvuzela::transport

@@ -1,9 +1,11 @@
 #include "src/transport/hop_daemon.h"
 
+#include <algorithm>
 #include <exception>
 #include <string>
 #include <utility>
 
+#include "src/coord/coordinator.h"
 #include "src/util/logging.h"
 #include "src/wire/serde.h"
 
@@ -38,6 +40,41 @@ util::Bytes PackDrop(const std::vector<wire::Invitation>& invitations) {
   return packed;
 }
 
+bool IsDialingOp(net::FrameType op) {
+  return op == net::FrameType::kHopForwardDialing || op == net::FrameType::kHopLastDialing;
+}
+
+// Fingerprints a request so a cached reply can never be served for different
+// input: op, round, every item (length-prefixed, so item boundaries are
+// unambiguous), and — for dialing ops — the header, which carries num_drops
+// and is semantic. The forward-conversation header is deliberately excluded:
+// it carries only the piggybacked expiry horizon, which legitimately differs
+// between the original send and a post-reconnect re-send of the same pass.
+crypto::Sha256Digest DigestRequest(const BatchMessage& request) {
+  crypto::Sha256 hasher;
+  uint8_t prefix[12];
+  prefix[0] = static_cast<uint8_t>(request.op);
+  prefix[1] = 0;
+  prefix[2] = 0;
+  prefix[3] = 0;
+  for (int i = 0; i < 8; ++i) {
+    prefix[4 + i] = static_cast<uint8_t>(request.round >> (8 * i));
+  }
+  hasher.Update(prefix);
+  if (IsDialingOp(request.op)) {
+    hasher.Update(request.header);
+  }
+  for (const auto& item : request.items) {
+    uint8_t len[8];
+    for (int i = 0; i < 8; ++i) {
+      len[i] = static_cast<uint8_t>(static_cast<uint64_t>(item.size()) >> (8 * i));
+    }
+    hasher.Update(len);
+    hasher.Update(item);
+  }
+  return hasher.Finish();
+}
+
 }  // namespace
 
 HopDaemon::HopDaemon(const HopDaemonConfig& config, std::unique_ptr<mixnet::MixServer> server,
@@ -68,7 +105,21 @@ void HopDaemon::Serve() {
     if (!conn) {
       return;  // listener closed (Stop) or unrecoverable accept error
     }
-    if (!ServeConnection(*conn)) {
+    {
+      std::lock_guard<std::mutex> lock(active_conn_mutex_);
+      active_conn_ = &*conn;
+      if (stop_.load()) {
+        // Stop() may have run between Accept() returning and this
+        // registration; it could not see the connection, so cut it here.
+        active_conn_->Shutdown();
+      }
+    }
+    bool keep_serving = ServeConnection(*conn);
+    {
+      std::lock_guard<std::mutex> lock(active_conn_mutex_);
+      active_conn_ = nullptr;
+    }
+    if (!keep_serving) {
       return;  // orderly kShutdown
     }
   }
@@ -80,6 +131,12 @@ void HopDaemon::Stop() {
   // the descriptor is released when the daemon is destroyed, after the
   // owner joins that thread.
   listener_.Shutdown();
+  // A serve loop busy on a live connection would otherwise only notice the
+  // stop flag at an idle poll tick — under continuous round traffic, never.
+  std::lock_guard<std::mutex> lock(active_conn_mutex_);
+  if (active_conn_ != nullptr) {
+    active_conn_->Shutdown();
+  }
 }
 
 bool HopDaemon::ServeConnection(net::TcpConnection& conn) {
@@ -135,35 +192,117 @@ bool HopDaemon::ServeConnection(net::TcpConnection& conn) {
   }
 }
 
+size_t HopDaemon::replay_entries() const {
+  std::lock_guard<std::mutex> lock(replay_mutex_);
+  return replay_cache_.size();
+}
+
+// Requires replay_mutex_ held. Same horizon convention as
+// MixServer::ExpireRounds: entries with round + keep < newest leave.
+void HopDaemon::PruneReplaySpaceLocked(bool dialing_space, uint64_t newest, uint64_t keep) {
+  for (auto it = replay_cache_.begin(); it != replay_cache_.end();) {
+    bool entry_dialing = it->first.second >= coord::kDialingRoundBase;
+    if (entry_dialing == dialing_space && it->first.second + keep < newest) {
+      it = replay_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void HopDaemon::PruneReplayCache(uint64_t conversation_newest, uint64_t keep) {
+  std::lock_guard<std::mutex> lock(replay_mutex_);
+  PruneReplaySpaceLocked(/*dialing_space=*/false, conversation_newest, keep);
+}
+
+bool HopDaemon::SendAndCache(net::TcpConnection& conn, const BatchMessage& request,
+                             const crypto::Sha256Digest& digest, util::Bytes header,
+                             std::vector<util::Bytes> items) {
+  bool sent = SendBatchMessage(conn, request.op, request.round, header, items,
+                               config_.chunk_payload);
+  if (!config_.replay_cache) {
+    return sent;
+  }
+  // Cache even when the send failed mid-stream: the pass already executed,
+  // and a re-send after the coordinator reconnects is exactly the case the
+  // cache exists for (the lost-reply problem).
+  std::lock_guard<std::mutex> lock(replay_mutex_);
+  CachedReply& entry = replay_cache_[{static_cast<uint8_t>(request.op), request.round}];
+  entry.request_digest = digest;
+  entry.header = std::move(header);
+  entry.items = std::move(items);
+  if (IsDialingOp(request.op)) {
+    // Dialing rounds live in their own number space and never appear in the
+    // piggybacked expiry horizon; keep a fixed window of them instead.
+    newest_dialing_round_ = std::max(newest_dialing_round_, request.round);
+    PruneReplaySpaceLocked(/*dialing_space=*/true, newest_dialing_round_,
+                           config_.replay_keep_dialing);
+  }
+  // Backstop cap for deployments that never piggyback expiry: drop the
+  // oldest rounds first.
+  while (replay_cache_.size() > config_.replay_max_entries) {
+    auto oldest = replay_cache_.begin();
+    for (auto it = replay_cache_.begin(); it != replay_cache_.end(); ++it) {
+      if (it->first.second < oldest->first.second) {
+        oldest = it;
+      }
+    }
+    replay_cache_.erase(oldest);
+  }
+  return sent;
+}
+
 bool HopDaemon::Dispatch(net::TcpConnection& conn, BatchMessage request) {
   rpcs_served_.fetch_add(1);
   wire::Reader header(request.header);
   mixnet::ServerRoundStats stats;
+
+  // Hygiene rides on forward-conversation requests. Apply it before the
+  // replay lookup so a replayed pass still sheds expired state.
+  if (request.op == net::FrameType::kHopForwardConversation) {
+    auto expire_newest = header.U64();
+    auto expire_keep = header.U64();
+    if (!expire_keep) {
+      return SendError(conn, request.round, "truncated forward header");
+    }
+    if (*expire_newest != 0 || *expire_keep != 0) {
+      server_->ExpireRounds(*expire_newest, *expire_keep);
+      PruneReplayCache(*expire_newest, *expire_keep);
+    }
+  }
+
+  crypto::Sha256Digest digest{};
+  if (config_.replay_cache && IsHopOp(request.op)) {
+    digest = DigestRequest(request);
+    std::unique_lock<std::mutex> lock(replay_mutex_);
+    auto it = replay_cache_.find({static_cast<uint8_t>(request.op), request.round});
+    if (it != replay_cache_.end() && it->second.request_digest == digest) {
+      // The coordinator re-sent a pass this hop already completed (its reply
+      // was lost with the old connection): re-serve the identical bytes
+      // instead of running the pass twice.
+      replay_hits_.fetch_add(1);
+      const CachedReply& cached = it->second;
+      lock.unlock();
+      return SendBatchMessage(conn, request.op, request.round, cached.header, cached.items,
+                              config_.chunk_payload);
+    }
+  }
+
   try {
     switch (request.op) {
       case net::FrameType::kHopForwardConversation: {
-        auto expire_newest = header.U64();
-        auto expire_keep = header.U64();
-        if (!expire_keep) {
-          return SendError(conn, request.round, "truncated forward header");
-        }
-        if (*expire_newest != 0 || *expire_keep != 0) {
-          server_->ExpireRounds(*expire_newest, *expire_keep);
-        }
         auto batch =
             server_->ForwardConversation(request.round, std::move(request.items), &stats);
         wire::Writer reply(48);
         WriteStats(reply, stats);
-        return SendBatchMessage(conn, request.op, request.round, reply.Take(), batch,
-                                config_.chunk_payload);
+        return SendAndCache(conn, request, digest, reply.Take(), std::move(batch));
       }
       case net::FrameType::kHopBackwardConversation: {
         auto responses =
             server_->BackwardConversation(request.round, std::move(request.items), &stats);
         wire::Writer reply(48);
         WriteStats(reply, stats);
-        return SendBatchMessage(conn, request.op, request.round, reply.Take(), responses,
-                                config_.chunk_payload);
+        return SendAndCache(conn, request, digest, reply.Take(), std::move(responses));
       }
       case net::FrameType::kHopLastConversation: {
         auto result =
@@ -171,8 +310,7 @@ bool HopDaemon::Dispatch(net::TcpConnection& conn, BatchMessage request) {
         wire::Writer reply(80);
         WriteStats(reply, stats);
         WriteHistogram(reply, result.histogram, result.messages_exchanged);
-        return SendBatchMessage(conn, request.op, request.round, reply.Take(), result.responses,
-                                config_.chunk_payload);
+        return SendAndCache(conn, request, digest, reply.Take(), std::move(result.responses));
       }
       case net::FrameType::kHopForwardDialing:
       case net::FrameType::kHopLastDialing: {
@@ -185,8 +323,7 @@ bool HopDaemon::Dispatch(net::TcpConnection& conn, BatchMessage request) {
                                                *num_drops, &stats);
           wire::Writer reply(48);
           WriteStats(reply, stats);
-          return SendBatchMessage(conn, request.op, request.round, reply.Take(), batch,
-                                  config_.chunk_payload);
+          return SendAndCache(conn, request, digest, reply.Take(), std::move(batch));
         }
         deaddrop::InvitationTable table = server_->ProcessDialingLastHop(
             request.round, std::move(request.items), *num_drops, &stats);
@@ -197,8 +334,7 @@ bool HopDaemon::Dispatch(net::TcpConnection& conn, BatchMessage request) {
         }
         wire::Writer reply(48);
         WriteStats(reply, stats);
-        return SendBatchMessage(conn, request.op, request.round, reply.Take(), drops,
-                                config_.chunk_payload);
+        return SendAndCache(conn, request, digest, reply.Take(), std::move(drops));
       }
       default:
         return SendError(conn, request.round, "unsupported hop op");

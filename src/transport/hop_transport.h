@@ -37,6 +37,16 @@ class HopTimeoutError : public HopError {
   explicit HopTimeoutError(const std::string& message) : HopError(message) {}
 };
 
+// The hop is alive and completed the RPC *with an error report* (a kHopError
+// frame): the connection framing is intact and the failure is semantic — a
+// pass that threw at the hop, e.g. a backward pass whose round state died
+// with a restarted process. Re-sending the same request would fail the same
+// way, so reconnect/retry layers must pass this through instead of retrying.
+class HopRemoteError : public HopError {
+ public:
+  explicit HopRemoteError(const std::string& message) : HopError(message) {}
+};
+
 class HopTransport {
  public:
   virtual ~HopTransport() = default;

@@ -16,7 +16,7 @@ TcpTransport::TcpTransport(const TcpTransportConfig& config, net::TcpConnection 
     : config_(config), conn_(std::move(conn)) {}
 
 std::unique_ptr<TcpTransport> TcpTransport::Connect(const TcpTransportConfig& config) {
-  auto conn = net::TcpConnection::Connect(config.host, config.port);
+  auto conn = net::TcpConnection::Connect(config.host, config.port, config.connect_timeout_ms);
   if (!conn) {
     return nullptr;
   }
@@ -54,9 +54,10 @@ BatchMessage TcpTransport::Call(net::FrameType op, uint64_t round, util::ByteSpa
   }
   if (first->type == net::FrameType::kHopError) {
     // The daemon completed the RPC with an error report; the connection
-    // framing is intact, so only this round fails.
-    throw HopError("hop " + Endpoint(config_) + ": " +
-                   std::string(first->payload.begin(), first->payload.end()));
+    // framing is intact, so only this round fails — and reconnect layers
+    // must not retry (the failure is semantic, not transport).
+    throw HopRemoteError("hop " + Endpoint(config_) + ": " +
+                         std::string(first->payload.begin(), first->payload.end()));
   }
   if (first->type != op) {
     FailRpc("unexpected response type");

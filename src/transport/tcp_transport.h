@@ -31,6 +31,9 @@ struct TcpTransportConfig {
   // Receive deadline per RPC; 0 waits forever (not recommended: a dead hop
   // would wedge its stage worker).
   int recv_timeout_ms = 10000;
+  // Connect deadline; 0 falls back to the OS blocking connect (an unroutable
+  // hop could then wedge the caller for minutes of SYN retransmission).
+  int connect_timeout_ms = 5000;
   // Chunk budget for outgoing batch messages.
   size_t chunk_payload = kDefaultChunkPayload;
 };

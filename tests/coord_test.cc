@@ -3,12 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "src/conversation/protocol.h"
 #include "src/coord/coordinator.h"
 #include "src/coord/distributor.h"
 #include "src/coord/entry_server.h"
 #include "src/coord/keydir.h"
 #include "src/crypto/onion.h"
+#include "src/util/bytes.h"
 #include "src/util/random.h"
 
 namespace vuvuzela::coord {
@@ -205,6 +208,70 @@ TEST_F(KeyDirectoryTest, ContactNamesSorted) {
   dir_.AddContact("abe", KeyOf(8));
   dir_.AddContact("mia", KeyOf(9));
   EXPECT_EQ(dir_.ContactNames(), (std::vector<std::string>{"abe", "mia", "zoe"}));
+}
+
+// --- Key-ceremony files (hopd/coordd --key-file / --key-dir) -----------------
+
+TEST_F(KeyDirectoryTest, DirectoryFileRoundTrips) {
+  dir_.AddContact("hop0", KeyOf(10));
+  dir_.AddContact("hop1", KeyOf(11));
+  dir_.AddContact("hop2", KeyOf(12));
+  std::string path = ::testing::TempDir() + "vz_chain_roundtrip.pub";
+  ASSERT_TRUE(dir_.SaveToFile(path));
+
+  auto loaded = KeyDirectory::LoadFromFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->ChainLength(), 3u);
+  auto chain = loaded->ChainPublicKeys(3);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ((*chain)[1], KeyOf(11));
+  EXPECT_FALSE(loaded->ChainPublicKeys(4).has_value());  // hop3 missing
+}
+
+TEST_F(KeyDirectoryTest, LoadRejectsMalformedFiles) {
+  std::string path = ::testing::TempDir() + "vz_chain_bad.pub";
+  auto write = [&](const std::string& content) {
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+  };
+  write("not-a-directory\nhop0 00\n");
+  EXPECT_FALSE(KeyDirectory::LoadFromFile(path).has_value());  // bad magic
+  write("vuvuzela-key-directory-v1\nhop0 zz\n");
+  EXPECT_FALSE(KeyDirectory::LoadFromFile(path).has_value());  // bad hex
+  write("vuvuzela-key-directory-v1\nhop0 " + util::HexEncode(KeyOf(1)) + " trailing\n");
+  EXPECT_FALSE(KeyDirectory::LoadFromFile(path).has_value());  // trailing field
+  // The same key under two names is as invalid on disk as via AddContact.
+  std::string hex = util::HexEncode(KeyOf(1));
+  write("vuvuzela-key-directory-v1\nhop0 " + hex + "\nhop1 " + hex + "\n");
+  EXPECT_FALSE(KeyDirectory::LoadFromFile(path).has_value());
+  EXPECT_FALSE(KeyDirectory::LoadFromFile(path + ".missing").has_value());
+}
+
+TEST(HopKeyFile, RoundTripsAndDerivesPublicKey) {
+  util::Xoshiro256Rng rng(2718);
+  HopKeyFile key;
+  key.position = 2;
+  key.key_pair = crypto::X25519KeyPair::Generate(rng);
+  rng.Fill(key.noise_seed);
+  std::string path = ::testing::TempDir() + "vz_hop2.key";
+  ASSERT_TRUE(WriteHopKeyFile(path, key));
+
+  auto loaded = ReadHopKeyFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->position, 2u);
+  EXPECT_EQ(loaded->key_pair.secret_key, key.key_pair.secret_key);
+  EXPECT_EQ(loaded->noise_seed, key.noise_seed);
+  // The public half is recomputed from the secret, never read from disk.
+  EXPECT_EQ(loaded->key_pair.public_key, key.key_pair.public_key);
+}
+
+TEST(HopKeyFile, RejectsTruncatedFiles) {
+  std::string path = ::testing::TempDir() + "vz_hop_bad.key";
+  std::ofstream(path, std::ios::trunc)
+      << "vuvuzela-hop-key-v1\nposition 0\nsecret 00ff\n";  // short secret, no seed
+  EXPECT_FALSE(ReadHopKeyFile(path).has_value());
+  EXPECT_FALSE(ReadHopKeyFile(path + ".missing").has_value());
 }
 
 }  // namespace

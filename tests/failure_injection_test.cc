@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
 #include <thread>
 
@@ -12,6 +13,7 @@
 #include "src/dialing/protocol.h"
 #include "src/engine/round_scheduler.h"
 #include "src/mixnet/chain.h"
+#include "src/transport/coord_daemon.h"
 #include "src/transport/hop_chain.h"
 #include "src/util/random.h"
 
@@ -305,6 +307,237 @@ TEST_F(ExchangePartitionFailure, BlackHolePartitionTimesOutMidRoundWhileOthersCo
   black_hole.join();
   shard1->Stop();
   shard1_thread.join();
+}
+
+// --- Crash recovery ----------------------------------------------------------
+//
+// The fault-tolerant round lifecycle: a hop (or exchange shard) killed and
+// restarted mid-schedule must cost latency, never messages — recovered
+// rounds' outputs byte-identical to an uninterrupted run — and a hop that
+// never comes back must still degrade to the old bounded-abandonment
+// behavior. Idempotent hop replay (the daemons' reply cache) is what makes
+// post-reconnect re-sends safe; it gets its own direct test.
+
+class CrashRecovery : public ::testing::Test {
+ protected:
+  static mixnet::ChainConfig RecoveryChainConfig() {
+    mixnet::ChainConfig config;
+    config.num_servers = 3;
+    config.conversation_noise = {.params = {2.0, 1.0}, .deterministic = true};
+    config.dialing_noise = {.params = {2.0, 1.0}, .deterministic = true};
+    config.parallel = false;
+    return config;
+  }
+
+  static transport::CoordDaemonConfig CoordConfig(const transport::LoopbackChain& chain,
+                                                  uint64_t total_rounds) {
+    transport::CoordDaemonConfig config;
+    for (size_t i = 0; i < chain.size(); ++i) {
+      config.hops.push_back({"127.0.0.1", chain.port(i)});
+    }
+    config.scheduler.max_in_flight = 3;
+    config.schedule.conversation_rounds_per_dialing_round = 10;
+    config.total_rounds = total_rounds;
+    config.admission_window_seconds = 0.02;  // paces synthetic rounds
+    config.hop_timeout_ms = 2000;
+    config.connect_timeout_ms = 500;
+    config.synthetic_users = 8;
+    config.key_seed = kRecoverySeed;
+    config.workload_seed = 77;
+    config.record_responses = true;
+    // Generous budget so a ~200 ms outage can never exhaust it; the
+    // never-returns test pins the bounded end of the spectrum.
+    config.max_round_attempts = 8;
+    config.reconnect.max_call_attempts = 3;
+    config.reconnect.backoff_initial_ms = 20;
+    config.reconnect.backoff_max_ms = 100;
+    config.supervisor_interval_ms = 50;
+    return config;
+  }
+
+  // Uninterrupted reference: same seed, same schedule, no failures. An
+  // empty result (reported via ADD_FAILURE) means the deployment could not
+  // start — callers' equality assertions then fail cleanly.
+  static transport::CoordDaemonResult ReferenceRun(uint64_t total_rounds,
+                                                   size_t exchange_partitions = 0) {
+    std::unique_ptr<transport::ExchangePartitionGroup> group;
+    transport::ExchangeRouterConfig exchange;
+    if (exchange_partitions > 0) {
+      group = transport::ExchangePartitionGroup::Start(exchange_partitions);
+      if (group == nullptr) {
+        ADD_FAILURE() << "reference exchange partitions failed to start";
+        return {};
+      }
+      exchange = group->RouterConfig();
+    }
+    auto chain = transport::LoopbackChain::Start(RecoveryChainConfig(), kRecoverySeed,
+                                                 transport::kDefaultChunkPayload, exchange);
+    if (chain == nullptr) {
+      ADD_FAILURE() << "reference chain failed to start";
+      return {};
+    }
+    transport::CoordinatorDaemon coordinator(CoordConfig(*chain, total_rounds));
+    EXPECT_TRUE(coordinator.Start());
+    return coordinator.Run();
+  }
+
+  static constexpr uint64_t kRecoverySeed = 0xfa117;
+};
+
+// Idempotent hop replay, directly: the same forward pass sent twice (the
+// coordinator cannot know whether a lost connection ate the reply or the
+// request) returns byte-identical bytes from the daemon's cache without
+// running the mix twice, and the round's backward pass still works after.
+TEST_F(CrashRecovery, ReplayedForwardPassIsServedOnceAndByteIdentical) {
+  auto chain = transport::LoopbackChain::Start(RecoveryChainConfig(), kRecoverySeed);
+  ASSERT_NE(chain, nullptr);
+  transport::TcpTransportConfig transport_config;
+  transport_config.port = chain->port(0);
+  auto hop = transport::TcpTransport::Connect(transport_config);
+  ASSERT_NE(hop, nullptr);
+
+  util::Xoshiro256Rng rng(7);
+  auto keys = transport::DeriveChainKeys(kRecoverySeed, 3);
+  std::vector<util::Bytes> batch;
+  for (int i = 0; i < 4; ++i) {
+    wire::ExchangeRequest request;
+    rng.Fill(request.dead_drop);
+    rng.Fill(request.envelope);
+    batch.push_back(crypto::OnionWrap(keys.public_keys, 1, request.Serialize(), rng).data);
+  }
+
+  auto first = hop->ForwardConversation(1, batch, nullptr);
+  EXPECT_EQ(chain->daemon(0)->replay_hits(), 0u);
+  auto replayed = hop->ForwardConversation(1, batch, nullptr);
+  EXPECT_EQ(chain->daemon(0)->replay_hits(), 1u);
+  EXPECT_EQ(first, replayed);
+
+  // The replay did not consume the round state: the backward pass works, and
+  // replaying *it* (state-consuming at the server!) is also idempotent.
+  size_t response_size = wire::kEnvelopeSize + crypto::kOnionResponseLayerOverhead;
+  std::vector<util::Bytes> responses;
+  for (size_t i = 0; i < first.size(); ++i) {
+    responses.push_back(rng.RandomBytes(response_size));
+  }
+  auto back1 = hop->BackwardConversation(1, responses, nullptr);
+  auto back2 = hop->BackwardConversation(1, responses, nullptr);
+  EXPECT_EQ(chain->daemon(0)->replay_hits(), 2u);
+  EXPECT_EQ(back1, back2);
+  EXPECT_EQ(back1.size(), batch.size());
+
+  // Different input under a replayed round/op is NOT served from the cache:
+  // the daemon reprocesses (and here fails, because the state was consumed).
+  std::vector<util::Bytes> tampered = responses;
+  tampered[0][0] ^= 1;
+  EXPECT_THROW(hop->BackwardConversation(1, tampered, nullptr), transport::HopRemoteError);
+}
+
+// A hop killed and restarted mid-schedule: zero lost onions, zero abandoned
+// rounds, and every recovered round's response batch byte-identical to the
+// uninterrupted reference run.
+TEST_F(CrashRecovery, HopdKilledAndRestartedMidScheduleIsLossless) {
+  constexpr uint64_t kRounds = 60;
+  transport::CoordDaemonResult reference = ReferenceRun(kRounds);
+  ASSERT_EQ(reference.rounds_abandoned, 0u);
+
+  auto chain = transport::LoopbackChain::Start(RecoveryChainConfig(), kRecoverySeed);
+  ASSERT_NE(chain, nullptr);
+  transport::CoordDaemonConfig config = CoordConfig(*chain, kRounds);
+  // A short in-call reconnect window (~2 × 50 ms) against a long outage
+  // forces failures through the round-level re-submission path instead of
+  // being silently bridged inside one RPC.
+  config.reconnect.max_call_attempts = 2;
+  config.reconnect.backoff_max_ms = 50;
+  transport::CoordinatorDaemon coordinator(std::move(config));
+  ASSERT_TRUE(coordinator.Start());
+
+  transport::CoordDaemonResult result;
+  std::thread runner([&] { result = coordinator.Run(); });
+
+  // Kill the middle hop once the schedule is visibly moving, hold it down
+  // long enough that in-call reconnects alone cannot bridge the gap (the
+  // round-level re-submission path must engage), then restart it.
+  while (coordinator.lifecycle().counters().completed < 5) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  chain->Kill(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  ASSERT_TRUE(chain->Restart(1));
+  runner.join();
+
+  EXPECT_EQ(result.rounds_abandoned, 0u);
+  EXPECT_GT(result.rounds_retried, 0u);  // recovery actually engaged
+  EXPECT_EQ(result.conversation_rounds_completed, reference.conversation_rounds_completed);
+  EXPECT_EQ(result.dialing_rounds_completed, reference.dialing_rounds_completed);
+  EXPECT_EQ(result.messages_exchanged, reference.messages_exchanged);
+  // Byte-identity, round by round: recovery left no fingerprint in the data.
+  ASSERT_EQ(result.responses.size(), reference.responses.size());
+  for (const auto& [round, responses] : reference.responses) {
+    auto it = result.responses.find(round);
+    ASSERT_NE(it, result.responses.end()) << "round " << round << " missing";
+    EXPECT_EQ(it->second, responses) << "round " << round << " diverged";
+  }
+}
+
+// Same discipline for an exchange shard server: vuvuzela-exchanged is
+// stateless across rounds, so kill + restart costs only the rounds in
+// flight on it — which the coordinator re-submits.
+TEST_F(CrashRecovery, ExchangedKilledAndRestartedMidScheduleIsLossless) {
+  constexpr uint64_t kRounds = 30;
+  constexpr size_t kPartitions = 2;
+  transport::CoordDaemonResult reference = ReferenceRun(kRounds, kPartitions);
+  ASSERT_EQ(reference.rounds_abandoned, 0u);
+
+  auto group = transport::ExchangePartitionGroup::Start(kPartitions);
+  ASSERT_NE(group, nullptr);
+  auto chain = transport::LoopbackChain::Start(RecoveryChainConfig(), kRecoverySeed,
+                                               transport::kDefaultChunkPayload,
+                                               group->RouterConfig());
+  ASSERT_NE(chain, nullptr);
+  transport::CoordinatorDaemon coordinator(CoordConfig(*chain, kRounds));
+  ASSERT_TRUE(coordinator.Start());
+
+  transport::CoordDaemonResult result;
+  std::thread runner([&] { result = coordinator.Run(); });
+
+  while (coordinator.lifecycle().counters().completed < 5) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  group->Kill(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  ASSERT_TRUE(group->Restart(0));
+  runner.join();
+
+  EXPECT_EQ(result.rounds_abandoned, 0u);
+  EXPECT_EQ(result.conversation_rounds_completed, reference.conversation_rounds_completed);
+  EXPECT_EQ(result.messages_exchanged, reference.messages_exchanged);
+  ASSERT_EQ(result.responses.size(), reference.responses.size());
+  for (const auto& [round, responses] : reference.responses) {
+    EXPECT_EQ(result.responses.at(round), responses) << "round " << round << " diverged";
+  }
+}
+
+// The bounded end of the spectrum: a hop that never comes back exhausts the
+// per-round retry budget and the deployment degrades to the pre-recovery
+// accounting — every round abandoned, the coordinator terminates.
+TEST_F(CrashRecovery, HopThatNeverReturnsDegradesToBoundedAbandonment) {
+  constexpr uint64_t kRounds = 4;
+  auto chain = transport::LoopbackChain::Start(RecoveryChainConfig(), kRecoverySeed);
+  ASSERT_NE(chain, nullptr);
+
+  transport::CoordDaemonConfig config = CoordConfig(*chain, kRounds);
+  config.record_responses = false;
+  config.hop_timeout_ms = 200;
+  config.max_round_attempts = 2;  // one retry each, then abandon
+  transport::CoordinatorDaemon coordinator(std::move(config));
+  ASSERT_TRUE(coordinator.Start());
+  chain->Kill(1);  // dies before any round and never restarts
+
+  transport::CoordDaemonResult result = coordinator.Run();
+  EXPECT_EQ(result.rounds_abandoned, kRounds);
+  EXPECT_EQ(result.conversation_rounds_completed, 0u);
+  EXPECT_EQ(result.rounds_retried, kRounds * 1u);
+  EXPECT_EQ(coordinator.lifecycle().counters().abandoned, kRounds);
 }
 
 }  // namespace

@@ -290,6 +290,10 @@ TEST(CoordinatorDaemon, PrunesAdmissionDedupForAbandonedRounds) {
   config.hop_timeout_ms = 100;
   config.num_clients = 1;
   config.key_seed = kKeySeed;
+  // This test is about dedup pruning under abandonment, not recovery: pin
+  // the legacy abandon-on-first-failure policy so every round fails once.
+  config.max_round_attempts = 1;
+  config.reconnect.max_call_attempts = 1;
 
   CoordinatorDaemon coordinator(std::move(config));
   ASSERT_TRUE(coordinator.Start());
@@ -367,6 +371,10 @@ TEST(CoordinatorDaemon, AbandonsRoundsStuckOnDeadHop) {
   config.hop_timeout_ms = 150;
   config.synthetic_users = 6;
   config.key_seed = kKeySeed;
+  // Bounded abandonment is the subject here: disable recovery so each round
+  // fails exactly once (the recovery paths get their own suite).
+  config.max_round_attempts = 1;
+  config.reconnect.max_call_attempts = 1;
 
   CoordinatorDaemon coordinator(std::move(config));
   ASSERT_TRUE(coordinator.Start());

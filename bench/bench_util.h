@@ -8,16 +8,64 @@
 #ifndef VUVUZELA_BENCH_BENCH_UTIL_H_
 #define VUVUZELA_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace vuvuzela::bench {
 
 inline bool FullScale() {
   const char* scale = std::getenv("VUVUZELA_BENCH_SCALE");
   return scale != nullptr && std::strcmp(scale, "full") == 0;
+}
+
+// VUVUZELA_BENCH_SCALE=smoke shrinks workloads to CI size: the bench runs
+// every code path but measures small rounds, so its numbers track the perf
+// *trajectory* per commit (BENCH_engine.json) rather than absolute scale.
+inline bool SmokeScale() {
+  const char* scale = std::getenv("VUVUZELA_BENCH_SCALE");
+  return scale != nullptr && std::strcmp(scale, "smoke") == 0;
+}
+
+// Appends one JSON object line to $VUVUZELA_BENCH_JSON (JSONL; CI merges the
+// lines of all benches into the BENCH_engine.json artifact). No-op when the
+// variable is unset, so interactive runs never touch the filesystem.
+inline void EmitJson(const char* section,
+                     std::initializer_list<std::pair<const char*, double>> fields) {
+  const char* path = std::getenv("VUVUZELA_BENCH_JSON");
+  if (path == nullptr || *path == '\0') {
+    return;
+  }
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    return;
+  }
+  std::fprintf(f, "{\"section\":\"%s\"", section);
+  for (const auto& [key, value] : fields) {
+    std::fprintf(f, ",\"%s\":%.6g", key, value);
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+// p-th percentile (0..100) by nearest-rank (ceil(p/100 * N), 1-based) on a
+// copy; 0.0 for empty input. Exact order statistics matter here: the CI
+// trajectory compares p50/p99 across commits on small smoke samples, where
+// an off-by-one rank is a different measurement, not noise.
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  auto rank = static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(values.size())));
+  rank = std::max<size_t>(rank, 1);
+  return values[std::min(rank - 1, values.size() - 1)];
 }
 
 inline void PrintHeader(const char* id, const char* title) {

@@ -9,16 +9,13 @@
 // bench), the horizontal-scaling axis the chain-length figure does not cover.
 // VUVUZELA_FIG11_SECTION=latency|partition runs one section alone.
 
-#include <signal.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/forked_fleet.h"
 #include "bench/round_runner.h"
 #include "src/deaddrop/exchange_backend.h"
 #include "src/sim/cost_model.h"
@@ -30,86 +27,16 @@ using namespace vuvuzela;
 
 namespace {
 
-struct ForkedPartition {
-  pid_t pid = -1;
-  uint16_t port = 0;
-};
-
-// Last-resort teardown for fleets that cannot be asked to stop (a failed
-// spawn or an unreachable router): children still loop in Serve(), so a bare
-// waitpid would hang forever.
-void KillFleet(const std::vector<ForkedPartition>& fleet) {
-  for (const auto& partition : fleet) {
-    kill(partition.pid, SIGKILL);
-  }
-  for (const auto& partition : fleet) {
-    int status = 0;
-    waitpid(partition.pid, &status, 0);
-  }
-}
-
 // Forks one vuvuzela-exchanged-equivalent process per shard (the child runs
-// transport::ExchangedDaemon directly; same serving loop as the binary) and
-// reports each child's ephemeral port through a pipe. Must be called before
-// the bench spawns any threads — fork() and a threaded parent do not mix.
-std::vector<ForkedPartition> SpawnExchangeFleet(uint32_t num_shards) {
-  std::vector<ForkedPartition> fleet;
-  for (uint32_t shard = 0; shard < num_shards; ++shard) {
-    int ports[2];
-    if (pipe(ports) != 0) {
-      KillFleet(fleet);
-      return {};
-    }
-    pid_t pid = fork();
-    if (pid < 0) {
-      close(ports[0]);
-      close(ports[1]);
-      KillFleet(fleet);
-      return {};
-    }
-    if (pid == 0) {
-      close(ports[0]);
-      transport::ExchangedConfig config;
-      config.shard_index = shard;
-      config.num_shards = num_shards;
-      config.local_shards = 1;  // scaling must come from processes, not threads
-      auto daemon = transport::ExchangedDaemon::Create(config);
-      if (!daemon) {
-        _exit(1);
-      }
-      uint16_t port = daemon->port();
-      if (write(ports[1], &port, sizeof(port)) != sizeof(port)) {
-        _exit(1);
-      }
-      close(ports[1]);
-      daemon->Serve();
-      _exit(0);
-    }
-    close(ports[1]);
-    ForkedPartition partition;
-    partition.pid = pid;
-    if (read(ports[0], &partition.port, sizeof(partition.port)) != sizeof(partition.port)) {
-      close(ports[0]);
-      fleet.push_back(partition);  // reap the just-forked child too
-      KillFleet(fleet);
-      return {};
-    }
-    close(ports[0]);
-    fleet.push_back(partition);
-  }
-  return fleet;
-}
-
-void ShutdownFleet(transport::ExchangeRouter* router, const std::vector<ForkedPartition>& fleet) {
-  if (!router) {
-    KillFleet(fleet);  // never reached the daemons; cannot ask them to stop
-    return;
-  }
-  router->SendShutdown();
-  for (const auto& partition : fleet) {
-    int status = 0;
-    waitpid(partition.pid, &status, 0);
-  }
+// transport::ExchangedDaemon directly; same serving loop as the binary).
+std::vector<bench::ForkedServer> SpawnExchangeFleet(uint32_t num_shards) {
+  return bench::SpawnForkedFleet(num_shards, [](uint32_t shard, uint32_t shards) {
+    transport::ExchangedConfig config;
+    config.shard_index = shard;
+    config.num_shards = shards;
+    config.local_shards = 1;  // scaling must come from processes, not threads
+    return transport::ExchangedDaemon::Create(config);
+  });
 }
 
 std::vector<wire::ExchangeRequest> PairedRequests(size_t count, uint64_t seed) {
@@ -149,9 +76,10 @@ double TimeExchange(deaddrop::ExchangeBackend& backend, size_t iterations,
 }
 
 void RunPartitionSection(const std::vector<uint32_t>& shard_counts,
-                         std::vector<std::vector<ForkedPartition>> fleets) {
-  const size_t kRequests = bench::FullScale() ? 2200000 : 200000;
-  const size_t kIterations = 3;
+                         std::vector<std::vector<bench::ForkedServer>> fleets) {
+  const size_t kRequests =
+      bench::FullScale() ? 2200000 : (bench::SmokeScale() ? 20000 : 200000);
+  const size_t kIterations = bench::SmokeScale() ? 2 : 3;
   std::printf("\n  PARTITION: dead-drop exchange throughput vs shard-server processes\n"
               "  (%zu requests/round, %zu rounds per point; partitioned rows cross\n"
               "  loopback TCP to forked vuvuzela-exchanged processes):\n",
@@ -163,6 +91,9 @@ void RunPartitionSection(const std::vector<uint32_t>& shard_counts,
   double local_seconds = TimeExchange(local, kIterations, requests) / kIterations;
   std::printf("  %-22s %-14.3f %-14s %-10s\n", "in-process x1", local_seconds,
               bench::Human(kRequests / local_seconds).c_str(), "1.00x");
+  bench::EmitJson("fig11_partition_inprocess_x1",
+                  {{"sec_per_round", local_seconds},
+                   {"requests_per_sec", kRequests / local_seconds}});
   for (uint32_t count : shard_counts) {
     deaddrop::InProcessExchangeBackend sharded(count);
     double seconds = TimeExchange(sharded, kIterations, requests) / kIterations;
@@ -180,7 +111,7 @@ void RunPartitionSection(const std::vector<uint32_t>& shard_counts,
     auto router = transport::ExchangeRouter::Connect(config);
     if (!router) {
       std::fprintf(stderr, "cannot reach exchange fleet of %u\n", shard_counts[i]);
-      ShutdownFleet(nullptr, fleets[i]);
+      bench::ShutdownForkedFleet(nullptr, fleets[i]);
       continue;
     }
     try {
@@ -189,12 +120,17 @@ void RunPartitionSection(const std::vector<uint32_t>& shard_counts,
       std::snprintf(label, sizeof(label), "%u exchanged procs", shard_counts[i]);
       std::printf("  %-22s %-14.3f %-14s %.2fx\n", label, seconds,
                   bench::Human(kRequests / seconds).c_str(), local_seconds / seconds);
-      ShutdownFleet(router.get(), fleets[i]);
+      char section[48];
+      std::snprintf(section, sizeof(section), "fig11_partition_%u_procs", shard_counts[i]);
+      bench::EmitJson(section, {{"sec_per_round", seconds},
+                                {"requests_per_sec", kRequests / seconds},
+                                {"vs_local", local_seconds / seconds}});
+      bench::ShutdownForkedFleet([&] { router->SendShutdown(); }, fleets[i]);
     } catch (const std::exception& e) {
       // A shard server died or stalled mid-bench: report, reap the fleet by
       // force (an orderly shutdown may no longer reach it), keep benching.
       std::fprintf(stderr, "exchange fleet of %u failed: %s\n", shard_counts[i], e.what());
-      KillFleet(fleets[i]);
+      bench::KillForkedFleet(fleets[i]);
     }
   }
   std::printf("  Each shard server owns one ID-prefix slice of the dead-drop table and runs\n"
@@ -215,14 +151,14 @@ int main() {
   // Fork the shard-server fleets before anything starts a thread (the
   // latency section below spins up the global pool).
   const std::vector<uint32_t> kShardCounts = {2, 4};
-  std::vector<std::vector<ForkedPartition>> fleets;
+  std::vector<std::vector<bench::ForkedServer>> fleets;
   if (run_partition) {
     for (uint32_t count : kShardCounts) {
       fleets.push_back(SpawnExchangeFleet(count));
       if (fleets.back().empty()) {
         std::fprintf(stderr, "failed to fork exchange fleet of %u\n", count);
         for (const auto& fleet : fleets) {
-          KillFleet(fleet);  // don't orphan the earlier fleets
+          bench::KillForkedFleet(fleet);  // don't orphan the earlier fleets
         }
         return 1;
       }

@@ -53,15 +53,18 @@ void PrintRealSection(const double* mus, size_t num_mus, const uint64_t* user_po
 
 void PrintPipelineSection() {
   bench::PrintHeader("PIPELINE", "lock-step driver vs pipelined engine (§8.3)");
-  const uint64_t kUsers = 10000;
-  const double kMu = 3000;
-  const uint64_t kRounds = 6;
+  // Smoke mode (CI trajectory tracking) runs the same code paths on a small
+  // workload; the JSON rows below land in the BENCH_engine.json artifact.
+  const bool smoke = bench::SmokeScale();
+  const uint64_t kUsers = smoke ? 2000 : 10000;
+  const double kMu = smoke ? 600 : 3000;
+  const uint64_t kRounds = smoke ? 4 : 6;
   // Per-round client collection window (§3.1): both drivers pay it; only the
   // engine overlaps it with earlier rounds' processing ("while the first
   // server is collecting messages for one round, other servers process
   // previous rounds", §8.3). 2 s is 1/100 of the paper's ~3.5-minute round
   // cadence at 1M users, matching the bench's 1/100 scale.
-  const double kWindow = 2.0;
+  const double kWindow = smoke ? 0.2 : 2.0;
   // Warm-up (page cache, allocator arenas) so driver order doesn't bias the
   // comparison.
   bench::RunLockStepConversationRounds(kUsers, 3, kMu, 1, 4242);
@@ -75,6 +78,12 @@ void PrintPipelineSection() {
               "round latency (s)");
   std::printf("  %-22s %10.3f %14.0f %16.3f\n", "lock-step (K=1)", lock_step.wall_seconds,
               lock_step.messages_per_second, lock_step.mean_round_seconds);
+  bench::EmitJson("fig9_pipeline_lockstep",
+                  {{"msgs_per_sec", lock_step.messages_per_second},
+                   {"round_latency_mean_s", lock_step.mean_round_seconds},
+                   {"round_latency_p50_s", lock_step.p50_round_seconds},
+                   {"round_latency_p99_s", lock_step.p99_round_seconds},
+                   {"wall_s", lock_step.wall_seconds}});
   for (size_t k : {3u, 4u}) {
     bench::MultiRound pipelined =
         bench::RunPipelinedConversationRounds(kUsers, 3, kMu, kRounds, k, 4242, kWindow);
@@ -82,6 +91,14 @@ void PrintPipelineSection() {
                 k == 3 ? "pipelined (K=3)" : "pipelined (K=4)", pipelined.wall_seconds,
                 pipelined.messages_per_second, pipelined.mean_round_seconds,
                 pipelined.messages_per_second / lock_step.messages_per_second);
+    bench::EmitJson(k == 3 ? "fig9_pipeline_k3" : "fig9_pipeline_k4",
+                    {{"msgs_per_sec", pipelined.messages_per_second},
+                     {"round_latency_mean_s", pipelined.mean_round_seconds},
+                     {"round_latency_p50_s", pipelined.p50_round_seconds},
+                     {"round_latency_p99_s", pipelined.p99_round_seconds},
+                     {"wall_s", pipelined.wall_seconds},
+                     {"vs_lockstep",
+                      pipelined.messages_per_second / lock_step.messages_per_second}});
   }
   std::printf("  (The gap widens further with core count: beyond overlapping the collection\n"
               "   window, s+ cores let every chain stage compute concurrently.)\n");

@@ -1,0 +1,110 @@
+// Forked shard-server fleets for the scaling benches.
+//
+// fig11's PARTITION section and fig10's DIST section both measure throughput
+// against a fleet of shard-server *processes* (vuvuzela-exchanged /
+// vuvuzela-distd equivalents: the child runs the daemon class directly, same
+// serving loop as the binary). This header owns the shared fork machinery:
+// fork one child per shard, report each child's ephemeral port back over a
+// pipe, SIGKILL-reap fleets that cannot be asked to stop, orderly-shutdown
+// ones that can. Must be used before the bench spawns any threads — fork()
+// and a threaded parent do not mix.
+
+#ifndef VUVUZELA_BENCH_FORKED_FLEET_H_
+#define VUVUZELA_BENCH_FORKED_FLEET_H_
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace vuvuzela::bench {
+
+struct ForkedServer {
+  pid_t pid = -1;
+  uint16_t port = 0;
+};
+
+// Last-resort teardown for fleets that cannot be asked to stop (a failed
+// spawn or an unreachable router): children still loop in Serve(), so a bare
+// waitpid would hang forever.
+inline void KillForkedFleet(const std::vector<ForkedServer>& fleet) {
+  for (const auto& server : fleet) {
+    kill(server.pid, SIGKILL);
+  }
+  for (const auto& server : fleet) {
+    int status = 0;
+    waitpid(server.pid, &status, 0);
+  }
+}
+
+// Forks one child per shard. `make(shard, num_shards)` runs in the child and
+// returns the daemon to serve (anything with port() and Serve()), or null on
+// failure. Empty result means a spawn failed and the partial fleet was
+// reaped.
+template <typename MakeDaemon>
+std::vector<ForkedServer> SpawnForkedFleet(uint32_t num_shards, MakeDaemon&& make) {
+  std::vector<ForkedServer> fleet;
+  for (uint32_t shard = 0; shard < num_shards; ++shard) {
+    int ports[2];
+    if (pipe(ports) != 0) {
+      KillForkedFleet(fleet);
+      return {};
+    }
+    pid_t pid = fork();
+    if (pid < 0) {
+      close(ports[0]);
+      close(ports[1]);
+      KillForkedFleet(fleet);
+      return {};
+    }
+    if (pid == 0) {
+      close(ports[0]);
+      auto daemon = make(shard, num_shards);
+      if (!daemon) {
+        _exit(1);
+      }
+      uint16_t port = daemon->port();
+      if (write(ports[1], &port, sizeof(port)) != sizeof(port)) {
+        _exit(1);
+      }
+      close(ports[1]);
+      daemon->Serve();
+      _exit(0);
+    }
+    close(ports[1]);
+    ForkedServer server;
+    server.pid = pid;
+    if (read(ports[0], &server.port, sizeof(server.port)) != sizeof(server.port)) {
+      close(ports[0]);
+      fleet.push_back(server);  // reap the just-forked child too
+      KillForkedFleet(fleet);
+      return {};
+    }
+    close(ports[0]);
+    fleet.push_back(server);
+  }
+  return fleet;
+}
+
+// Orderly teardown: `send_shutdown` asks every daemon to exit its serve loop
+// (a router's SendShutdown); pass nullptr when the fleet was never reached —
+// it is then SIGKILL-reaped instead.
+inline void ShutdownForkedFleet(const std::function<void()>& send_shutdown,
+                                const std::vector<ForkedServer>& fleet) {
+  if (!send_shutdown) {
+    KillForkedFleet(fleet);
+    return;
+  }
+  send_shutdown();
+  for (const auto& server : fleet) {
+    int status = 0;
+    waitpid(server.pid, &status, 0);
+  }
+}
+
+}  // namespace vuvuzela::bench
+
+#endif  // VUVUZELA_BENCH_FORKED_FLEET_H_

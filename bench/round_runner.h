@@ -15,6 +15,7 @@
 #include <chrono>
 #include <thread>
 
+#include "bench/bench_util.h"
 #include "src/engine/round_scheduler.h"
 #include "src/mixnet/chain.h"
 #include "src/sim/workload.h"
@@ -40,6 +41,11 @@ struct MultiRound {
   // Mean submit→complete latency of one round (pipelined: rounds overlap, so
   // this exceeds wall_seconds / rounds; that gap is the pipelining win).
   double mean_round_seconds = 0.0;
+  // Latency distribution tails (same submit→complete metric; the pipelined
+  // drivers record per-round latencies, the lock-step driver derives them
+  // from each round's stats). What BENCH_engine.json tracks per commit.
+  double p50_round_seconds = 0.0;
+  double p99_round_seconds = 0.0;
 };
 
 inline mixnet::Chain MakeBenchChain(size_t servers, double mu, uint64_t seed,
@@ -102,6 +108,8 @@ inline MultiRound RunLockStepConversationRounds(uint64_t users, size_t servers, 
 
   MultiRound out;
   out.rounds = rounds;
+  std::vector<double> latencies;
+  latencies.reserve(rounds);
   auto start = std::chrono::steady_clock::now();
   for (uint64_t round = 1; round <= rounds; ++round) {
     if (collection_window_seconds > 0) {
@@ -110,11 +118,14 @@ inline MultiRound RunLockStepConversationRounds(uint64_t users, size_t servers, 
     auto result = chain.RunConversationRound(round, std::move(batches[round - 1]));
     out.messages_exchanged += result.messages_exchanged;
     out.mean_round_seconds += result.stats.total_seconds();
+    latencies.push_back(result.stats.total_seconds());
   }
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   out.messages_per_second = out.messages_exchanged / out.wall_seconds;
   out.mean_round_seconds /= rounds;
+  out.p50_round_seconds = Percentile(latencies, 50);
+  out.p99_round_seconds = Percentile(std::move(latencies), 99);
   return out;
 }
 
@@ -147,6 +158,8 @@ inline MultiRound DrivePipelinedRounds(engine::RoundScheduler& scheduler,
       stats.conversation_rounds_completed > 0
           ? stats.total_conversation_latency_seconds / stats.conversation_rounds_completed
           : 0.0;
+  out.p50_round_seconds = Percentile(stats.conversation_latencies, 50);
+  out.p99_round_seconds = Percentile(std::move(stats.conversation_latencies), 99);
   return out;
 }
 
@@ -161,7 +174,8 @@ inline MultiRound RunPipelinedConversationRounds(uint64_t users, size_t servers,
                                                  double collection_window_seconds = 0.0) {
   mixnet::Chain chain = MakeBenchChain(servers, mu, seed);
   auto batches = MakeConversationBatches(users, chain, rounds, seed);
-  engine::RoundScheduler scheduler(chain, {.max_in_flight = max_in_flight});
+  engine::RoundScheduler scheduler(chain,
+                                   {.max_in_flight = max_in_flight, .record_latencies = true});
   return DrivePipelinedRounds(scheduler, std::move(batches), collection_window_seconds);
 }
 
@@ -195,7 +209,8 @@ inline MultiRound RunTcpPipelinedConversationRounds(uint64_t users, size_t serve
   if (transports.empty()) {
     return {};
   }
-  engine::RoundScheduler scheduler(std::move(transports), {.max_in_flight = max_in_flight});
+  engine::RoundScheduler scheduler(std::move(transports),
+                                   {.max_in_flight = max_in_flight, .record_latencies = true});
   return DrivePipelinedRounds(scheduler, std::move(batches), collection_window_seconds);
 }
 

@@ -24,6 +24,8 @@ namespace {
 
 struct Flags {
   std::vector<transport::HopEndpoint> hops;
+  std::vector<transport::HopEndpoint> dist;
+  size_t dist_keep = 4;
   uint64_t seed = 1;
   std::string key_dir;
   uint64_t rounds = 20;
@@ -64,11 +66,17 @@ bool ParseHops(const std::string& list, std::vector<transport::HopEndpoint>* hop
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --hops host:port[,host:port...] [--seed S | --key-dir CHAIN.pub]\n"
+               "          [--dist host:port[,host:port...]] [--dist-keep R]\n"
                "          [--rounds N] [--k K] [--users U | --clients C [--client-port P]]\n"
                "          [--window SEC] [--timeout-ms MS] [--conv-per-dial N] [--retries R]\n"
                "--key-dir loads the chain's public keys from vuvuzela-keygen output instead\n"
                "of deriving them from the shared seed. --retries bounds submission attempts\n"
-               "per round (crashed rounds re-enter the next admission window; 1 disables).\n",
+               "per round (crashed rounds re-enter the next admission window; 1 disables).\n"
+               "--dist publishes each dialing round's invitation table to those\n"
+               "vuvuzela-distd shards (omitted: in-process distribution); --dist-keep is\n"
+               "the number of published rounds every backend retains (floored to K+4 so a\n"
+               "table cannot expire before its downloads run; size the shards'\n"
+               "--max-rounds to at least that floor).\n",
                argv0);
 }
 
@@ -79,6 +87,15 @@ bool Parse(int argc, char** argv, Flags* flags) {
     const char* value = nullptr;
     if (arg == "--hops" && (value = next())) {
       if (!ParseHops(value, &flags->hops)) {
+        return false;
+      }
+    } else if (arg == "--dist" && (value = next())) {
+      if (!ParseHops(value, &flags->dist)) {
+        return false;
+      }
+    } else if (arg == "--dist-keep" && (value = next())) {
+      flags->dist_keep = std::strtoul(value, nullptr, 10);
+      if (flags->dist_keep == 0) {
         return false;
       }
     } else if (arg == "--seed" && (value = next())) {
@@ -128,6 +145,8 @@ int main(int argc, char** argv) {
 
   transport::CoordDaemonConfig config;
   config.hops = flags.hops;
+  config.dist = flags.dist;
+  config.dist_keep_rounds = flags.dist_keep;
   config.scheduler.max_in_flight = flags.k;
   config.schedule.conversation_rounds_per_dialing_round = flags.conv_per_dial;
   config.total_rounds = flags.rounds;
@@ -178,5 +197,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.rounds_retried),
               static_cast<unsigned long long>(result.messages_exchanged), result.wall_seconds,
               result.wall_seconds > 0 ? result.messages_exchanged / result.wall_seconds : 0.0);
-  return (completed == flags.rounds && result.rounds_abandoned == 0) ? 0 : 1;
+  std::printf("vuvuzela-coordd: dialing downloads: %llu/%llu bucket fetches over %llu dialing "
+              "rounds, %llu bytes (%s)\n",
+              static_cast<unsigned long long>(result.dialing_fetches),
+              static_cast<unsigned long long>(result.dialing_fetches_expected),
+              static_cast<unsigned long long>(result.dialing_rounds_completed),
+              static_cast<unsigned long long>(result.dialing_fetch_bytes),
+              flags.dist.empty() ? "in-process distributor"
+                                 : "sharded vuvuzela-distd fleet");
+  // Synthetic mode asserts the modeled download fan-out in full; client mode
+  // leaves expected at 0 (clients fetch on their own schedule).
+  bool downloads_ok = result.dialing_fetches_expected == 0 ||
+                      result.dialing_fetches == result.dialing_fetches_expected;
+  return (completed == flags.rounds && result.rounds_abandoned == 0 && downloads_ok) ? 0 : 1;
 }

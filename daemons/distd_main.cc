@@ -1,0 +1,95 @@
+// vuvuzela-distd — one invitation-distribution shard as a standalone process.
+//
+//   $ vuvuzela-distd --shard 0 --shards 2 --port 7361
+//
+// Owns the contiguous bucket range of shard 0 in a 2-way split of every
+// dialing round's invitation table (§5.5's CDN tier). The coordinator's
+// DistRouter pushes each round's slice over kInvitationPublish; clients
+// download their bucket over kInvitationFetch, any number of them
+// concurrently. The daemon holds no key material — invitations are sealed
+// boxes only their recipients can open — and no cross-round obligations: a
+// restarted instance simply misses the rounds published during its outage
+// and repopulates off the next publish.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/transport/dist_daemon.h"
+#include "src/util/logging.h"
+
+using namespace vuvuzela;
+
+namespace {
+
+struct Flags {
+  uint16_t port = 0;
+  uint32_t shard = 0;
+  uint32_t shards = 1;
+  size_t max_rounds = 64;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --shard I --shards N [--port P] [--max-rounds R]\n"
+               "Runs one invitation-distribution shard (shard I of N); port 0 picks an\n"
+               "ephemeral port and prints it. --max-rounds caps retained publications\n"
+               "(each publish also carries the coordinator's expiry horizon).\n",
+               argv0);
+}
+
+bool Parse(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* value = nullptr;
+    if (arg == "--shard" && (value = next())) {
+      flags->shard = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--shards" && (value = next())) {
+      flags->shards = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--port" && (value = next())) {
+      unsigned long port = std::strtoul(value, nullptr, 10);
+      if (port > 65535) {
+        return false;  // reject rather than silently truncating to 16 bits
+      }
+      flags->port = static_cast<uint16_t>(port);
+    } else if (arg == "--max-rounds" && (value = next())) {
+      flags->max_rounds = std::strtoul(value, nullptr, 10);
+    } else {
+      return false;
+    }
+  }
+  return flags->shards > 0 && flags->shard < flags->shards && flags->max_rounds > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!Parse(argc, argv, &flags)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  transport::DistDaemonConfig config;
+  config.port = flags.port;
+  config.shard_index = flags.shard;
+  config.num_shards = flags.shards;
+  config.max_rounds = flags.max_rounds;
+  auto daemon = transport::DistDaemon::Create(config);
+  if (!daemon) {
+    std::fprintf(stderr, "vuvuzela-distd: cannot listen on port %u\n", flags.port);
+    return 1;
+  }
+
+  std::printf("vuvuzela-distd: shard %u/%u listening on 127.0.0.1:%u\n", flags.shard,
+              flags.shards, daemon->port());
+  std::fflush(stdout);
+  daemon->Serve();
+  std::printf("vuvuzela-distd: shard %u stored %llu publishes, served %llu bucket fetches "
+              "(%llu bytes), exiting\n",
+              flags.shard, static_cast<unsigned long long>(daemon->publishes_stored()),
+              static_cast<unsigned long long>(daemon->fetches_served()),
+              static_cast<unsigned long long>(daemon->bytes_served()));
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "src/client/dialing_fetcher.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/deaddrop/invitation_table.h"
+
+namespace vuvuzela::client {
+
+DialingFetcher::DialingFetcher(DialingFetcherConfig config) : config_(std::move(config)) {
+  if (config_.shards.empty()) {
+    throw std::invalid_argument("DialingFetcher: need at least one dist shard endpoint");
+  }
+  transport::ShardLinkConfig link_config{config_.recv_timeout_ms, config_.connect_timeout_ms,
+                                         config_.chunk_payload};
+  for (const auto& endpoint : config_.shards) {
+    shards_.push_back(std::make_unique<transport::ShardLink>("dist shard", endpoint.host,
+                                                             endpoint.port, link_config));
+  }
+}
+
+std::vector<wire::Invitation> DialingFetcher::FetchBucket(uint64_t round, uint32_t drop_index,
+                                                          uint32_t num_drops) {
+  if (num_drops == 0) {
+    throw std::invalid_argument("DialingFetcher: num_drops must be positive");
+  }
+  drop_index %= num_drops;
+  size_t shard_index = deaddrop::ShardOfInvitationDrop(drop_index, num_drops, shards_.size());
+  transport::ShardLink& shard = *shards_[shard_index];
+
+  transport::InvitationFetchHeader header{static_cast<uint32_t>(shard_index),
+                                          static_cast<uint32_t>(shards_.size()), num_drops,
+                                          drop_index};
+  // Call connects lazily (first fetch, or a reconnect after a poisoned RPC)
+  // and closes the link on every failure it throws except a remote error
+  // report such as an expired round.
+  transport::BatchMessage message =
+      shard.Call(net::FrameType::kInvitationFetch, round,
+                 transport::EncodeInvitationFetchHeader(header), {});
+
+  auto bucket = transport::DecodeInvitationItems(message.items);
+  if (!bucket) {
+    shard.Fail("ragged invitation in bucket");  // garbage stream; poison it
+  }
+  bytes_fetched_ += bucket->size() * wire::kInvitationSize;
+  ++buckets_fetched_;
+  return std::move(*bucket);
+}
+
+size_t DialingFetcher::FetchFor(VuvuzelaClient& client, uint64_t round,
+                                const dialing::RoundConfig& dial_config) {
+  std::vector<wire::Invitation> bucket =
+      FetchBucket(round, client.InvitationDrop(dial_config), dial_config.total_drops());
+  client.HandleInvitationDrop(bucket);
+  return bucket.size();
+}
+
+}  // namespace vuvuzela::client

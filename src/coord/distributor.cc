@@ -1,32 +1,40 @@
 #include "src/coord/distributor.h"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 namespace vuvuzela::coord {
 
 void InvitationDistributor::Publish(uint64_t round, deaddrop::InvitationTable table) {
-  tables_.insert_or_assign(round, std::move(table));
-  publish_order_.push_back(round);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  tables_.Put(round, std::move(table));
 }
 
-const std::vector<wire::Invitation>& InvitationDistributor::Fetch(uint64_t round,
-                                                                  uint32_t drop_index) {
-  auto it = tables_.find(round);
-  if (it == tables_.end()) {
-    throw std::out_of_range("InvitationDistributor: unknown round");
+std::vector<wire::Invitation> InvitationDistributor::Fetch(uint64_t round, uint32_t drop_index) {
+  std::vector<wire::Invitation> drop;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const deaddrop::InvitationTable* table = tables_.Find(round);
+    if (table == nullptr) {
+      throw std::out_of_range("InvitationDistributor: unknown round");
+    }
+    drop = table->Drop(drop_index);
   }
-  const std::vector<wire::Invitation>& drop = it->second.Drop(drop_index);
-  bytes_served_ += drop.size() * wire::kInvitationSize;
-  downloads_served_++;
+  bytes_served_.fetch_add(drop.size() * wire::kInvitationSize);
+  downloads_served_.fetch_add(1);
   return drop;
 }
 
+bool InvitationDistributor::HasRound(uint64_t round) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return tables_.Contains(round);
+}
+
 void InvitationDistributor::Expire(size_t keep_latest) {
-  while (publish_order_.size() > keep_latest) {
-    tables_.erase(publish_order_.front());
-    publish_order_.erase(publish_order_.begin());
-  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  tables_.Expire(keep_latest);
 }
 
 }  // namespace vuvuzela::coord

@@ -16,6 +16,8 @@ const char* RoundPhaseName(RoundPhase phase) {
       return "Exchange";
     case RoundPhase::kBackward:
       return "Backward";
+    case RoundPhase::kDistributing:
+      return "Distributing";
     case RoundPhase::kComplete:
       return "Complete";
     case RoundPhase::kRetrying:
@@ -138,6 +140,22 @@ void RoundLifecycle::EnterBackward(uint64_t round, size_t hop) {
   Notify(snapshot);
 }
 
+void RoundLifecycle::EnterDistribute(uint64_t round) {
+  RoundStatus snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RoundStatus& status = Require(round, "Distributing");
+    // Only a dialing round whose exchange (table build) finished has a table
+    // to distribute.
+    if (status.phase != RoundPhase::kExchange || status.type != wire::RoundType::kDialing) {
+      Reject(status, "Distributing");
+    }
+    status.phase = RoundPhase::kDistributing;
+    snapshot = status;
+  }
+  Notify(snapshot);
+}
+
 void RoundLifecycle::Complete(uint64_t round) {
   RoundStatus snapshot;
   {
@@ -145,8 +163,10 @@ void RoundLifecycle::Complete(uint64_t round) {
     RoundStatus& status = Require(round, "Complete");
     // Conversation rounds complete off the final backward pass (or the
     // exchange itself on a single-hop chain); dialing rounds complete off the
-    // exchange (no return pass).
-    if (status.phase != RoundPhase::kBackward && status.phase != RoundPhase::kExchange) {
+    // exchange (no return pass) or off the Distribute stage when the engine
+    // publishes their table.
+    if (status.phase != RoundPhase::kBackward && status.phase != RoundPhase::kExchange &&
+        status.phase != RoundPhase::kDistributing) {
       Reject(status, "Complete");
     }
     status.phase = RoundPhase::kComplete;

@@ -14,7 +14,9 @@
 // banked onions, or abandon); the scheduler drives the per-hop phases as the
 // round crosses stage workers; tests and operators observe the same record.
 // Dialing rounds are forward-only: Submitting → Forward(0..i) → Exchange →
-// Complete (the invitation-table deposit is their exchange).
+// [Distributing →] Complete (the invitation-table deposit is their exchange;
+// Distributing appears when the engine publishes the finished table through a
+// coord::DistributionBackend, §5.5).
 //
 // Keeping recovery inside the state machine — a retried round re-enters the
 // pipeline as the *same* round number carrying the *same* onions — is what
@@ -47,6 +49,9 @@ enum class RoundPhase : uint8_t {
   kForward,
   kExchange,
   kBackward,
+  // Dialing only: the finished round's invitation table is being published
+  // to the distribution tier (§5.5) before the round completes.
+  kDistributing,
   kComplete,
   kRetrying,
   kAbandoned,
@@ -94,6 +99,9 @@ class RoundLifecycle {
   void EnterForward(uint64_t round, size_t hop);
   void EnterExchange(uint64_t round);
   void EnterBackward(uint64_t round, size_t hop);
+  // Scheduler seam, dialing rounds with a distribution backend: the round's
+  // invitation table is being published to the distribution tier.
+  void EnterDistribute(uint64_t round);
 
   // Terminal / failure-policy seam (driven by whoever owns the round future).
   void Complete(uint64_t round);

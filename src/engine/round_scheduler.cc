@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -14,19 +15,54 @@ namespace {
 using Clock = std::chrono::steady_clock;
 using util::SecondsSince;
 
+// Re-materializes a failure as a FRESH exception object before it enters a
+// round future. current_exception() shares the in-flight exception between
+// the throwing stage thread and every future.get() consumer; that sharing is
+// correct (libstdc++ refcounts it) but the refcount lives in the
+// uninstrumented runtime, where TSan cannot see it — and, more to the point,
+// a failure report has no business keeping the stage thread's exception
+// object alive across threads. Known types are copied faithfully (retry
+// policy dispatches on the Hop*Error hierarchy); anything else degrades to a
+// runtime_error carrying the same message.
+std::exception_ptr CopyForFuture(std::exception_ptr error) {
+  try {
+    std::rethrow_exception(std::move(error));
+  } catch (const transport::HopTimeoutError& e) {
+    return std::make_exception_ptr(transport::HopTimeoutError(e.what()));
+  } catch (const transport::HopRemoteError& e) {
+    return std::make_exception_ptr(transport::HopRemoteError(e.what()));
+  } catch (const transport::HopError& e) {
+    return std::make_exception_ptr(transport::HopError(e.what()));
+  } catch (const std::invalid_argument& e) {
+    return std::make_exception_ptr(std::invalid_argument(e.what()));
+  } catch (const std::out_of_range& e) {
+    return std::make_exception_ptr(std::out_of_range(e.what()));
+  } catch (const std::logic_error& e) {
+    return std::make_exception_ptr(std::logic_error(e.what()));
+  } catch (const std::exception& e) {
+    return std::make_exception_ptr(std::runtime_error(e.what()));
+  } catch (...) {
+    return std::current_exception();  // untyped; nothing to copy
+  }
+}
+
 }  // namespace
 
 // --- StageWorker ------------------------------------------------------------
 
 RoundScheduler::StageWorker::StageWorker() : thread_([this] { Loop(); }) {}
 
-RoundScheduler::StageWorker::~StageWorker() {
+RoundScheduler::StageWorker::~StageWorker() { Stop(); }
+
+void RoundScheduler::StageWorker::Stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
-  thread_.join();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
 }
 
 void RoundScheduler::StageWorker::Post(std::function<void()> fn) {
@@ -70,7 +106,10 @@ struct RoundScheduler::DialingContext {
   uint32_t num_drops = 0;
   std::vector<util::Bytes> batch;
   // DialingResult has no default constructor (the table needs a drop
-  // count), so its parts live here until the last hop assembles it.
+  // count), so its parts live here until the last hop assembles it. With a
+  // distribution backend the table parks here between the last hop and the
+  // Distribute stage, then moves into the backend.
+  std::optional<deaddrop::InvitationTable> table;
   mixnet::RoundStats stats;
   std::promise<mixnet::Chain::DialingResult> promise;
   Clock::time_point forward_start;
@@ -109,11 +148,29 @@ void RoundScheduler::Init() {
   for (size_t i = 0; i < hops_.size(); ++i) {
     workers_.push_back(std::make_unique<StageWorker>());
   }
+  if (config_.distribution != nullptr) {
+    if (config_.distribution_keep == 0) {
+      throw std::invalid_argument("RoundScheduler: distribution_keep must be >= 1");
+    }
+    dist_worker_ = std::make_unique<StageWorker>();
+  }
 }
 
 RoundScheduler::~RoundScheduler() {
   Drain();
-  workers_.clear();  // joins the stage threads
+  // Join every stage thread before destroying any worker: a cross-stage
+  // Post's condition-variable signal may still be executing on the posting
+  // stage's thread after the posted task (and the whole round) completed, so
+  // a worker's cv is safe to destroy only once all *other* stage threads are
+  // gone too (TSan-caught destruction race).
+  for (auto& worker : workers_) {
+    worker->Stop();
+  }
+  if (dist_worker_) {
+    dist_worker_->Stop();
+  }
+  workers_.clear();
+  dist_worker_.reset();
 }
 
 void RoundScheduler::Admit() {
@@ -134,6 +191,9 @@ void RoundScheduler::Release(bool failed, double latency_seconds, bool dialing) 
     } else {
       ++stats_.conversation_rounds_completed;
       stats_.total_conversation_latency_seconds += latency_seconds;
+      if (config_.record_latencies) {
+        stats_.conversation_latencies.push_back(latency_seconds);
+      }
     }
   }
   admit_cv_.notify_one();
@@ -176,12 +236,12 @@ void RoundScheduler::FailConversation(std::shared_ptr<ConversationContext> ctx,
                                       std::exception_ptr error) {
   RemoveActiveRound(ctx->round);
   Release(/*failed=*/true, 0.0, /*dialing=*/false);
-  ctx->promise.set_exception(std::move(error));
+  ctx->promise.set_exception(CopyForFuture(std::move(error)));
 }
 
 void RoundScheduler::FailDialing(std::shared_ptr<DialingContext> ctx, std::exception_ptr error) {
   Release(/*failed=*/true, 0.0, /*dialing=*/true);
-  ctx->promise.set_exception(std::move(error));
+  ctx->promise.set_exception(CopyForFuture(std::move(error)));
 }
 
 // --- Conversation pipeline --------------------------------------------------
@@ -378,24 +438,58 @@ void RoundScheduler::PostDialingForward(std::shared_ptr<DialingContext> ctx, siz
 void RoundScheduler::PostDialingLastHop(std::shared_ptr<DialingContext> ctx) {
   size_t last = num_stages() - 1;
   workers_[last]->Post([this, ctx = std::move(ctx), last]() mutable {
-    deaddrop::InvitationTable table(1);
     try {
       if (config_.lifecycle) {
         config_.lifecycle->EnterExchange(ctx->round);
       }
-      table = hops_[last]->ProcessDialingLastHop(ctx->round, std::move(ctx->batch),
-                                                 ctx->num_drops, &ctx->stats.forward[last]);
+      ctx->table = hops_[last]->ProcessDialingLastHop(ctx->round, std::move(ctx->batch),
+                                                      ctx->num_drops, &ctx->stats.forward[last]);
       ctx->stats.forward_seconds = SecondsSince(ctx->forward_start);
     } catch (...) {
       FailDialing(std::move(ctx), std::current_exception());
       return;
     }
-    if (config_.lifecycle) {
-      config_.lifecycle->Complete(ctx->round);
+    if (config_.distribution != nullptr) {
+      PostDialingDistribute(std::move(ctx));
+    } else {
+      CompleteDialing(std::move(ctx));
     }
-    Release(/*failed=*/false, 0.0, /*dialing=*/true);
-    ctx->promise.set_value(mixnet::Chain::DialingResult{std::move(table), std::move(ctx->stats)});
   });
+}
+
+void RoundScheduler::PostDialingDistribute(std::shared_ptr<DialingContext> ctx) {
+  dist_worker_->Post([this, ctx = std::move(ctx)]() mutable {
+    try {
+      if (config_.lifecycle) {
+        config_.lifecycle->EnterDistribute(ctx->round);
+      }
+      // The table moves into the distribution tier, where clients download
+      // it by bucket; the round's result keeps only the bucket count. A
+      // failed publish (dead dist shard) fails this dialing round alone —
+      // the coordinator's retry policy re-publishes idempotently.
+      config_.distribution->Publish(ctx->round, std::move(*ctx->table));
+      ctx->table.reset();
+      config_.distribution->Expire(config_.distribution_keep);
+    } catch (...) {
+      FailDialing(std::move(ctx), std::current_exception());
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.invitation_tables_distributed;
+    }
+    CompleteDialing(std::move(ctx));
+  });
+}
+
+void RoundScheduler::CompleteDialing(std::shared_ptr<DialingContext> ctx) {
+  if (config_.lifecycle) {
+    config_.lifecycle->Complete(ctx->round);
+  }
+  deaddrop::InvitationTable table =
+      ctx->table.has_value() ? std::move(*ctx->table) : deaddrop::InvitationTable(ctx->num_drops);
+  Release(/*failed=*/false, 0.0, /*dialing=*/true);
+  ctx->promise.set_value(mixnet::Chain::DialingResult{std::move(table), std::move(ctx->stats)});
 }
 
 // --- Schedule driver --------------------------------------------------------

@@ -22,6 +22,13 @@
 // of parallelism: cross-round pipelining, per-request crypto, sharded
 // exchange, and exchange partitioning across processes.
 //
+// Dialing rounds gain a fifth layer when a coord::DistributionBackend is
+// configured: an explicit Distribute stage publishes each finished round's
+// invitation table into the distribution tier (in-process distributor or the
+// sharded vuvuzela-distd fleet via transport::DistRouter) on its own stage
+// worker, so the §5.5 download fan-out overlaps conversation rounds the same
+// way every chain pass does.
+//
 // At most `max_in_flight` (K) rounds are admitted at once; Submit* blocks
 // when the pipeline is full, which is the backpressure the paper gets from
 // its fixed round epoch. Forward stages expire stalled per-round state
@@ -52,6 +59,7 @@
 #include <vector>
 
 #include "src/coord/coordinator.h"
+#include "src/coord/distributor.h"
 #include "src/engine/round_lifecycle.h"
 #include "src/mixnet/chain.h"
 #include "src/transport/hop_transport.h"
@@ -73,6 +81,21 @@ struct SchedulerConfig {
   // transitions (Retrying / Abandoned) belong to whoever owns the round
   // future, since only that layer knows the retry policy.
   RoundLifecycle* lifecycle = nullptr;
+  // Optional invitation-distribution backend (must outlive the scheduler).
+  // When set, dialing rounds gain an explicit Distribute stage: the last
+  // hop's finished invitation table is published into the backend (and old
+  // rounds expired to `distribution_keep`) on a dedicated stage worker, so
+  // the §5.5 download side pipelines with conversation rounds exactly like a
+  // chain pass. The round's DialingResult then carries an *empty* table of
+  // the same bucket count — the invitations live in the backend, where
+  // clients download them by bucket.
+  coord::DistributionBackend* distribution = nullptr;
+  // Publications each backend keeps (the dialing analog of expire_keep).
+  size_t distribution_keep = 4;
+  // Keep per-round submit→complete conversation latencies in stats()
+  // (SchedulerStats::conversation_latencies; benches derive p50/p99). Off by
+  // default: a long-running deployment must not grow a vector per round.
+  bool record_latencies = false;
 };
 
 // Aggregate counters; one snapshot is cheap and thread-safe to take.
@@ -80,9 +103,14 @@ struct SchedulerStats {
   uint64_t conversation_rounds_completed = 0;
   uint64_t dialing_rounds_completed = 0;
   uint64_t rounds_failed = 0;
+  // Invitation tables published through the Distribute stage.
+  uint64_t invitation_tables_distributed = 0;
   size_t max_observed_in_flight = 0;
   // Sum over completed conversation rounds of submit→complete latency.
   double total_conversation_latency_seconds = 0.0;
+  // Per-round submit→complete latencies, populated only when
+  // SchedulerConfig::record_latencies is set.
+  std::vector<double> conversation_latencies;
 };
 
 class RoundScheduler {
@@ -150,6 +178,10 @@ class RoundScheduler {
     StageWorker();
     ~StageWorker();
     void Post(std::function<void()> fn);
+    // Drains the queue and joins the worker thread (idempotent). The
+    // scheduler stops every worker before destroying any of them — see the
+    // destructor comment.
+    void Stop();
 
    private:
     void Loop();
@@ -188,6 +220,10 @@ class RoundScheduler {
 
   void PostDialingForward(std::shared_ptr<DialingContext> ctx, size_t position);
   void PostDialingLastHop(std::shared_ptr<DialingContext> ctx);
+  // Distribute stage (config_.distribution set): publishes the finished
+  // table into the backend on dist_worker_, pipelined with other rounds.
+  void PostDialingDistribute(std::shared_ptr<DialingContext> ctx);
+  void CompleteDialing(std::shared_ptr<DialingContext> ctx);
   void FailDialing(std::shared_ptr<DialingContext> ctx, std::exception_ptr error);
 
   std::vector<std::unique_ptr<transport::HopTransport>> hops_;
@@ -195,6 +231,10 @@ class RoundScheduler {
   mixnet::ChainObserver* observer_ = nullptr;
   SchedulerConfig config_;
   std::vector<std::unique_ptr<StageWorker>> workers_;
+  // The Distribute stage's serialization unit (distribution backend set):
+  // publishes happen in completion order, off the last hop's worker, so the
+  // download tier never stalls the chain.
+  std::unique_ptr<StageWorker> dist_worker_;
 
   mutable std::mutex mutex_;
   std::condition_variable admit_cv_;

@@ -8,7 +8,7 @@ namespace {
 
 bool ValidType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kRoundAnnouncement) &&
-         type <= static_cast<uint8_t>(FrameType::kExchangeDialing);
+         type <= static_cast<uint8_t>(FrameType::kInvitationPublish);
 }
 
 }  // namespace

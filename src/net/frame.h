@@ -42,6 +42,13 @@ enum class FrameType : uint8_t {
   // RPCs above.
   kExchangeConversation = 18,
   kExchangeDialing = 19,
+  // Invitation-distribution RPC (coordinator/clients ↔ vuvuzela-distd, §5.5).
+  // The coordinator pushes each dialing round's invitation-table slice to the
+  // dist shard owning it (kInvitationPublish); clients download their bucket
+  // with kInvitationFetch. Both are chunked batch messages; the pre-existing
+  // kInvitationFetch/kInvitationDrop single-frame forms remain the
+  // coordinator↔client proxy path.
+  kInvitationPublish = 20,
 };
 
 struct Frame {

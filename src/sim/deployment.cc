@@ -85,14 +85,15 @@ Deployment::DialingRoundOutcome Deployment::RunDialingRound() {
   }
   mixnet::Chain::DialingResult result =
       entry_.CloseDialingRound(round, dial_config_.total_drops());
-  distributor_.Publish(round, std::move(result.table));
+  distribution_->Publish(round, std::move(result.table));
 
-  // Every online client polls its invitation drop each dialing round (§3.1).
+  // Every online client downloads its whole invitation bucket each dialing
+  // round (§3.1, §5.5) — through whichever distribution backend is wired in.
   for (size_t c = 0; c < clients_.size(); ++c) {
     if (!IsClientOnline(c)) {
       continue;
     }
-    const auto& drop = distributor_.Fetch(round, clients_[c]->InvitationDrop(dial_config_));
+    const auto& drop = distribution_->Fetch(round, clients_[c]->InvitationDrop(dial_config_));
     clients_[c]->HandleInvitationDrop(drop);
   }
   return DialingRoundOutcome{round, std::move(result.stats)};

@@ -55,6 +55,16 @@ class Deployment {
   coord::InvitationDistributor& distributor() { return distributor_; }
   const dialing::RoundConfig& dial_config() const { return dial_config_; }
 
+  // Routes dialing-round publication and client downloads through `backend`
+  // instead of the built-in in-process distributor (nullptr restores it).
+  // The backend must outlive the deployment; tests use this to run the full
+  // client stack against a sharded transport::DistRouter and prove it
+  // byte-identical to the seed path.
+  void SetDistributionBackend(coord::DistributionBackend* backend) {
+    distribution_ = backend != nullptr ? backend : &distributor_;
+  }
+  coord::DistributionBackend& distribution() { return *distribution_; }
+
   // Runs one conversation round across all clients: collect onions, run the
   // chain, deliver responses.
   mixnet::Chain::ConversationResult RunConversationRound();
@@ -77,6 +87,7 @@ class Deployment {
   mixnet::Chain chain_;
   coord::EntryServer entry_;
   coord::InvitationDistributor distributor_;
+  coord::DistributionBackend* distribution_ = &distributor_;
   dialing::RoundConfig dial_config_;
   std::vector<std::unique_ptr<client::VuvuzelaClient>> clients_;
   std::unordered_map<size_t, bool> online_;

@@ -1,6 +1,8 @@
 #include "src/transport/coord_daemon.h"
 
 #include <chrono>
+#include <cstring>
+#include <set>
 #include <utility>
 
 #include "src/sim/workload.h"
@@ -51,6 +53,33 @@ bool CoordinatorDaemon::Start() {
     recon_hops_.push_back(transport.get());
     hop_transports_.push_back(std::move(transport));
   }
+  // The collector serves/models bucket downloads only after a dialing round
+  // completes. SubmitAttempt bounds the uncollected backlog to K+2 rounds
+  // (plus the one being collected), so retaining K+4 publications guarantees
+  // a table can never expire before its downloads run.
+  size_t dist_keep_floor = config_.scheduler.max_in_flight + 4;
+  if (config_.dist_keep_rounds < dist_keep_floor) {
+    config_.dist_keep_rounds = dist_keep_floor;
+  }
+  if (!config_.dist.empty()) {
+    DistRouterConfig dist_config;
+    for (const auto& endpoint : config_.dist) {
+      dist_config.shards.push_back({endpoint.host, endpoint.port});
+    }
+    dist_config.recv_timeout_ms = config_.hop_timeout_ms;
+    dist_config.connect_timeout_ms = config_.connect_timeout_ms;
+    dist_config.chunk_payload = config_.chunk_payload;
+    dist_config.keep_rounds = static_cast<uint32_t>(config_.dist_keep_rounds);
+    auto router = DistRouter::Connect(dist_config);
+    if (!router) {
+      VZ_LOG_ERROR << "coordinator: dist shard fleet unreachable";
+      return false;
+    }
+    dist_router_ = router.get();
+    dist_backend_ = std::move(router);
+  } else {
+    dist_backend_ = std::make_unique<coord::InvitationDistributor>();
+  }
   if (config_.num_clients > 0) {
     auto listener = net::TcpListener::Listen(config_.client_port);
     if (!listener) {
@@ -71,6 +100,16 @@ void CoordinatorDaemon::ReadClient(size_t index) {
       admission_cv_.notify_all();
       return;
     }
+    if (frame->type == net::FrameType::kInvitationFetch) {
+      // Dialing download (§5.5): the coordinator proxies the bucket fetch
+      // through the distribution backend for clients that have no direct
+      // dist-fleet route. Served inline on the reader thread; with a sharded
+      // backend concurrent downloads serialize on the shard's dedicated
+      // fetch link — never with the engine's publishes (DistRouter keeps the
+      // two traffic classes on separate links).
+      ServeClientFetch(index, frame->round, frame->payload);
+      continue;
+    }
     bool conversation = frame->type == net::FrameType::kConversationRequest;
     bool dial = frame->type == net::FrameType::kDialRequest;
     if (!conversation && !dial) {
@@ -89,6 +128,108 @@ void CoordinatorDaemon::ReadClient(size_t index) {
       admission_onions_.push_back(std::move(frame->payload));
       admission_contributors_.push_back(index);
       admission_cv_.notify_all();
+    }
+  }
+}
+
+void CoordinatorDaemon::ServeClientFetch(size_t index, uint64_t round, util::ByteSpan payload) {
+  ClientSlot& slot = *clients_[index];
+  net::Frame reply;
+  reply.round = round;
+  if (payload.size() != 4 || dist_backend_ == nullptr) {
+    reply.type = net::FrameType::kHopError;
+    const char* what = "malformed invitation fetch";
+    reply.payload.assign(what, what + std::strlen(what));
+  } else {
+    uint32_t bucket_index = util::LoadBe32(payload.data());
+    bool known_dead = false;
+    {
+      std::lock_guard<std::mutex> lock(failed_fetch_mutex_);
+      auto it = failed_fetch_buckets_.find(round);
+      known_dead = it != failed_fetch_buckets_.end() && it->second.contains(bucket_index);
+    }
+    if (known_dead) {
+      // Same guard the synthetic fan-out applies: one deadline per dead
+      // bucket per round, never one per fetching client.
+      reply.type = net::FrameType::kHopError;
+      const char* what = "bucket unavailable this round";
+      reply.payload.assign(what, what + std::strlen(what));
+    } else {
+      // Served fetches are counted; `expected` is not raised here — a client
+      // fetching a bogus or long-expired round gets an error reply, and that
+      // client-side mistake must not flip the coordinator's exit code.
+      try {
+        std::vector<wire::Invitation> bucket = dist_backend_->Fetch(round, bucket_index);
+        reply.type = net::FrameType::kInvitationDrop;
+        reply.payload.reserve(bucket.size() * wire::kInvitationSize);
+        for (const auto& invitation : bucket) {
+          util::Append(reply.payload, invitation);
+        }
+        dialing_fetches_.fetch_add(1);
+        dialing_fetch_bytes_.fetch_add(reply.payload.size());
+      } catch (const HopRemoteError& e) {
+        // The shard answered with a definitive report (fast, no deadline
+        // paid): relay it without memoing — the shard is alive.
+        reply.type = net::FrameType::kHopError;
+        reply.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+      } catch (const HopError& e) {
+        // A dead dist shard (connection-level failure, a full deadline
+        // paid): memo the bucket so the fleet's remaining fetches for it
+        // fail fast.
+        {
+          std::lock_guard<std::mutex> lock(failed_fetch_mutex_);
+          failed_fetch_buckets_[round].insert(bucket_index);
+          while (failed_fetch_buckets_.size() > 8) {
+            failed_fetch_buckets_.erase(failed_fetch_buckets_.begin());
+          }
+        }
+        reply.type = net::FrameType::kHopError;
+        reply.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+      } catch (const std::exception& e) {
+        // Cheap local failures (unknown/expired round) need no memo.
+        reply.type = net::FrameType::kHopError;
+        reply.payload.assign(e.what(), e.what() + std::strlen(e.what()));
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(slot.send_mutex);
+  if (slot.alive.load()) {
+    slot.conn.SendFrame(reply);
+  }
+}
+
+void CoordinatorDaemon::SyntheticFetchFanOut(const wire::RoundAnnouncement& announcement) {
+  // Every synthetic user downloads its whole bucket, exactly as a real
+  // client fleet would each dialing round — the bandwidth §8.3 attributes to
+  // dialing. Buckets are assigned uniformly (user index mod m), the same
+  // distribution H(pk) mod m induces. A fetch that fails (dead dist shard
+  // mid-download) costs that download only; the round itself completed.
+  uint32_t num_drops = announcement.num_dial_dead_drops;
+  if (num_drops == 0 || dist_backend_ == nullptr) {
+    return;
+  }
+  // A bucket that failed once this round is skipped for the remaining users
+  // polling it: retrying a dead dist shard per user would pay a full connect
+  // (or receive) deadline each time, stalling the collector — and through
+  // the pending-queue backpressure, the announcer — for the whole fleet. One
+  // deadline per bucket bounds the stall; the skipped downloads are counted
+  // missed, which the report and exit code surface.
+  std::set<uint32_t> failed_buckets;
+  for (uint64_t user = 0; user < config_.synthetic_users; ++user) {
+    dialing_fetches_expected_.fetch_add(1);
+    uint32_t bucket_index = static_cast<uint32_t>(user % num_drops);
+    if (failed_buckets.contains(bucket_index)) {
+      continue;
+    }
+    try {
+      std::vector<wire::Invitation> bucket =
+          dist_backend_->Fetch(announcement.round, bucket_index);
+      dialing_fetches_.fetch_add(1);
+      dialing_fetch_bytes_.fetch_add(bucket.size() * wire::kInvitationSize);
+    } catch (const std::exception& e) {
+      failed_buckets.insert(bucket_index);
+      VZ_LOG_WARN << "coordinator: bucket " << bucket_index << " fetch failed (round "
+                  << announcement.round << "): " << e.what();
     }
   }
 }
@@ -163,16 +304,24 @@ void CoordinatorDaemon::CollectLoop(CoordDaemonResult& result) {
       }
       round = std::move(pending_.front());
       pending_.pop_front();
+      // Wake an announcer blocked on the pending bound (SubmitAttempt).
+      pending_cv_.notify_all();
     }
     try {
       if (round.announcement.type == wire::RoundType::kDialing) {
-        // The scheduler drives the lifecycle's Complete transition as the
-        // final pass finishes; this thread only resolves the accounting.
+        // The scheduler drives the lifecycle's Complete transition (and the
+        // Distribute stage that published the round's invitation table) as
+        // the final pass finishes; this thread resolves the accounting and
+        // the download side.
         round.dialing.get();
         ++result.dialing_rounds_completed;
-        // Acknowledge the round to contributing clients. Invitation
-        // *download* (kInvitationFetch against the round's table, §5.5) is
-        // CDN-shaped distribution and still an open ROADMAP item.
+        if (clients_.empty()) {
+          // Synthetic mode: model the client fleet downloading its buckets
+          // from the (now published) table — the §5.5 CDN fan-out.
+          SyntheticFetchFanOut(round.announcement);
+        }
+        // Acknowledge the round to contributing clients; they follow up with
+        // kInvitationFetch for their bucket (ServeClientFetch).
         for (size_t contributor : round.contributors) {
           ClientSlot& client = *clients_[contributor];
           std::lock_guard<std::mutex> lock(client.send_mutex);
@@ -259,6 +408,18 @@ void CoordinatorDaemon::SupervisorLoop() {
 }
 
 void CoordinatorDaemon::SubmitAttempt(engine::RoundScheduler& scheduler, PendingRound round) {
+  {
+    // Backpressure the announcer against the collector: the scheduler's K
+    // bound covers rounds in flight, not rounds completed-but-uncollected,
+    // and the collector also serves each dialing round's download fan-out.
+    // Without this bound a slow collector could lag arbitrarily far behind —
+    // far enough for a published invitation table to expire before its
+    // downloads ran.
+    std::unique_lock<std::mutex> lock(pending_mutex_);
+    pending_cv_.wait(lock, [this] {
+      return pending_.size() < config_.scheduler.max_in_flight + 2;
+    });
+  }
   std::vector<util::Bytes> batch;
   if (round.attempt < config_.max_round_attempts) {
     batch = round.onions;  // bank for further attempts
@@ -318,6 +479,10 @@ CoordDaemonResult CoordinatorDaemon::Run() {
   // this daemon drives announcements and the failure policy.
   engine::SchedulerConfig scheduler_config = config_.scheduler;
   scheduler_config.lifecycle = &lifecycle_;
+  // The engine owns the Distribute stage: every dialing round's table is
+  // published through the backend before the round completes.
+  scheduler_config.distribution = dist_backend_.get();
+  scheduler_config.distribution_keep = config_.dist_keep_rounds;
   engine::RoundScheduler scheduler(std::move(hop_transports_), scheduler_config);
   coord::RoundSchedule schedule(config_.schedule);
   std::thread collector([this, &result] { CollectLoop(result); });
@@ -421,8 +586,15 @@ CoordDaemonResult CoordinatorDaemon::Run() {
     for (ReconnectingTransport* hop : recon_hops_) {
       hop->SendShutdown();
     }
+    if (dist_router_ != nullptr) {
+      dist_router_->SendShutdown();
+    }
   }
   recon_hops_.clear();
+
+  result.dialing_fetches = dialing_fetches_.load();
+  result.dialing_fetches_expected = dialing_fetches_expected_.load();
+  result.dialing_fetch_bytes = dialing_fetch_bytes_.load();
   return result;
 }
 

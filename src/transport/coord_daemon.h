@@ -48,14 +48,17 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/coord/coordinator.h"
+#include "src/coord/distributor.h"
 #include "src/engine/round_lifecycle.h"
 #include "src/engine/round_scheduler.h"
 #include "src/net/tcp.h"
+#include "src/transport/dist_router.h"
 #include "src/transport/reconnecting_transport.h"
 #include "src/transport/tcp_transport.h"
 
@@ -79,8 +82,20 @@ struct CoordDaemonConfig {
   // Connect deadline per hop (re)connect attempt.
   int connect_timeout_ms = 5000;
   size_t chunk_payload = kDefaultChunkPayload;
-  // On exit, send kShutdown to every hop daemon (multi-process deployments).
+  // On exit, send kShutdown to every hop daemon and dist shard
+  // (multi-process deployments; the last hop cascades to its exchange
+  // partitions).
   bool shutdown_hops_on_exit = false;
+
+  // Invitation distribution (§5.5). Non-empty: the engine's Distribute stage
+  // publishes each dialing round's table to these vuvuzela-distd shards
+  // through a DistRouter. Empty: an in-process InvitationDistributor — the
+  // same engine-driven path, single-process. Either way the coordinator
+  // models the client download fan-out after each dialing round (synthetic
+  // mode) and serves kInvitationFetch to its TCP clients.
+  std::vector<HopEndpoint> dist;
+  // Publications each distribution backend keeps.
+  size_t dist_keep_rounds = 4;
 
   // Fault tolerance (see the class comment). max_round_attempts = 1 restores
   // the pre-recovery abandon-on-first-failure behavior; supervisor interval
@@ -117,6 +132,16 @@ struct CoordDaemonResult {
   uint64_t conversation_rounds_completed = 0;
   uint64_t dialing_rounds_completed = 0;
   uint64_t rounds_abandoned = 0;
+  // Dialing download fan-out (§5.5/§8.3): bucket fetches served (synthetic
+  // fan-out plus client-proxied), the bytes they transferred, and — in
+  // synthetic mode only — how many the modeled client fleet should have
+  // performed (one per user per completed dialing round). TCP-client mode
+  // leaves `expected` at 0: clients fetch on their own schedule, and a
+  // client's mistake (e.g. fetching an expired round) must not read as a
+  // coordinator failure.
+  uint64_t dialing_fetches = 0;
+  uint64_t dialing_fetches_expected = 0;
+  uint64_t dialing_fetch_bytes = 0;
   // Re-submissions of failed rounds (a round retried twice counts twice).
   uint64_t rounds_retried = 0;
   uint64_t messages_exchanged = 0;
@@ -149,6 +174,10 @@ class CoordinatorDaemon {
   // the recovery tests use it to time failure injection).
   const engine::RoundLifecycle& lifecycle() const { return lifecycle_; }
 
+  // The invitation-distribution backend (valid after Start(); in-process
+  // distributor or DistRouter depending on config.dist).
+  coord::DistributionBackend* distribution() const { return dist_backend_.get(); }
+
  private:
   struct ClientSlot {
     net::TcpConnection conn;
@@ -171,6 +200,12 @@ class CoordinatorDaemon {
   };
 
   void ReadClient(size_t index);
+  // Serves one client's kInvitationFetch through the distribution backend
+  // (the coordinator proxies for TCP clients that have no dist-fleet route).
+  void ServeClientFetch(size_t index, uint64_t round, util::ByteSpan payload);
+  // Synthetic mode: models the §5.5 download fan-out — every synthetic user
+  // fetches its bucket of the completed dialing round.
+  void SyntheticFetchFanOut(const wire::RoundAnnouncement& announcement);
   // Submits one attempt of a round into the scheduler and enqueues it for
   // the collector. Banks the onions when further attempts remain.
   void SubmitAttempt(engine::RoundScheduler& scheduler, PendingRound round);
@@ -195,6 +230,26 @@ class CoordinatorDaemon {
   // while the scheduler (which takes ownership) is alive.
   std::vector<ReconnectingTransport*> recon_hops_;
   engine::RoundLifecycle lifecycle_;
+
+  // Invitation distribution: the backend the scheduler's Distribute stage
+  // publishes into and fetches are served from. dist_router_ is the borrowed
+  // sharded view (nullptr for the in-process backend), kept for the shutdown
+  // cascade.
+  std::unique_ptr<coord::DistributionBackend> dist_backend_;
+  DistRouter* dist_router_ = nullptr;
+  // Fetch accounting, written by the collector (synthetic fan-out) and the
+  // client reader threads (proxied fetches).
+  std::atomic<uint64_t> dialing_fetches_{0};
+  std::atomic<uint64_t> dialing_fetches_expected_{0};
+  std::atomic<uint64_t> dialing_fetch_bytes_{0};
+  // Dead-bucket memo for proxied fetches: a (round, bucket) whose download
+  // hit a dead dist shard is refused immediately for the rest of its round,
+  // so N fetching clients pay one connect/receive deadline, not N serial
+  // ones (the reader threads that would otherwise queue on the shard link
+  // also carry the clients' onion submissions). Bounded to a handful of
+  // recent rounds.
+  std::mutex failed_fetch_mutex_;
+  std::map<uint64_t, std::set<uint32_t>> failed_fetch_buckets_;
 
   // Connection supervisor.
   std::thread supervisor_;

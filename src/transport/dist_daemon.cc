@@ -1,0 +1,249 @@
+#include "src/transport/dist_daemon.h"
+
+#include <string>
+#include <utility>
+
+#include "src/deaddrop/invitation_table.h"
+#include "src/util/logging.h"
+#include "src/wire/messages.h"
+
+namespace vuvuzela::transport {
+
+namespace {
+
+bool SendError(net::TcpConnection& conn, uint64_t round, const std::string& message) {
+  return conn.SendFrame(
+      net::Frame{net::FrameType::kHopError, round, util::Bytes(message.begin(), message.end())});
+}
+
+}  // namespace
+
+DistDaemon::DistDaemon(const DistDaemonConfig& config, net::TcpListener listener)
+    : config_(config), listener_(std::move(listener)) {}
+
+std::unique_ptr<DistDaemon> DistDaemon::Create(const DistDaemonConfig& config) {
+  if (config.num_shards == 0 || config.shard_index >= config.num_shards ||
+      config.max_rounds == 0) {
+    return nullptr;
+  }
+  auto listener = net::TcpListener::Listen(config.port);
+  if (!listener) {
+    return nullptr;
+  }
+  return std::unique_ptr<DistDaemon>(new DistDaemon(config, std::move(*listener)));
+}
+
+size_t DistDaemon::rounds_held() const {
+  std::shared_lock<std::shared_mutex> lock(tables_mutex_);
+  return rounds_.size();
+}
+
+void DistDaemon::Serve() {
+  while (!stop_.load()) {
+    auto conn = listener_.Accept();
+    if (!conn) {
+      break;  // listener closed (Stop) or unrecoverable accept error
+    }
+    ReapConnections(/*all=*/false);
+    auto slot = std::make_unique<ConnSlot>();
+    slot->conn = std::move(*conn);
+    ConnSlot* raw = slot.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      if (stop_.load()) {
+        // Stop() may have run between Accept() returning and this
+        // registration; it could not see the connection, so cut it here.
+        slot->conn.Shutdown();
+      }
+      conns_.push_back(std::move(slot));
+      raw->thread = std::thread([this, raw] { ServeConnection(*raw); });
+    }
+  }
+  ReapConnections(/*all=*/true);
+}
+
+void DistDaemon::Stop() {
+  stop_.store(true);
+  listener_.Shutdown();
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  for (auto& slot : conns_) {
+    if (!slot->done.load()) {
+      slot->conn.Shutdown();
+    }
+  }
+}
+
+void DistDaemon::ReapConnections(bool all) {
+  std::vector<std::unique_ptr<ConnSlot>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (all || (*it)->done.load()) {
+        finished.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside the lock: a still-live thread (all=true) may be inside
+  // ServeConnection, which never takes conns_mutex_, but keeping join
+  // lock-free is cheap insurance.
+  for (auto& slot : finished) {
+    if (slot->thread.joinable()) {
+      slot->thread.join();
+    }
+  }
+}
+
+void DistDaemon::ServeConnection(ConnSlot& slot) {
+  net::TcpConnection& conn = slot.conn;
+  if (config_.poll_interval_ms > 0) {
+    conn.SetRecvTimeout(config_.poll_interval_ms);
+  }
+  for (;;) {
+    auto frame = conn.RecvFrame();
+    if (!frame) {
+      if (conn.last_recv_status() == net::RecvStatus::kTimeout && !stop_.load()) {
+        continue;
+      }
+      break;  // peer gone, garbage framing, or stopping
+    }
+    if (frame->type == net::FrameType::kShutdown) {
+      // Orderly multi-process shutdown: stop the whole daemon, not just this
+      // connection (the router owns the fleet's lifetime).
+      Stop();
+      break;
+    }
+    if (frame->type != net::FrameType::kInvitationPublish &&
+        frame->type != net::FrameType::kInvitationFetch) {
+      if (!SendError(conn, frame->round, "unsupported dist op")) {
+        break;
+      }
+      continue;
+    }
+    // As in HopDaemon: the poll deadline covers idle waits between RPCs only;
+    // mid-batch chunk waits are untimed.
+    if (config_.poll_interval_ms > 0) {
+      conn.SetRecvTimeout(0);
+    }
+    auto request = ReadBatchMessage(conn, std::move(*frame));
+    if (config_.poll_interval_ms > 0) {
+      conn.SetRecvTimeout(config_.poll_interval_ms);
+    }
+    if (!request) {
+      if (conn.last_recv_status() != net::RecvStatus::kOk) {
+        break;  // the connection itself failed mid-batch
+      }
+      if (!SendError(conn, 0, "malformed batch message")) {
+        break;
+      }
+      continue;
+    }
+    if (!Dispatch(conn, std::move(*request))) {
+      break;
+    }
+  }
+  // Release the descriptor now rather than at the next Accept's reap: a
+  // burst of downloaders must not pin file descriptors through an idle
+  // period. Under conns_mutex_ so the close can never race Stop()'s
+  // Shutdown() of not-yet-done slots (an fd reused between the two calls
+  // would be shut down wrongly).
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  conn.Close();
+  slot.done.store(true);
+}
+
+bool DistDaemon::Dispatch(net::TcpConnection& conn, BatchMessage request) {
+  try {
+    if (request.op == net::FrameType::kInvitationPublish) {
+      return HandlePublish(conn, request);
+    }
+    return HandleFetch(conn, request);
+  } catch (const std::exception& e) {
+    VZ_LOG_WARN << "dist shard rpc failed (round " << request.round << "): " << e.what();
+    return SendError(conn, request.round, e.what());
+  }
+}
+
+bool DistDaemon::HandlePublish(net::TcpConnection& conn, const BatchMessage& request) {
+  auto header = ParseInvitationPublishHeader(request.header);
+  if (!header) {
+    return SendError(conn, request.round, "malformed invitation-publish header");
+  }
+  if (header->shard_index != config_.shard_index || header->num_shards != config_.num_shards) {
+    return SendError(conn, request.round, "dist partition map mismatch");
+  }
+  deaddrop::InvitationDropRange range = deaddrop::InvitationDropsOfShard(
+      config_.shard_index, header->num_drops, config_.num_shards);
+
+  RoundSlice slice;
+  slice.num_drops = header->num_drops;
+  slice.range_begin = range.begin;
+  slice.buckets.resize(range.end - range.begin);
+  for (const auto& item : request.items) {
+    auto parsed = wire::DialRequest::Parse(item);
+    if (!parsed) {
+      return SendError(conn, request.round, "malformed published invitation");
+    }
+    if (parsed->dead_drop_index < range.begin || parsed->dead_drop_index >= range.end) {
+      return SendError(conn, request.round, "published invitation outside bucket range");
+    }
+    slice.buckets[parsed->dead_drop_index - range.begin].push_back(parsed->invitation);
+  }
+
+  // A horizon beyond the shard's memory bound must fail loudly: silently
+  // clamping would make this shard expire rounds the router still routes
+  // fetches to — a divergence from the in-process backend that would only
+  // surface as sporadic unknown-round errors.
+  if (header->keep_latest > config_.max_rounds) {
+    return SendError(conn, request.round, "keep_latest exceeds shard --max-rounds");
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(tables_mutex_);
+    rounds_.Put(request.round, std::move(slice));
+    rounds_.Expire(header->keep_latest);
+  }
+  publishes_stored_.fetch_add(1);
+  return SendBatchMessage(conn, request.op, request.round, {}, {}, config_.chunk_payload);
+}
+
+bool DistDaemon::HandleFetch(net::TcpConnection& conn, const BatchMessage& request) {
+  auto header = ParseInvitationFetchHeader(request.header);
+  if (!header) {
+    return SendError(conn, request.round, "malformed invitation-fetch header");
+  }
+  if (header->shard_index != config_.shard_index || header->num_shards != config_.num_shards) {
+    return SendError(conn, request.round, "dist partition map mismatch");
+  }
+  std::vector<util::Bytes> items;
+  {
+    std::shared_lock<std::shared_mutex> lock(tables_mutex_);
+    const RoundSlice* found = rounds_.Find(request.round);
+    if (found == nullptr) {
+      lock.unlock();
+      return SendError(conn, request.round, kDistUnknownRoundError);
+    }
+    const RoundSlice& slice = *found;
+    if (header->num_drops != slice.num_drops) {
+      lock.unlock();
+      return SendError(conn, request.round, "bucket map mismatch");
+    }
+    if (header->drop_index < slice.range_begin ||
+        header->drop_index - slice.range_begin >= slice.buckets.size()) {
+      lock.unlock();
+      return SendError(conn, request.round, "bucket outside shard range");
+    }
+    uint32_t offset = header->drop_index - slice.range_begin;
+    const auto& bucket = slice.buckets[offset];
+    items.reserve(bucket.size());
+    for (const auto& invitation : bucket) {
+      items.emplace_back(invitation.begin(), invitation.end());
+    }
+  }
+  fetches_served_.fetch_add(1);
+  bytes_served_.fetch_add(items.size() * wire::kInvitationSize);
+  return SendBatchMessage(conn, request.op, request.round, {}, items, config_.chunk_payload);
+}
+
+}  // namespace vuvuzela::transport

@@ -1,0 +1,121 @@
+// One invitation-distribution shard as a network service (vuvuzela-distd).
+//
+// A DistDaemon owns a contiguous bucket range — deaddrop::
+// InvitationDropsOfShard(shard, num_drops, num_shards) — of every published
+// dialing round's invitation table. The coordinator's DistRouter pushes each
+// round's slice over kInvitationPublish; clients (client::DialingFetcher, or
+// the coordinator proxying for its TCP clients) download whole buckets over
+// kInvitationFetch. This is the paper's §5.5 CDN tier: downloads need no
+// mixing or noising, only bandwidth, so the serving layer scales by adding
+// shard processes exactly like a CDN adds edges.
+//
+// Unlike the hop and exchange daemons — whose one-connection-at-a-time
+// discipline *is* the engine's stage serialization — a dist shard is a
+// broadcast server: the router's persistent publish connection and any number
+// of downloading clients are served concurrently, one thread per connection,
+// over a shared-mutex table store (publishes exclusive, fetches shared).
+//
+// State is per-round and replaceable: a re-published round (the
+// coordinator's retry path) overwrites its slice, and every publish carries
+// the coordinator's expiry horizon (keep_latest), so a crashed-and-restarted
+// shard is simply missing the rounds published during its outage — fetches
+// for them fail, the next publish repopulates it, no recovery protocol.
+
+#ifndef VUVUZELA_SRC_TRANSPORT_DIST_DAEMON_H_
+#define VUVUZELA_SRC_TRANSPORT_DIST_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "src/net/tcp.h"
+#include "src/transport/hop_wire.h"
+#include "src/util/keep_latest.h"
+
+namespace vuvuzela::transport {
+
+struct DistDaemonConfig {
+  // 0 picks an ephemeral port (port() reports the binding).
+  uint16_t port = 0;
+  // Which slice of the bucket map this daemon owns.
+  uint32_t shard_index = 0;
+  uint32_t num_shards = 1;
+  // Chunk budget for outgoing batch messages.
+  size_t chunk_payload = kDefaultChunkPayload;
+  // Receive-poll interval between RPCs (see HopDaemonConfig).
+  int poll_interval_ms = 500;
+  // Backstop cap on retained rounds, should a router never piggyback an
+  // expiry horizon (each publish's keep_latest is the primary bound).
+  size_t max_rounds = 64;
+};
+
+class DistDaemon {
+ public:
+  // Binds the listener; nullptr if the port is unavailable or the shard
+  // coordinates are out of range.
+  static std::unique_ptr<DistDaemon> Create(const DistDaemonConfig& config);
+
+  uint16_t port() const { return listener_.port(); }
+  const DistDaemonConfig& config() const { return config_; }
+
+  // Observability: publishes stored, buckets served, invitation bytes served.
+  uint64_t publishes_stored() const { return publishes_stored_.load(); }
+  uint64_t fetches_served() const { return fetches_served_.load(); }
+  uint64_t bytes_served() const { return bytes_served_.load(); }
+  size_t rounds_held() const;
+
+  // Accepts and serves connections concurrently until a kShutdown frame
+  // arrives on any of them or Stop() is called.
+  void Serve();
+
+  // Unblocks Serve() from another thread, interrupting the accept loop and
+  // every active connection.
+  void Stop();
+
+ private:
+  // One published round's slice: the owned bucket range, resident.
+  struct RoundSlice {
+    uint32_t num_drops = 0;
+    uint32_t range_begin = 0;
+    std::vector<std::vector<wire::Invitation>> buckets;
+  };
+
+  struct ConnSlot {
+    net::TcpConnection conn;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  DistDaemon(const DistDaemonConfig& config, net::TcpListener listener);
+
+  void ServeConnection(ConnSlot& slot);
+  bool Dispatch(net::TcpConnection& conn, BatchMessage request);
+  bool HandlePublish(net::TcpConnection& conn, const BatchMessage& request);
+  bool HandleFetch(net::TcpConnection& conn, const BatchMessage& request);
+  // Joins finished connection threads; `all` also joins live ones (Stop path,
+  // after their sockets were shut down).
+  void ReapConnections(bool all);
+
+  DistDaemonConfig config_;
+  net::TcpListener listener_;
+  std::atomic<uint64_t> publishes_stored_{0};
+  std::atomic<uint64_t> fetches_served_{0};
+  std::atomic<uint64_t> bytes_served_{0};
+  std::atomic<bool> stop_{false};
+
+  // Publishes write, fetches read — concurrently with each other.
+  mutable std::shared_mutex tables_mutex_;
+  util::KeepLatestMap<RoundSlice> rounds_;
+
+  // Accept-loop bookkeeping (touched only under conns_mutex_).
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<ConnSlot>> conns_;
+};
+
+}  // namespace vuvuzela::transport
+
+#endif  // VUVUZELA_SRC_TRANSPORT_DIST_DAEMON_H_

@@ -1,0 +1,144 @@
+#include "src/transport/dist_router.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/transport/fanout.h"
+#include "src/wire/messages.h"
+
+namespace vuvuzela::transport {
+
+DistRouter::DistRouter(const DistRouterConfig& config) : config_(config) {
+  ShardLinkConfig link_config{config.recv_timeout_ms, config.connect_timeout_ms,
+                              config.chunk_payload};
+  for (const auto& endpoint : config.shards) {
+    publish_links_.push_back(
+        std::make_unique<ShardLink>("dist shard", endpoint.host, endpoint.port, link_config));
+    fetch_links_.push_back(
+        std::make_unique<ShardLink>("dist shard", endpoint.host, endpoint.port, link_config));
+  }
+}
+
+std::unique_ptr<DistRouter> DistRouter::Connect(const DistRouterConfig& config) {
+  if (config.shards.empty() || config.keep_rounds == 0) {
+    return nullptr;
+  }
+  std::unique_ptr<DistRouter> router(new DistRouter(config));
+  // Strict-connect the publish side only (startup wants unreachable-shard
+  // errors up front); fetch links connect lazily at the first download.
+  for (auto& shard : router->publish_links_) {
+    if (!shard->ConnectStrict()) {
+      return nullptr;
+    }
+  }
+  return router;
+}
+
+void DistRouter::Publish(uint64_t round, deaddrop::InvitationTable table) {
+  size_t num_shards = publish_links_.size();
+  uint32_t num_drops = table.num_drops();
+
+  // Every shard owning at least one bucket receives its slice, empty buckets
+  // included: a bucket's size — zero too — is what its downloaders observe,
+  // so an owning shard must be able to serve it.
+  std::vector<size_t> touched;
+  for (size_t s = 0; s < num_shards; ++s) {
+    deaddrop::InvitationDropRange range =
+        deaddrop::InvitationDropsOfShard(s, num_drops, num_shards);
+    if (range.begin < range.end) {
+      touched.push_back(s);
+    }
+  }
+
+  FanOutShards(num_shards, touched, [&](size_t shard) {
+    deaddrop::InvitationDropRange range =
+        deaddrop::InvitationDropsOfShard(shard, num_drops, num_shards);
+    std::vector<util::Bytes> items;
+    for (uint32_t drop = range.begin; drop < range.end; ++drop) {
+      for (const wire::Invitation& invitation : table.Drop(drop)) {
+        // An invitation with its bucket address is exactly a DialRequest.
+        wire::DialRequest deposit;
+        deposit.dead_drop_index = drop;
+        deposit.invitation = invitation;
+        items.push_back(deposit.Serialize());
+      }
+    }
+    InvitationPublishHeader header{static_cast<uint32_t>(shard),
+                                   static_cast<uint32_t>(num_shards), num_drops,
+                                   config_.keep_rounds};
+    BatchMessage reply = publish_links_[shard]->Call(
+        net::FrameType::kInvitationPublish, round, EncodeInvitationPublishHeader(header), items);
+    if (!reply.header.empty() || !reply.items.empty()) {
+      publish_links_[shard]->Fail("unexpected publish ack payload");
+    }
+  });
+
+  // Record the round only now: a partially published round (a shard died
+  // mid-publish and the exception above aborted the dialing round) must not
+  // route fetches, and the coordinator's re-publish will repopulate every
+  // shard identically.
+  std::lock_guard<std::mutex> lock(rounds_mutex_);
+  round_drops_.Put(round, num_drops);
+}
+
+std::vector<wire::Invitation> DistRouter::Fetch(uint64_t round, uint32_t drop_index) {
+  uint32_t num_drops = 0;
+  {
+    std::lock_guard<std::mutex> lock(rounds_mutex_);
+    const uint32_t* drops = round_drops_.Find(round);
+    if (drops == nullptr) {
+      throw std::out_of_range("DistRouter: unknown round");
+    }
+    num_drops = *drops;
+  }
+  drop_index %= num_drops;  // same malformed-index tolerance as the table
+  size_t shard = deaddrop::ShardOfInvitationDrop(drop_index, num_drops, fetch_links_.size());
+  InvitationFetchHeader header{static_cast<uint32_t>(shard),
+                               static_cast<uint32_t>(fetch_links_.size()), num_drops, drop_index};
+  BatchMessage reply = [&] {
+    try {
+      return fetch_links_[shard]->Call(net::FrameType::kInvitationFetch, round,
+                                       EncodeInvitationFetchHeader(header), {});
+    } catch (const HopRemoteError& e) {
+      // The shard no longer holds a round the local map still routes — it
+      // restarted empty, or its --max-rounds horizon is tighter than ours.
+      // The DistributionBackend contract promises out_of_range for a round
+      // the tier cannot serve (other shards may still hold their slices, so
+      // the routing map stays); other remote reports propagate as-is.
+      if (std::string(e.what()).find(kDistUnknownRoundError) != std::string::npos) {
+        throw std::out_of_range("DistRouter: round expired at shard");
+      }
+      throw;
+    }
+  }();
+  auto bucket = DecodeInvitationItems(reply.items);
+  if (!bucket) {
+    fetch_links_[shard]->Fail("ragged invitation in fetched bucket");
+  }
+  bytes_served_.fetch_add(bucket->size() * wire::kInvitationSize);
+  downloads_served_.fetch_add(1);
+  return std::move(*bucket);
+}
+
+bool DistRouter::HasRound(uint64_t round) const {
+  std::lock_guard<std::mutex> lock(rounds_mutex_);
+  return round_drops_.Contains(round);
+}
+
+void DistRouter::Expire(size_t keep_latest) {
+  // The shards expire themselves off the keep_latest piggybacked on every
+  // publish; here only the local routing map needs pruning.
+  std::lock_guard<std::mutex> lock(rounds_mutex_);
+  round_drops_.Expire(keep_latest);
+}
+
+void DistRouter::SendShutdown() {
+  // One shutdown per daemon: the publish link suffices (Stop() takes the
+  // whole shard process down, fetch connections included).
+  for (auto& shard : publish_links_) {
+    shard->SendShutdown();
+  }
+}
+
+}  // namespace vuvuzela::transport

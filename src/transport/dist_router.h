@@ -1,0 +1,108 @@
+// Sharded invitation-distribution backend for the coordinator.
+//
+// DistRouter implements coord::DistributionBackend over a fleet of
+// vuvuzela-distd shard daemons: Publish slices a dialing round's invitation
+// table into contiguous bucket ranges (deaddrop::InvitationDropsOfShard — the
+// same map the daemons enforce), pushes each slice concurrently over the
+// chunked hop RPC framing, and records the round only once every owning shard
+// acked; Fetch routes a bucket download to the owning shard. Both are
+// byte-identical to the in-process InvitationDistributor fed the same tables
+// (the dist conformance suite pins this down).
+//
+// Failure model mirrors ExchangeRouter: a shard that stops answering within
+// the receive deadline surfaces as HopTimeoutError, any other wire failure as
+// HopError; either poisons that shard's connection only. Publish contacts
+// every shard owning buckets, so a dead dist shard fails exactly the dialing
+// rounds published during its outage (the coordinator's retry policy
+// re-publishes — idempotent, the daemons replace slices); conversation rounds
+// never touch the dist tier. Each call to a poisoned shard tries one
+// reconnect first, so a restarted shard rejoins on the next dialing round
+// with no recovery protocol.
+
+#ifndef VUVUZELA_SRC_TRANSPORT_DIST_ROUTER_H_
+#define VUVUZELA_SRC_TRANSPORT_DIST_ROUTER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/coord/distributor.h"
+#include "src/transport/hop_transport.h"
+#include "src/transport/hop_wire.h"
+#include "src/transport/shard_link.h"
+#include "src/util/keep_latest.h"
+
+namespace vuvuzela::transport {
+
+struct DistShardEndpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct DistRouterConfig {
+  // One endpoint per shard; endpoint i serves shard i of shards.size().
+  std::vector<DistShardEndpoint> shards;
+  // Receive deadline per shard RPC — the dead-shard detector.
+  int recv_timeout_ms = 10000;
+  // Connect deadline per (re)connect attempt; 0 = OS blocking connect.
+  int connect_timeout_ms = 5000;
+  // Chunk budget for outgoing batch messages.
+  size_t chunk_payload = kDefaultChunkPayload;
+  // Expiry horizon piggybacked on every publish: each shard keeps its newest
+  // `keep_rounds` publications. The engine's Distribute stage drives the
+  // router's own Expire with the same value.
+  uint32_t keep_rounds = 4;
+};
+
+class DistRouter final : public coord::DistributionBackend {
+ public:
+  // Connects every shard; nullptr if the list is empty or any shard is
+  // unreachable at startup (later deaths are per-round failures instead).
+  static std::unique_ptr<DistRouter> Connect(const DistRouterConfig& config);
+
+  size_t num_shards() const { return publish_links_.size(); }
+
+  // DistributionBackend. Publish throws HopError/HopTimeoutError when an
+  // owning shard cannot be reached — failing (only) the dialing round being
+  // distributed. Fetch throws std::out_of_range for unpublished/expired
+  // rounds (matching the in-process backend — including a round the owning
+  // shard lost to a restart or a tighter --max-rounds horizon) and HopError
+  // flavors for a dead owning shard.
+  void Publish(uint64_t round, deaddrop::InvitationTable table) override;
+  std::vector<wire::Invitation> Fetch(uint64_t round, uint32_t drop_index) override;
+  bool HasRound(uint64_t round) const override;
+  void Expire(size_t keep_latest) override;
+  uint64_t bytes_served() const override { return bytes_served_.load(); }
+  uint64_t downloads_served() const override { return downloads_served_.load(); }
+
+  // Asks every reachable dist daemon to exit its serve loop (orderly
+  // multi-process shutdown). Best-effort.
+  void SendShutdown();
+
+ private:
+  explicit DistRouter(const DistRouterConfig& config);
+
+  DistRouterConfig config_;
+  // Two persistent links per shard, one per traffic class: the engine's
+  // Distribute stage publishes over publish_links_ while client downloads go
+  // over fetch_links_, so a burst of bucket fetches can never head-of-line-
+  // block the next dialing round's publish (the daemons serve any number of
+  // connections; the per-link mutex is the only serialization). Each link
+  // reconnects independently under the shared discipline.
+  std::vector<std::unique_ptr<ShardLink>> publish_links_;
+  std::vector<std::unique_ptr<ShardLink>> fetch_links_;
+
+  // Rounds fully published (every owning shard acked) and their bucket
+  // counts — what routes a fetch to its owning shard.
+  mutable std::mutex rounds_mutex_;
+  util::KeepLatestMap<uint32_t> round_drops_;
+
+  std::atomic<uint64_t> bytes_served_{0};
+  std::atomic<uint64_t> downloads_served_{0};
+};
+
+}  // namespace vuvuzela::transport
+
+#endif  // VUVUZELA_SRC_TRANSPORT_DIST_ROUTER_H_

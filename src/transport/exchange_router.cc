@@ -1,24 +1,17 @@
 #include "src/transport/exchange_router.h"
 
-#include <exception>
-#include <thread>
 #include <utility>
+
+#include "src/transport/fanout.h"
 
 namespace vuvuzela::transport {
 
-namespace {
-
-std::string Endpoint(const ExchangePartitionEndpoint& endpoint) {
-  return endpoint.host + ":" + std::to_string(endpoint.port);
-}
-
-}  // namespace
-
 ExchangeRouter::ExchangeRouter(const ExchangeRouterConfig& config) : config_(config) {
+  ShardLinkConfig link_config{config.recv_timeout_ms, config.connect_timeout_ms,
+                              config.chunk_payload};
   for (const auto& endpoint : config.partitions) {
-    auto partition = std::make_unique<Partition>();
-    partition->endpoint = endpoint;
-    partitions_.push_back(std::move(partition));
+    partitions_.push_back(std::make_unique<ShardLink>("exchange partition", endpoint.host,
+                                                      endpoint.port, link_config));
   }
 }
 
@@ -28,108 +21,16 @@ std::unique_ptr<ExchangeRouter> ExchangeRouter::Connect(const ExchangeRouterConf
   }
   std::unique_ptr<ExchangeRouter> router(new ExchangeRouter(config));
   for (auto& partition : router->partitions_) {
-    auto conn = net::TcpConnection::Connect(partition->endpoint.host, partition->endpoint.port,
-                                            config.connect_timeout_ms);
-    if (!conn) {
+    if (!partition->ConnectStrict()) {
       return nullptr;
     }
-    if (config.recv_timeout_ms > 0) {
-      conn->SetRecvTimeout(config.recv_timeout_ms);
-    }
-    partition->conn = std::move(*conn);
   }
   return router;
 }
 
-void ExchangeRouter::FailPartition(Partition& partition, const std::string& what) {
-  // The RPC may have died mid-stream; this partition's framing can no longer
-  // be trusted. Poison only this connection — other partitions keep serving
-  // the rounds that do not touch this shard.
-  partition.conn.Close();
-  throw HopError("exchange partition " + Endpoint(partition.endpoint) + ": " + what);
-}
-
-BatchMessage ExchangeRouter::CallPartition(size_t shard, net::FrameType op, uint64_t round,
-                                           util::ByteSpan header,
-                                           const std::vector<util::Bytes>& items) {
-  Partition& partition = *partitions_[shard];
-  std::lock_guard<std::mutex> lock(partition.mutex);
-  if (!partition.conn.valid()) {
-    // One reconnect attempt per call: a restarted shard server rejoins on the
-    // next round that routes to it; a still-dead one fails this round fast.
-    auto conn = net::TcpConnection::Connect(partition.endpoint.host, partition.endpoint.port,
-                                            config_.connect_timeout_ms);
-    if (!conn) {
-      throw HopError("exchange partition " + Endpoint(partition.endpoint) + ": unreachable");
-    }
-    if (config_.recv_timeout_ms > 0) {
-      conn->SetRecvTimeout(config_.recv_timeout_ms);
-    }
-    partition.conn = std::move(*conn);
-  }
-  if (!SendBatchMessage(partition.conn, op, round, header, items, config_.chunk_payload)) {
-    FailPartition(partition, "send failed");
-  }
-  auto first = partition.conn.RecvFrame();
-  if (!first) {
-    if (partition.conn.last_recv_status() == net::RecvStatus::kTimeout) {
-      partition.conn.Close();
-      throw HopTimeoutError("exchange partition " + Endpoint(partition.endpoint) +
-                            ": receive deadline elapsed");
-    }
-    FailPartition(partition, partition.conn.last_recv_status() == net::RecvStatus::kEof
-                                 ? "connection closed by partition"
-                                 : "receive failed");
-  }
-  if (first->type == net::FrameType::kHopError) {
-    // The daemon completed the RPC with an error report; framing is intact.
-    throw HopError("exchange partition " + Endpoint(partition.endpoint) + ": " +
-                   std::string(first->payload.begin(), first->payload.end()));
-  }
-  if (first->type != op) {
-    FailPartition(partition, "unexpected response type");
-  }
-  auto message = ReadBatchMessage(partition.conn, std::move(*first));
-  if (!message) {
-    if (partition.conn.last_recv_status() == net::RecvStatus::kTimeout) {
-      partition.conn.Close();
-      throw HopTimeoutError("exchange partition " + Endpoint(partition.endpoint) +
-                            ": receive deadline elapsed mid-batch");
-    }
-    FailPartition(partition, "malformed response batch");
-  }
-  if (message->round != round) {
-    FailPartition(partition, "response round mismatch");
-  }
-  return std::move(*message);
-}
-
 void ExchangeRouter::FanOut(const std::vector<size_t>& shards,
                             const std::function<void(size_t)>& fn) {
-  if (shards.size() == 1) {
-    fn(shards[0]);
-    return;
-  }
-  std::vector<std::exception_ptr> errors(partitions_.size());
-  std::vector<std::thread> threads;
-  threads.reserve(shards.size());
-  for (size_t shard : shards) {
-    threads.emplace_back([&, shard] {
-      try {
-        fn(shard);
-      } catch (...) {
-        errors[shard] = std::current_exception();
-      }
-    });
-  }
-  for (auto& thread : threads) {
-    thread.join();
-  }
-  for (const auto& error : errors) {
-    if (error) {
-      std::rethrow_exception(error);
-    }
-  }
+  FanOutShards(partitions_.size(), shards, fn);
 }
 
 deaddrop::ExchangeOutcome ExchangeRouter::ExchangeConversation(
@@ -162,20 +63,21 @@ deaddrop::ExchangeOutcome ExchangeRouter::ExchangeConversation(
     }
     ExchangeConversationHeader header{static_cast<uint32_t>(shard),
                                       static_cast<uint32_t>(num_shards)};
-    BatchMessage reply = CallPartition(shard, net::FrameType::kExchangeConversation, round,
-                                       EncodeExchangeConversationHeader(header), items);
+    BatchMessage reply = partitions_[shard]->Call(
+        net::FrameType::kExchangeConversation, round, EncodeExchangeConversationHeader(header),
+        items);
     wire::Reader r(reply.header);
     auto histogram = ReadHistogram(r);
     if (!histogram || !r.AtEnd()) {
-      FailPartition(*partitions_[shard], "truncated exchange histogram");
+      partitions_[shard]->Fail("truncated exchange histogram");
     }
     if (reply.items.size() != buckets[shard].size()) {
-      FailPartition(*partitions_[shard], "response envelope count mismatch");
+      partitions_[shard]->Fail("response envelope count mismatch");
     }
     for (size_t j = 0; j < reply.items.size(); ++j) {
       const util::Bytes& envelope = reply.items[j];
       if (envelope.size() != wire::kEnvelopeSize) {
-        FailPartition(*partitions_[shard], "ragged response envelope");
+        partitions_[shard]->Fail("ragged response envelope");
       }
       std::copy(envelope.begin(), envelope.end(), out.results[buckets[shard][j]].begin());
     }
@@ -233,19 +135,20 @@ deaddrop::InvitationTable ExchangeRouter::BuildInvitationTable(
   FanOut(touched, [&](size_t shard) {
     ExchangeDialingHeader header{static_cast<uint32_t>(shard), static_cast<uint32_t>(num_shards),
                                  num_drops};
-    BatchMessage reply = CallPartition(shard, net::FrameType::kExchangeDialing, round,
-                                       EncodeExchangeDialingHeader(header), items[shard]);
+    BatchMessage reply = partitions_[shard]->Call(
+        net::FrameType::kExchangeDialing, round, EncodeExchangeDialingHeader(header),
+        items[shard]);
     // Reply items are the shard's owned drop range in increasing index order.
     deaddrop::InvitationDropRange range =
         deaddrop::InvitationDropsOfShard(shard, num_drops, num_shards);
     if (reply.items.size() != range.end - range.begin) {
-      FailPartition(*partitions_[shard], "response drop count mismatch");
+      partitions_[shard]->Fail("response drop count mismatch");
     }
     std::lock_guard<std::mutex> lock(table_mutex);
     for (size_t j = 0; j < reply.items.size(); ++j) {
       const util::Bytes& packed = reply.items[j];
       if (packed.size() % wire::kInvitationSize != 0) {
-        FailPartition(*partitions_[shard], "ragged invitation drop");
+        partitions_[shard]->Fail("ragged invitation drop");
       }
       for (size_t offset = 0; offset < packed.size(); offset += wire::kInvitationSize) {
         wire::Invitation invitation;
@@ -260,19 +163,7 @@ deaddrop::InvitationTable ExchangeRouter::BuildInvitationTable(
 
 void ExchangeRouter::SendShutdown() {
   for (auto& partition : partitions_) {
-    std::lock_guard<std::mutex> lock(partition->mutex);
-    if (!partition->conn.valid()) {
-      // A poisoned connection (earlier round failure) must not exempt a
-      // still-running partition from the shutdown cascade: reconnect once.
-      auto conn = net::TcpConnection::Connect(partition->endpoint.host,
-                                              partition->endpoint.port,
-                                              config_.connect_timeout_ms);
-      if (!conn) {
-        continue;  // genuinely gone; nothing to stop
-      }
-      partition->conn = std::move(*conn);
-    }
-    partition->conn.SendFrame(net::Frame{net::FrameType::kShutdown, 0, {}});
+    partition->SendShutdown();
   }
 }
 

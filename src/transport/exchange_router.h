@@ -21,14 +21,13 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/deaddrop/exchange_backend.h"
-#include "src/net/tcp.h"
 #include "src/transport/hop_transport.h"
 #include "src/transport/hop_wire.h"
+#include "src/transport/shard_link.h"
 
 namespace vuvuzela::transport {
 
@@ -67,19 +66,7 @@ class ExchangeRouter : public deaddrop::ExchangeBackend {
   void SendShutdown();
 
  private:
-  struct Partition {
-    ExchangePartitionEndpoint endpoint;
-    std::mutex mutex;
-    net::TcpConnection conn;
-  };
-
   explicit ExchangeRouter(const ExchangeRouterConfig& config);
-
-  // One request/response exchange with partition `shard`; reconnects a
-  // poisoned connection once, then throws HopError / HopTimeoutError.
-  BatchMessage CallPartition(size_t shard, net::FrameType op, uint64_t round,
-                             util::ByteSpan header, const std::vector<util::Bytes>& items);
-  [[noreturn]] void FailPartition(Partition& partition, const std::string& what);
 
   // Runs `fn(shard)` concurrently for every shard in `shards`; rethrows the
   // lowest-shard failure after all calls finish (deterministic when several
@@ -87,7 +74,8 @@ class ExchangeRouter : public deaddrop::ExchangeBackend {
   void FanOut(const std::vector<size_t>& shards, const std::function<void(size_t)>& fn);
 
   ExchangeRouterConfig config_;
-  std::vector<std::unique_ptr<Partition>> partitions_;
+  // Per-shard persistent links (shared connect/reconnect/poison discipline).
+  std::vector<std::unique_ptr<ShardLink>> partitions_;
 };
 
 }  // namespace vuvuzela::transport

@@ -132,6 +132,85 @@ void ExchangePartitionGroup::Kill(size_t shard) {
   daemons_[shard].reset();
 }
 
+std::unique_ptr<DistGroup> DistGroup::Start(size_t num_shards, size_t chunk_payload) {
+  std::unique_ptr<DistGroup> group(new DistGroup());
+  group->chunk_payload_ = chunk_payload;
+  for (size_t i = 0; i < num_shards; ++i) {
+    DistDaemonConfig config;
+    config.port = 0;
+    config.shard_index = static_cast<uint32_t>(i);
+    config.num_shards = static_cast<uint32_t>(num_shards);
+    config.chunk_payload = chunk_payload;
+    auto daemon = DistDaemon::Create(config);
+    if (!daemon) {
+      return nullptr;
+    }
+    group->ports_.push_back(daemon->port());
+    group->daemons_.push_back(std::move(daemon));
+  }
+  for (auto& daemon : group->daemons_) {
+    group->serve_threads_.emplace_back([d = daemon.get()] { d->Serve(); });
+  }
+  return group;
+}
+
+DistGroup::~DistGroup() {
+  for (size_t i = 0; i < daemons_.size(); ++i) {
+    Kill(i);
+  }
+}
+
+void DistGroup::Kill(size_t shard) {
+  if (!daemons_[shard]) {
+    return;  // already killed
+  }
+  daemons_[shard]->Stop();
+  if (shard < serve_threads_.size() && serve_threads_[shard].joinable()) {
+    serve_threads_[shard].join();
+  }
+  // Destroy the daemon so its listener descriptor is released and Restart
+  // can rebind the port.
+  daemons_[shard].reset();
+}
+
+bool DistGroup::Restart(size_t shard) {
+  if (daemons_[shard]) {
+    return false;  // only a killed shard can restart (its thread is joined)
+  }
+  DistDaemonConfig config;
+  config.port = ports_[shard];
+  config.shard_index = static_cast<uint32_t>(shard);
+  config.num_shards = static_cast<uint32_t>(daemons_.size());
+  config.chunk_payload = chunk_payload_;
+  auto daemon = DistDaemon::Create(config);
+  if (!daemon) {
+    return false;
+  }
+  daemons_[shard] = std::move(daemon);
+  serve_threads_[shard] = std::thread([d = daemons_[shard].get()] { d->Serve(); });
+  return true;
+}
+
+DistRouterConfig DistGroup::RouterConfig(int recv_timeout_ms) const {
+  DistRouterConfig config;
+  for (uint16_t port : ports_) {
+    config.shards.push_back({"127.0.0.1", port});
+  }
+  config.recv_timeout_ms = recv_timeout_ms;
+  config.chunk_payload = chunk_payload_;
+  return config;
+}
+
+client::DialingFetcherConfig DistGroup::FetcherConfig(int recv_timeout_ms) const {
+  client::DialingFetcherConfig config;
+  for (uint16_t port : ports_) {
+    config.shards.push_back({"127.0.0.1", port});
+  }
+  config.recv_timeout_ms = recv_timeout_ms;
+  config.chunk_payload = chunk_payload_;
+  return config;
+}
+
 std::unique_ptr<LoopbackChain> LoopbackChain::Start(const mixnet::ChainConfig& config,
                                                     uint64_t seed, size_t chunk_payload,
                                                     const ExchangeRouterConfig& exchange) {

@@ -22,7 +22,10 @@
 #include <thread>
 #include <vector>
 
+#include "src/client/dialing_fetcher.h"
 #include "src/mixnet/chain.h"
+#include "src/transport/dist_daemon.h"
+#include "src/transport/dist_router.h"
 #include "src/transport/exchange_daemon.h"
 #include "src/transport/exchange_router.h"
 #include "src/transport/hop_daemon.h"
@@ -91,6 +94,50 @@ class ExchangePartitionGroup {
 
   size_t chunk_payload_ = kDefaultChunkPayload;
   std::vector<std::unique_ptr<ExchangedDaemon>> daemons_;
+  std::vector<std::thread> serve_threads_;
+  std::vector<uint16_t> ports_;  // original bindings, for Restart
+};
+
+// In-process fleet of invitation-distribution shard daemons on ephemeral
+// loopback ports — the vuvuzela-distd analog of ExchangePartitionGroup, used
+// by the dist conformance/failure suites and single-machine benches.
+class DistGroup {
+ public:
+  // Spawns `num_shards` DistDaemons (shard i of num_shards), each serving
+  // from its own accept thread. nullptr if a listener cannot bind.
+  static std::unique_ptr<DistGroup> Start(size_t num_shards,
+                                          size_t chunk_payload = kDefaultChunkPayload);
+
+  ~DistGroup();
+
+  DistGroup(const DistGroup&) = delete;
+  DistGroup& operator=(const DistGroup&) = delete;
+
+  size_t size() const { return daemons_.size(); }
+  uint16_t port(size_t shard) const { return ports_[shard]; }
+  // Test access to a shard's daemon (serving counters); nullptr while killed.
+  DistDaemon* daemon(size_t shard) const { return daemons_[shard].get(); }
+
+  // Router configuration addressing this group's daemons.
+  DistRouterConfig RouterConfig(int recv_timeout_ms = 10000) const;
+  // Client fetcher configuration addressing the same fleet.
+  client::DialingFetcherConfig FetcherConfig(int recv_timeout_ms = 10000) const;
+
+  // Kills one shard (failure injection): stops its daemon and joins its
+  // serve thread. Dialing rounds routed to the shard fail; conversation
+  // rounds and other shards' buckets keep serving.
+  void Kill(size_t shard);
+
+  // Restarts a killed shard on its original port (crash recovery): it comes
+  // back empty and repopulates off the next publish. False if the port
+  // cannot rebind.
+  bool Restart(size_t shard);
+
+ private:
+  DistGroup() = default;
+
+  size_t chunk_payload_ = kDefaultChunkPayload;
+  std::vector<std::unique_ptr<DistDaemon>> daemons_;
   std::vector<std::thread> serve_threads_;
   std::vector<uint16_t> ports_;  // original bindings, for Restart
 };

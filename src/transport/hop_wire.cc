@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "src/transport/hop_transport.h"
+
 namespace vuvuzela::transport {
 
 namespace {
@@ -205,6 +207,55 @@ std::optional<HistogramHeader> ReadHistogram(wire::Reader& r) {
   return header;
 }
 
+namespace {
+
+[[noreturn]] void FailRpc(net::TcpConnection& conn, const std::string& peer_label,
+                          const std::string& what) {
+  conn.Close();
+  throw HopError(peer_label + ": " + what);
+}
+
+}  // namespace
+
+BatchMessage CallBatchRpc(net::TcpConnection& conn, const std::string& peer_label,
+                          net::FrameType op, uint64_t round, util::ByteSpan header,
+                          const std::vector<util::Bytes>& items, size_t max_chunk_payload) {
+  if (!SendBatchMessage(conn, op, round, header, items, max_chunk_payload)) {
+    FailRpc(conn, peer_label, "send failed");
+  }
+  auto first = conn.RecvFrame();
+  if (!first) {
+    if (conn.last_recv_status() == net::RecvStatus::kTimeout) {
+      conn.Close();
+      throw HopTimeoutError(peer_label + ": receive deadline elapsed");
+    }
+    FailRpc(conn, peer_label,
+            conn.last_recv_status() == net::RecvStatus::kEof ? "connection closed by peer"
+                                                             : "receive failed");
+  }
+  if (first->type == net::FrameType::kHopError) {
+    // The peer completed the RPC with an error report; framing is intact and
+    // a re-send would fail the same way, so the connection stays open.
+    throw HopRemoteError(peer_label + ": " +
+                         std::string(first->payload.begin(), first->payload.end()));
+  }
+  if (first->type != op) {
+    FailRpc(conn, peer_label, "unexpected response type");
+  }
+  auto message = ReadBatchMessage(conn, std::move(*first));
+  if (!message) {
+    if (conn.last_recv_status() == net::RecvStatus::kTimeout) {
+      conn.Close();
+      throw HopTimeoutError(peer_label + ": receive deadline elapsed mid-batch");
+    }
+    FailRpc(conn, peer_label, "malformed response batch");
+  }
+  if (message->round != round) {
+    FailRpc(conn, peer_label, "response round mismatch");
+  }
+  return std::move(*message);
+}
+
 util::Bytes EncodeExchangeConversationHeader(const ExchangeConversationHeader& header) {
   wire::Writer w(8);
   w.U32(header.shard_index);
@@ -245,6 +296,72 @@ std::optional<ExchangeDialingHeader> ParseExchangeDialingHeader(util::ByteSpan d
     return std::nullopt;
   }
   return ExchangeDialingHeader{*shard_index, *num_shards, *num_drops};
+}
+
+util::Bytes EncodeInvitationPublishHeader(const InvitationPublishHeader& header) {
+  wire::Writer w(16);
+  w.U32(header.shard_index);
+  w.U32(header.num_shards);
+  w.U32(header.num_drops);
+  w.U32(header.keep_latest);
+  return w.Take();
+}
+
+std::optional<InvitationPublishHeader> ParseInvitationPublishHeader(util::ByteSpan data) {
+  wire::Reader r(data);
+  auto shard_index = r.U32();
+  auto num_shards = r.U32();
+  auto num_drops = r.U32();
+  auto keep_latest = r.U32();
+  if (!keep_latest || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  // keep_latest = 0 would expire the round just published; a router can only
+  // mean that as a bug, so the daemon rejects it outright.
+  if (*num_shards == 0 || *shard_index >= *num_shards || *num_drops == 0 || *keep_latest == 0) {
+    return std::nullopt;
+  }
+  return InvitationPublishHeader{*shard_index, *num_shards, *num_drops, *keep_latest};
+}
+
+util::Bytes EncodeInvitationFetchHeader(const InvitationFetchHeader& header) {
+  wire::Writer w(16);
+  w.U32(header.shard_index);
+  w.U32(header.num_shards);
+  w.U32(header.num_drops);
+  w.U32(header.drop_index);
+  return w.Take();
+}
+
+std::optional<InvitationFetchHeader> ParseInvitationFetchHeader(util::ByteSpan data) {
+  wire::Reader r(data);
+  auto shard_index = r.U32();
+  auto num_shards = r.U32();
+  auto num_drops = r.U32();
+  auto drop_index = r.U32();
+  if (!drop_index || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  if (*num_shards == 0 || *shard_index >= *num_shards || *num_drops == 0 ||
+      *drop_index >= *num_drops) {
+    return std::nullopt;
+  }
+  return InvitationFetchHeader{*shard_index, *num_shards, *num_drops, *drop_index};
+}
+
+std::optional<std::vector<wire::Invitation>> DecodeInvitationItems(
+    const std::vector<util::Bytes>& items) {
+  std::vector<wire::Invitation> bucket;
+  bucket.reserve(items.size());
+  for (const util::Bytes& item : items) {
+    if (item.size() != wire::kInvitationSize) {
+      return std::nullopt;
+    }
+    wire::Invitation invitation;
+    std::copy(item.begin(), item.end(), invitation.begin());
+    bucket.push_back(invitation);
+  }
+  return bucket;
 }
 
 }  // namespace vuvuzela::transport

@@ -104,6 +104,22 @@ bool SendBatchMessage(net::TcpConnection& conn, net::FrameType op, uint64_t roun
 // distinguishes timeout from EOF on the I/O side).
 std::optional<BatchMessage> ReadBatchMessage(net::TcpConnection& conn, net::Frame first);
 
+// One batch-message request/response over an established connection — the
+// RPC core every shard-fleet caller (ExchangeRouter, DistRouter,
+// client::DialingFetcher) shares, with the uniform failure mapping:
+// HopTimeoutError when the receive deadline elapses, HopRemoteError when the
+// peer answered with a kHopError report (framing intact, connection left
+// open — a re-send would fail the same way), HopError for any other wire
+// failure (send/receive error, unexpected type, round mismatch). On every
+// throw except HopRemoteError the connection has been Close()d first: the
+// RPC may have died mid-stream, so its framing can no longer be trusted.
+// `peer_label` prefixes error messages (e.g. "dist shard 127.0.0.1:7361").
+// The caller owns connection setup, locking, and reconnect policy.
+BatchMessage CallBatchRpc(net::TcpConnection& conn, const std::string& peer_label,
+                          net::FrameType op, uint64_t round, util::ByteSpan header,
+                          const std::vector<util::Bytes>& items,
+                          size_t max_chunk_payload = kDefaultChunkPayload);
+
 // --- Op-specific header encoding -------------------------------------------
 
 // Per-pass server counters: prefix of every hop RPC response header.
@@ -153,6 +169,59 @@ struct ExchangeDialingHeader {
 };
 util::Bytes EncodeExchangeDialingHeader(const ExchangeDialingHeader& header);
 std::optional<ExchangeDialingHeader> ParseExchangeDialingHeader(util::ByteSpan data);
+
+// --- Invitation-distribution messages (DistRouter/clients ↔ vuvuzela-distd) -
+//
+// The coordinator's DistRouter slices each dialing round's invitation table
+// into contiguous bucket ranges (deaddrop::InvitationDropsOfShard, the same
+// map the exchange partitions use) and pushes each slice to the dist shard
+// owning it; clients download whole buckets from the owning shard. As with
+// the exchange ops, every request names the partition map it was routed
+// under, so a misconfigured router or client cannot silently split one
+// bucket across two shards.
+
+// kInvitationPublish request header. Items: one serialized wire::DialRequest
+// per invitation of the slice (drop index + invitation bytes — an invitation
+// with its bucket address *is* a DialRequest), in per-bucket deposit order.
+// `keep_latest` piggybacks the coordinator's expiry horizon: after storing
+// the round, the shard drops all but its newest `keep_latest` publications.
+// Response: same op, empty header, zero items (the ack the router's publish
+// barrier waits on).
+struct InvitationPublishHeader {
+  uint32_t shard_index = 0;
+  uint32_t num_shards = 0;
+  uint32_t num_drops = 0;
+  uint32_t keep_latest = 0;
+};
+util::Bytes EncodeInvitationPublishHeader(const InvitationPublishHeader& header);
+std::optional<InvitationPublishHeader> ParseInvitationPublishHeader(util::ByteSpan data);
+
+// The kHopError report a dist shard answers a fetch for a round it does not
+// hold (never published, expired, or lost to a restart). One constant, used
+// by the daemon when replying and by DistRouter when translating the report
+// into the DistributionBackend contract's std::out_of_range — a reworded
+// message on either side would silently break that translation.
+inline constexpr const char* kDistUnknownRoundError = "unknown round";
+
+// kInvitationFetch request header (bucketed download, §5.5). Zero items.
+// Response: same op, empty header, one item per invitation of the bucket
+// (each exactly wire::kInvitationSize), in published order — so a fetched
+// bucket is byte-identical to the in-process distributor's copy.
+struct InvitationFetchHeader {
+  uint32_t shard_index = 0;
+  uint32_t num_shards = 0;
+  uint32_t num_drops = 0;
+  uint32_t drop_index = 0;
+};
+util::Bytes EncodeInvitationFetchHeader(const InvitationFetchHeader& header);
+std::optional<InvitationFetchHeader> ParseInvitationFetchHeader(util::ByteSpan data);
+
+// Decodes a fetch response's items into the bucket (one invitation per item)
+// — shared by DistRouter::Fetch and client::DialingFetcher so the wire shape
+// cannot drift between them. nullopt if any item is not exactly
+// wire::kInvitationSize.
+std::optional<std::vector<wire::Invitation>> DecodeInvitationItems(
+    const std::vector<util::Bytes>& items);
 
 }  // namespace vuvuzela::transport
 

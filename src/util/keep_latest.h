@@ -1,0 +1,64 @@
+// Keep-latest round store shared by the invitation-distribution backends.
+//
+// Every distribution tier — the in-process InvitationDistributor, the
+// DistRouter's routing map, a DistDaemon's slice store — retains the N most
+// recently *published* rounds and must uphold one invariant together: a
+// re-published round (the coordinator's retry path pushes identical bytes
+// again) replaces its value and refreshes its expiry slot to newest — one
+// slot only (a duplicate would evict other rounds early), and at the *back*
+// (keeping the first attempt's stale position would let a round recovered
+// after a long outage expire before its downloads run). Centralizing the
+// map+publish-order dance keeps the three backends byte-identical on expiry
+// behavior (the dist conformance suite holds them to it). Locking stays with
+// the caller.
+
+#ifndef VUVUZELA_SRC_UTIL_KEEP_LATEST_H_
+#define VUVUZELA_SRC_UTIL_KEEP_LATEST_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace vuvuzela::util {
+
+template <typename Value>
+class KeepLatestMap {
+ public:
+  // Inserts or replaces `round`'s value; either way the round becomes the
+  // newest publication (see the header comment).
+  void Put(uint64_t round, Value value) {
+    auto [it, inserted] = values_.insert_or_assign(round, std::move(value));
+    (void)it;
+    if (!inserted) {
+      order_.erase(std::find(order_.begin(), order_.end(), round));
+    }
+    order_.push_back(round);
+  }
+
+  // Drops all but the newest `keep` publications (in Put order).
+  void Expire(size_t keep) {
+    while (order_.size() > keep) {
+      values_.erase(order_.front());
+      order_.erase(order_.begin());
+    }
+  }
+
+  // nullptr when the round was never published or has expired.
+  const Value* Find(uint64_t round) const {
+    auto it = values_.find(round);
+    return it != values_.end() ? &it->second : nullptr;
+  }
+
+  bool Contains(uint64_t round) const { return values_.contains(round); }
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, Value> values_;
+  std::vector<uint64_t> order_;
+};
+
+}  // namespace vuvuzela::util
+
+#endif  // VUVUZELA_SRC_UTIL_KEEP_LATEST_H_

@@ -151,6 +151,72 @@ TEST(InvitationDistributor, ExpiresOldRounds) {
   EXPECT_TRUE(distributor.HasRound(5));
 }
 
+TEST(InvitationDistributor, ExpireKeepZeroDropsEverything) {
+  InvitationDistributor distributor;
+  distributor.Publish(1, deaddrop::InvitationTable(1));
+  distributor.Publish(2, deaddrop::InvitationTable(1));
+  distributor.Expire(/*keep_latest=*/0);
+  EXPECT_FALSE(distributor.HasRound(1));
+  EXPECT_FALSE(distributor.HasRound(2));
+  // And the empty distributor tolerates further expiry.
+  distributor.Expire(0);
+  distributor.Expire(3);
+}
+
+TEST(InvitationDistributor, FetchAfterExpireThrows) {
+  InvitationDistributor distributor;
+  deaddrop::InvitationTable table(1);
+  util::Xoshiro256Rng rng(7);
+  std::vector<uint64_t> counts = {2};
+  table.AddNoise(counts, rng);
+  distributor.Publish(10, std::move(table));
+  ASSERT_EQ(distributor.Fetch(10, 0).size(), 2u);
+  distributor.Expire(0);
+  EXPECT_THROW(distributor.Fetch(10, 0), std::out_of_range);
+  // The failed fetch must not count as a served download.
+  EXPECT_EQ(distributor.downloads_served(), 1u);
+  EXPECT_EQ(distributor.bytes_served(), 2 * wire::kInvitationSize);
+}
+
+TEST(InvitationDistributor, PublishOverExistingRoundReplacesWithoutLeakingExpirySlot) {
+  InvitationDistributor distributor;
+  deaddrop::InvitationTable first(1);
+  util::Xoshiro256Rng rng(8);
+  std::vector<uint64_t> one = {1};
+  first.AddNoise(one, rng);
+  distributor.Publish(5, std::move(first));
+
+  // Re-publishing the same round (the coordinator's retry path) replaces the
+  // table...
+  deaddrop::InvitationTable second(1);
+  std::vector<uint64_t> three = {3};
+  second.AddNoise(three, rng);
+  distributor.Publish(5, std::move(second));
+  EXPECT_EQ(distributor.Fetch(5, 0).size(), 3u);
+
+  // ...without occupying a second expiry slot: after one more publish,
+  // keeping the 2 newest publications must retain both rounds (a duplicate
+  // slot for round 5 would evict it here).
+  distributor.Publish(6, deaddrop::InvitationTable(1));
+  distributor.Expire(/*keep_latest=*/2);
+  EXPECT_TRUE(distributor.HasRound(5));
+  EXPECT_TRUE(distributor.HasRound(6));
+
+  // A re-publish also refreshes the round to the *newest* expiry slot — a
+  // round recovered by the retry path must not expire off its first
+  // attempt's stale position before its downloads run.
+  deaddrop::InvitationTable again(1);
+  std::vector<uint64_t> two = {2};
+  again.AddNoise(two, rng);
+  distributor.Publish(5, std::move(again));  // 5 re-published after 6
+  distributor.Publish(7, deaddrop::InvitationTable(1));
+  distributor.Expire(/*keep_latest=*/2);
+  EXPECT_TRUE(distributor.HasRound(5));   // newest-but-one
+  EXPECT_TRUE(distributor.HasRound(7));   // newest
+  EXPECT_FALSE(distributor.HasRound(6));  // displaced by 5's refresh
+  EXPECT_EQ(distributor.Fetch(5, 0).size(), 2u);
+}
+
 class KeyDirectoryTest : public ::testing::Test {
  protected:
   util::Xoshiro256Rng rng_{314};

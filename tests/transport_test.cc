@@ -178,7 +178,9 @@ TEST(TcpTransportFailure, DeadHopTimesOutTheRound) {
   }
   scheduler.Drain();
   EXPECT_EQ(scheduler.stats().rounds_failed, 1u);
-  listener->Close();
+  // Shutdown (not Close) is the only listener call safe while the black-hole
+  // thread may still be inside Accept; the destructor closes after the join.
+  listener->Shutdown();
   black_hole.join();
 }
 

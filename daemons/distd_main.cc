@@ -27,14 +27,17 @@ struct Flags {
   uint32_t shard = 0;
   uint32_t shards = 1;
   size_t max_rounds = 64;
+  bool threaded = false;
 };
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --shard I --shards N [--port P] [--max-rounds R]\n"
+               "usage: %s --shard I --shards N [--port P] [--max-rounds R] [--threaded]\n"
                "Runs one invitation-distribution shard (shard I of N); port 0 picks an\n"
                "ephemeral port and prints it. --max-rounds caps retained publications\n"
-               "(each publish also carries the coordinator's expiry horizon).\n",
+               "(each publish also carries the coordinator's expiry horizon). --threaded\n"
+               "selects the thread-per-connection serve path instead of the default\n"
+               "epoll reactor (replies are byte-identical either way).\n",
                argv0);
 }
 
@@ -55,6 +58,8 @@ bool Parse(int argc, char** argv, Flags* flags) {
       flags->port = static_cast<uint16_t>(port);
     } else if (arg == "--max-rounds" && (value = next())) {
       flags->max_rounds = std::strtoul(value, nullptr, 10);
+    } else if (arg == "--threaded") {
+      flags->threaded = true;
     } else {
       return false;
     }
@@ -76,6 +81,7 @@ int main(int argc, char** argv) {
   config.shard_index = flags.shard;
   config.num_shards = flags.shards;
   config.max_rounds = flags.max_rounds;
+  config.reactor = !flags.threaded;
   auto daemon = transport::DistDaemon::Create(config);
   if (!daemon) {
     std::fprintf(stderr, "vuvuzela-distd: cannot listen on port %u\n", flags.port);

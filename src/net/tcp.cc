@@ -43,6 +43,12 @@ void TcpConnection::Close() {
   }
 }
 
+int TcpConnection::ReleaseFd() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
 std::optional<TcpConnection> TcpConnection::Connect(const std::string& host, uint16_t port,
                                                     int timeout_ms, ConnectStatus* status) {
   auto fail = [&](ConnectStatus why, int fd) -> std::optional<TcpConnection> {
@@ -112,6 +118,18 @@ bool TcpConnection::SendAll(const uint8_t* data, size_t len) {
     ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // The descriptor is non-blocking (adopted back from an event loop,
+        // or mid-flight during a deadline-armed Connect) or a send deadline
+        // elapsed with the buffer full. A partial frame already on the wire
+        // cannot be abandoned — the stream would desynchronize — so wait for
+        // writability and resume.
+        pollfd pfd{fd_, POLLOUT, 0};
+        if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) {
+          return false;
+        }
         continue;
       }
       return false;
@@ -227,7 +245,7 @@ void TcpListener::Close() {
   }
 }
 
-std::optional<TcpListener> TcpListener::Listen(uint16_t port) {
+std::optional<TcpListener> TcpListener::Listen(uint16_t port, int backlog) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return std::nullopt;
@@ -239,7 +257,7 @@ std::optional<TcpListener> TcpListener::Listen(uint16_t port) {
   addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 128) != 0) {
+      ::listen(fd, backlog) != 0) {
     ::close(fd);
     return std::nullopt;
   }

@@ -4,7 +4,16 @@
 // clients connect to the entry server over TCP (§7), and chain servers talk
 // to their successors the same way. Frames are the net::Frame type; each
 // send is [u32 total_len][frame bytes]. Blocking I/O with one thread per
-// connection is plenty for a chain of single-digit servers.
+// connection is plenty for a chain of single-digit servers; the
+// million-client edges run on net::EventLoop (event_loop.h) instead.
+//
+// THREADING CONTRACT. A TcpConnection belongs to one thread at a time, with
+// two carve-outs: Shutdown() may race a blocked RecvFrame (that is its
+// purpose), and send/recv may proceed on two separate threads as long as
+// each side stays single-threaded. TcpListener is the same shape: one
+// accepting thread, Shutdown() callable from another. OWNERSHIP: both types
+// own their descriptor and close it on destruction; moves transfer it, and
+// ReleaseFd() (connection only) hands it off — e.g. to an EventLoop.
 
 #ifndef VUVUZELA_SRC_NET_TCP_H_
 #define VUVUZELA_SRC_NET_TCP_H_
@@ -86,6 +95,10 @@ class TcpConnection {
 
   void Close();
 
+  // Relinquishes ownership of the descriptor to the caller and leaves this
+  // connection invalid; -1 if already closed. The caller must close it.
+  int ReleaseFd();
+
  private:
   bool SendAll(const uint8_t* data, size_t len);
   // `frame_started` suppresses the receive deadline: bytes of the current
@@ -106,11 +119,16 @@ class TcpListener {
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
-  // Listens on 127.0.0.1:port; port 0 picks an ephemeral port.
-  static std::optional<TcpListener> Listen(uint16_t port);
+  // Listens on 127.0.0.1:port; port 0 picks an ephemeral port. `backlog`
+  // bounds the kernel accept queue — front-door listeners that face connect
+  // storms raise it (the effective value is also capped by somaxconn).
+  static std::optional<TcpListener> Listen(uint16_t port, int backlog = 128);
 
   uint16_t port() const { return port_; }
   bool valid() const { return fd_ >= 0; }
+  // The listening descriptor, still owned by this listener. EventLoop uses
+  // it to register for readiness; everyone else should call Accept().
+  int fd() const { return fd_; }
 
   // Blocks for the next connection; nullopt on error/close.
   std::optional<TcpConnection> Accept();

@@ -81,59 +81,67 @@ bool CoordinatorDaemon::Start() {
     dist_backend_ = std::make_unique<coord::InvitationDistributor>();
   }
   if (config_.num_clients > 0) {
-    auto listener = net::TcpListener::Listen(config_.client_port);
-    if (!listener) {
+    FrontDoorConfig door_config;
+    door_config.port = config_.client_port;
+    door_config.backlog = config_.client_backlog;
+    FrontDoorHandlers door_handlers;
+    door_handlers.on_frame = [this](size_t index, net::Frame&& frame) {
+      OnClientFrame(index, std::move(frame));
+    };
+    door_handlers.on_fetch = [this](size_t, uint64_t round, util::Bytes payload) {
+      return BuildFetchReply(round, payload);
+    };
+    door_handlers.on_disconnect = [this](size_t) {
+      // A window waiting on "every live client contributed" must re-check.
+      std::lock_guard<std::mutex> lock(admission_mutex_);
+      admission_cv_.notify_all();
+    };
+    front_door_ = FrontDoor::Create(door_config, std::move(door_handlers));
+    if (!front_door_ || !front_door_->Start()) {
+      front_door_.reset();
       return false;
     }
-    client_listener_ = std::move(*listener);
   }
   return true;
 }
 
-void CoordinatorDaemon::ReadClient(size_t index) {
-  ClientSlot& slot = *clients_[index];
-  for (;;) {
-    auto frame = slot.conn.RecvFrame();
-    if (!frame || frame->type == net::FrameType::kShutdown) {
-      std::lock_guard<std::mutex> lock(admission_mutex_);
-      slot.alive.store(false);
-      admission_cv_.notify_all();
-      return;
-    }
-    if (frame->type == net::FrameType::kInvitationFetch) {
-      // Dialing download (§5.5): the coordinator proxies the bucket fetch
-      // through the distribution backend for clients that have no direct
-      // dist-fleet route. Served inline on the reader thread; with a sharded
-      // backend concurrent downloads serialize on the shard's dedicated
-      // fetch link — never with the engine's publishes (DistRouter keeps the
-      // two traffic classes on separate links).
-      ServeClientFetch(index, frame->round, frame->payload);
-      continue;
-    }
-    bool conversation = frame->type == net::FrameType::kConversationRequest;
-    bool dial = frame->type == net::FrameType::kDialRequest;
-    if (!conversation && !dial) {
-      continue;
-    }
-    std::lock_guard<std::mutex> lock(admission_mutex_);
-    // Admission discipline (§3.1): only onions for the currently announced
-    // round, while its window is open, enter the batch — at most one per
-    // client, so duplicates cannot close the window early.
-    bool type_matches = conversation ? admission_type_ == wire::RoundType::kConversation
-                                     : admission_type_ == wire::RoundType::kDialing;
-    auto dedup = admission_dedup_.find(frame->round);
-    if (admission_open_ && frame->round == admission_round_ && type_matches &&
-        dedup != admission_dedup_.end() && !dedup->second[index]) {
-      dedup->second[index] = 1;
-      admission_onions_.push_back(std::move(frame->payload));
-      admission_contributors_.push_back(index);
-      admission_cv_.notify_all();
-    }
+void CoordinatorDaemon::OnClientFrame(size_t index, net::Frame&& frame) {
+  // Runs on the FrontDoor's reactor thread: fetches were already peeled off
+  // to the blocking-safe worker, so everything here is a cheap admission
+  // decision under admission_mutex_.
+  if (frame.type == net::FrameType::kShutdown) {
+    front_door_->Disconnect(index);  // client deregistering
+    return;
+  }
+  bool conversation = frame.type == net::FrameType::kConversationRequest;
+  bool dial = frame.type == net::FrameType::kDialRequest;
+  if (!conversation && !dial) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  // Admission discipline (§3.1): only onions for the currently announced
+  // round, while its window is open, enter the batch — at most one per
+  // client, so duplicates cannot close the window early.
+  bool type_matches = conversation ? admission_type_ == wire::RoundType::kConversation
+                                   : admission_type_ == wire::RoundType::kDialing;
+  auto dedup = admission_dedup_.find(frame.round);
+  if (admission_open_ && frame.round == admission_round_ && type_matches &&
+      dedup != admission_dedup_.end() && index < dedup->second.size() &&
+      !dedup->second[index]) {
+    dedup->second[index] = 1;
+    admission_onions_.push_back(std::move(frame.payload));
+    admission_contributors_.push_back(index);
+    admission_cv_.notify_all();
   }
 }
 
-void CoordinatorDaemon::ServeClientFetch(size_t index, uint64_t round, util::ByteSpan payload) {
-  ClientSlot& slot = *clients_[index];
+net::Frame CoordinatorDaemon::BuildFetchReply(uint64_t round, util::ByteSpan payload) {
+  // Dialing download (§5.5): the coordinator proxies the bucket fetch
+  // through the distribution backend for clients that have no direct
+  // dist-fleet route. Runs on the FrontDoor's fetch worker; with a sharded
+  // backend concurrent downloads serialize on the shard's dedicated fetch
+  // link — never with the engine's publishes (DistRouter keeps the two
+  // traffic classes on separate links).
   net::Frame reply;
   reply.round = round;
   if (payload.size() != 4 || dist_backend_ == nullptr) {
@@ -192,10 +200,7 @@ void CoordinatorDaemon::ServeClientFetch(size_t index, uint64_t round, util::Byt
       }
     }
   }
-  std::lock_guard<std::mutex> lock(slot.send_mutex);
-  if (slot.alive.load()) {
-    slot.conn.SendFrame(reply);
-  }
+  return reply;
 }
 
 void CoordinatorDaemon::SyntheticFetchFanOut(const wire::RoundAnnouncement& announcement) {
@@ -250,14 +255,9 @@ void CoordinatorDaemon::PruneAdmissionDedup(uint64_t announced_round) {
 }
 
 void CoordinatorDaemon::BroadcastAnnouncement(const wire::RoundAnnouncement& announcement) {
-  util::Bytes payload = announcement.Serialize();
-  for (auto& client : clients_) {
-    std::lock_guard<std::mutex> lock(client->send_mutex);
-    if (client->alive.load()) {
-      client->conn.SendFrame(
-          net::Frame{net::FrameType::kRoundAnnouncement, announcement.round, payload});
-    }
-  }
+  front_door_->Broadcast(
+      net::Frame{net::FrameType::kRoundAnnouncement, announcement.round,
+                 announcement.Serialize()});
 }
 
 std::pair<std::vector<util::Bytes>, std::vector<size_t>> CoordinatorDaemon::CloseAdmission() {
@@ -266,11 +266,7 @@ std::pair<std::vector<util::Bytes>, std::vector<size_t>> CoordinatorDaemon::Clos
                                          config_.admission_window_seconds));
   std::unique_lock<std::mutex> lock(admission_mutex_);
   admission_cv_.wait_until(lock, deadline, [this] {
-    size_t live = 0;
-    for (const auto& client : clients_) {
-      live += client->alive.load() ? 1 : 0;
-    }
-    return admission_onions_.size() >= live;
+    return admission_onions_.size() >= front_door_->alive();
   });
   admission_open_ = false;
   return {std::move(admission_onions_), std::move(admission_contributors_)};
@@ -315,36 +311,29 @@ void CoordinatorDaemon::CollectLoop(CoordDaemonResult& result) {
         // the download side.
         round.dialing.get();
         ++result.dialing_rounds_completed;
-        if (clients_.empty()) {
+        if (front_door_ == nullptr) {
           // Synthetic mode: model the client fleet downloading its buckets
           // from the (now published) table — the §5.5 CDN fan-out.
           SyntheticFetchFanOut(round.announcement);
         }
         // Acknowledge the round to contributing clients; they follow up with
-        // kInvitationFetch for their bucket (ServeClientFetch).
+        // kInvitationFetch for their bucket (BuildFetchReply).
         for (size_t contributor : round.contributors) {
-          ClientSlot& client = *clients_[contributor];
-          std::lock_guard<std::mutex> lock(client.send_mutex);
-          if (client.alive.load()) {
-            client.conn.SendFrame(
-                net::Frame{net::FrameType::kDialAck, round.announcement.round, {}});
-          }
+          front_door_->Send(contributor,
+                            net::Frame{net::FrameType::kDialAck, round.announcement.round, {}});
         }
       } else {
         mixnet::Chain::ConversationResult conversation = round.conversation.get();
         result.messages_exchanged += conversation.messages_exchanged;
         ++result.conversation_rounds_completed;
         for (size_t slot = 0; slot < round.contributors.size(); ++slot) {
-          ClientSlot& client = *clients_[round.contributors[slot]];
-          std::lock_guard<std::mutex> lock(client.send_mutex);
-          if (client.alive.load()) {
-            // Copy only when the batch is also being retained for the test
-            // hook; the production path moves as before.
-            client.conn.SendFrame(net::Frame{
-                net::FrameType::kConversationResponse, round.announcement.round,
-                config_.record_responses ? conversation.responses[slot]
-                                         : std::move(conversation.responses[slot])});
-          }
+          // Copy only when the batch is also being retained for the test
+          // hook; the production path moves as before.
+          front_door_->Send(
+              round.contributors[slot],
+              net::Frame{net::FrameType::kConversationResponse, round.announcement.round,
+                         config_.record_responses ? conversation.responses[slot]
+                                                  : std::move(conversation.responses[slot])});
         }
         if (config_.record_responses) {
           result.responses[round.announcement.round] = std::move(conversation.responses);
@@ -461,18 +450,10 @@ void CoordinatorDaemon::SubmitRetries(engine::RoundScheduler& scheduler) {
 CoordDaemonResult CoordinatorDaemon::Run() {
   CoordDaemonResult result;
 
-  for (size_t i = 0; i < config_.num_clients; ++i) {
-    auto conn = client_listener_.Accept();
-    if (!conn) {
-      return result;
-    }
-    auto slot = std::make_unique<ClientSlot>();
-    slot->conn = std::move(*conn);
-    slot->alive.store(true);
-    clients_.push_back(std::move(slot));
-  }
-  for (size_t i = 0; i < clients_.size(); ++i) {
-    clients_[i]->reader = std::thread([this, i] { ReadClient(i); });
+  if (front_door_ != nullptr) {
+    // The reactor has been accepting since Start(); rounds begin once the
+    // expected fleet is registered (disconnected clients keep their index).
+    front_door_->WaitForClients(config_.num_clients);
   }
 
   // The scheduler drives the pipeline phases of the shared round lifecycle;
@@ -504,7 +485,7 @@ CoordDaemonResult CoordinatorDaemon::Run() {
     PendingRound pending;
     pending.announcement = announcement;
 
-    if (clients_.empty()) {
+    if (front_door_ == nullptr) {
       if (config_.admission_window_seconds > 0) {
         // Pace synthetic rounds like real admission windows (also what keeps
         // multi-process smoke runs long enough to inject failures into).
@@ -520,7 +501,7 @@ CoordDaemonResult CoordinatorDaemon::Run() {
         admission_type_ = announcement.type;
         admission_onions_.clear();
         admission_contributors_.clear();
-        admission_dedup_[announcement.round].assign(clients_.size(), 0);
+        admission_dedup_[announcement.round].assign(front_door_->clients_seen(), 0);
         PruneAdmissionDedup(announcement.round);
       }
       BroadcastAnnouncement(announcement);
@@ -568,19 +549,12 @@ CoordDaemonResult CoordinatorDaemon::Run() {
   }
   result.wall_seconds = SecondsSince(start);
 
-  for (auto& client : clients_) {
-    {
-      std::lock_guard<std::mutex> lock(client->send_mutex);
-      if (client->alive.load()) {
-        client->conn.SendFrame(net::Frame{net::FrameType::kShutdown, 0, {}});
-      }
-    }
-    // Shutdown (not Close) wakes the reader thread safely; the descriptor is
-    // released only after the join, when the slot is destroyed.
-    client->conn.Shutdown();
-    client->reader.join();
+  if (front_door_ != nullptr) {
+    // Orderly cascade: announce shutdown, give clients a beat to hang up
+    // themselves, cut the stragglers, then stop the reactor.
+    front_door_->CloseClients(net::Frame{net::FrameType::kShutdown, 0, {}}, /*grace_ms=*/2000);
+    front_door_->Shutdown();
   }
-  clients_.clear();
 
   if (config_.shutdown_hops_on_exit) {
     for (ReconnectingTransport* hop : recon_hops_) {

@@ -59,6 +59,7 @@
 #include "src/engine/round_scheduler.h"
 #include "src/net/tcp.h"
 #include "src/transport/dist_router.h"
+#include "src/transport/front_door.h"
 #include "src/transport/reconnecting_transport.h"
 #include "src/transport/tcp_transport.h"
 
@@ -109,9 +110,13 @@ struct CoordDaemonConfig {
   int supervisor_interval_ms = 100;
   double retry_backoff_seconds = 0.1;
 
-  // Client admission (TCP mode). 0 clients selects synthetic mode.
+  // Client admission (TCP mode). 0 clients selects synthetic mode. The
+  // client edge is a net::EventLoop reactor (transport::FrontDoor): one
+  // thread serves every client, and one connection multiplexes submissions
+  // and bucket fetches by frame type.
   uint16_t client_port = 0;  // 0 picks an ephemeral port
   size_t num_clients = 0;
+  int client_backlog = 4096;
 
   // Synthetic mode.
   uint64_t synthetic_users = 0;
@@ -159,7 +164,7 @@ class CoordinatorDaemon {
   bool Start();
 
   // Valid after Start() in client mode.
-  uint16_t client_port() const { return client_listener_.port(); }
+  uint16_t client_port() const { return front_door_ ? front_door_->port() : 0; }
 
   // Accepts clients (client mode), announces and drives all rounds, drains
   // the pipeline, and shuts clients (and optionally hops) down.
@@ -179,13 +184,6 @@ class CoordinatorDaemon {
   coord::DistributionBackend* distribution() const { return dist_backend_.get(); }
 
  private:
-  struct ClientSlot {
-    net::TcpConnection conn;
-    std::mutex send_mutex;  // announcements and responses race on the socket
-    std::thread reader;
-    std::atomic<bool> alive{false};
-  };
-
   struct PendingRound {
     wire::RoundAnnouncement announcement;
     std::vector<size_t> contributors;  // client index per batch slot
@@ -199,10 +197,13 @@ class CoordinatorDaemon {
     std::future<mixnet::Chain::DialingResult> dialing;
   };
 
-  void ReadClient(size_t index);
-  // Serves one client's kInvitationFetch through the distribution backend
-  // (the coordinator proxies for TCP clients that have no dist-fleet route).
-  void ServeClientFetch(size_t index, uint64_t round, util::ByteSpan payload);
+  // FrontDoor admission handler (reactor loop thread): one client's
+  // kConversationRequest / kDialRequest / kShutdown frame.
+  void OnClientFrame(size_t index, net::Frame&& frame);
+  // Builds the reply to one client's kInvitationFetch through the
+  // distribution backend (the coordinator proxies for TCP clients that have
+  // no dist-fleet route). Runs on the FrontDoor fetch worker.
+  net::Frame BuildFetchReply(uint64_t round, util::ByteSpan payload);
   // Synthetic mode: models the §5.5 download fan-out — every synthetic user
   // fetches its bucket of the completed dialing round.
   void SyntheticFetchFanOut(const wire::RoundAnnouncement& announcement);
@@ -264,8 +265,8 @@ class CoordinatorDaemon {
   std::deque<PendingRound> retry_queue_;
   uint64_t unresolved_rounds_ = 0;
 
-  net::TcpListener client_listener_;
-  std::vector<std::unique_ptr<ClientSlot>> clients_;
+  // The reactor-backed client edge (client mode; nullptr in synthetic mode).
+  std::unique_ptr<FrontDoor> front_door_;
 
   // Admission state for the currently announced round.
   mutable std::mutex admission_mutex_;

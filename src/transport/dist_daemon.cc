@@ -1,6 +1,7 @@
 #include "src/transport/dist_daemon.h"
 
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "src/deaddrop/invitation_table.h"
@@ -19,14 +20,14 @@ bool SendError(net::TcpConnection& conn, uint64_t round, const std::string& mess
 }  // namespace
 
 DistDaemon::DistDaemon(const DistDaemonConfig& config, net::TcpListener listener)
-    : config_(config), listener_(std::move(listener)) {}
+    : config_(config), port_(listener.port()), listener_(std::move(listener)) {}
 
 std::unique_ptr<DistDaemon> DistDaemon::Create(const DistDaemonConfig& config) {
   if (config.num_shards == 0 || config.shard_index >= config.num_shards ||
       config.max_rounds == 0) {
     return nullptr;
   }
-  auto listener = net::TcpListener::Listen(config.port);
+  auto listener = net::TcpListener::Listen(config.port, config.backlog);
   if (!listener) {
     return nullptr;
   }
@@ -39,6 +40,104 @@ size_t DistDaemon::rounds_held() const {
 }
 
 void DistDaemon::Serve() {
+  if (config_.reactor) {
+    ServeReactor();
+    return;
+  }
+  ServeThreaded();
+}
+
+void DistDaemon::ServeReactor() {
+  // Per-connection reassembly state: one streaming BatchAssembler, so peak
+  // buffered memory per downloader stays one chunk, exactly as on the
+  // threaded path.
+  struct ConnState {
+    BatchAssembler assembler;
+    bool in_batch = false;
+  };
+  std::unordered_map<net::EventLoop::ConnId, ConnState> states;
+  net::EventLoop* loop = nullptr;  // assigned before Run(); handlers run inside Run()
+
+  auto send_error = [&loop](net::EventLoop::ConnId id, uint64_t round,
+                            const std::string& message) {
+    loop->Send(id, net::Frame{net::FrameType::kHopError, round,
+                              util::Bytes(message.begin(), message.end())});
+  };
+
+  net::EventLoop::Handlers handlers;
+  handlers.on_accept = [&states](net::EventLoop::ConnId id, uint64_t) { states.try_emplace(id); };
+  handlers.on_close = [&states](net::EventLoop::ConnId id) { states.erase(id); };
+  handlers.on_frame = [&, this](net::EventLoop::ConnId id, net::Frame&& frame) {
+    auto it = states.find(id);
+    if (it == states.end()) {
+      return;
+    }
+    ConnState& state = it->second;
+    if (!state.in_batch) {
+      if (frame.type == net::FrameType::kShutdown) {
+        // Orderly multi-process shutdown: stop the whole daemon, not just
+        // this connection (the router owns the fleet's lifetime).
+        Stop();
+        return;
+      }
+      if (frame.type != net::FrameType::kInvitationPublish &&
+          frame.type != net::FrameType::kInvitationFetch) {
+        send_error(id, frame.round, "unsupported dist op");
+        return;
+      }
+      state.in_batch = true;
+      state.assembler = BatchAssembler();
+    }
+    BatchAssembler::Status status = state.assembler.Consume(frame);
+    if (status == BatchAssembler::Status::kNeedMore) {
+      return;
+    }
+    if (status == BatchAssembler::Status::kError) {
+      state.in_batch = false;
+      state.assembler = BatchAssembler();
+      send_error(id, 0, "malformed batch message");
+      return;
+    }
+    BatchMessage request = state.assembler.Take();
+    state.in_batch = false;
+    state.assembler = BatchAssembler();
+    RpcReply reply = HandleRequest(request);
+    if (!reply.ok) {
+      send_error(id, request.round, reply.error);
+      return;
+    }
+    auto frames =
+        EncodeBatchChunks(reply.op, request.round, {}, reply.items, config_.chunk_payload);
+    if (!frames) {
+      send_error(id, request.round, "reply item exceeds chunk budget");
+      return;
+    }
+    for (const net::Frame& chunk : *frames) {
+      if (!loop->Send(id, chunk)) {
+        return;  // client gone or write buffer blown; the loop closed it
+      }
+    }
+  };
+
+  auto owned_loop = net::EventLoop::Create(std::move(handlers));
+  if (!owned_loop || !owned_loop->AddListener(std::move(listener_))) {
+    VZ_LOG_ERROR << "dist shard " << config_.shard_index << ": reactor setup failed";
+    return;
+  }
+  loop = owned_loop.get();
+  {
+    std::lock_guard<std::mutex> lock(loop_mutex_);
+    if (stop_.load()) {
+      return;  // Stop() ran before the loop was published
+    }
+    loop_ = owned_loop.get();
+  }
+  owned_loop->Run();
+  std::lock_guard<std::mutex> lock(loop_mutex_);
+  loop_ = nullptr;
+}
+
+void DistDaemon::ServeThreaded() {
   while (!stop_.load()) {
     auto conn = listener_.Accept();
     if (!conn) {
@@ -65,6 +164,12 @@ void DistDaemon::Serve() {
 void DistDaemon::Stop() {
   stop_.store(true);
   listener_.Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(loop_mutex_);
+    if (loop_ != nullptr) {
+      loop_->Stop();
+    }
+  }
   std::lock_guard<std::mutex> lock(conns_mutex_);
   for (auto& slot : conns_) {
     if (!slot->done.load()) {
@@ -155,24 +260,39 @@ void DistDaemon::ServeConnection(ConnSlot& slot) {
 }
 
 bool DistDaemon::Dispatch(net::TcpConnection& conn, BatchMessage request) {
+  RpcReply reply = HandleRequest(request);
+  if (!reply.ok) {
+    return SendError(conn, request.round, reply.error);
+  }
+  return SendBatchMessage(conn, reply.op, request.round, {}, reply.items, config_.chunk_payload);
+}
+
+DistDaemon::RpcReply DistDaemon::HandleRequest(const BatchMessage& request) {
   try {
     if (request.op == net::FrameType::kInvitationPublish) {
-      return HandlePublish(conn, request);
+      return HandlePublish(request);
     }
-    return HandleFetch(conn, request);
+    return HandleFetch(request);
   } catch (const std::exception& e) {
     VZ_LOG_WARN << "dist shard rpc failed (round " << request.round << "): " << e.what();
-    return SendError(conn, request.round, e.what());
+    RpcReply reply;
+    reply.error = e.what();
+    return reply;
   }
 }
 
-bool DistDaemon::HandlePublish(net::TcpConnection& conn, const BatchMessage& request) {
+DistDaemon::RpcReply DistDaemon::HandlePublish(const BatchMessage& request) {
+  RpcReply reply;
+  auto fail = [&reply](const char* message) {
+    reply.error = message;
+    return reply;
+  };
   auto header = ParseInvitationPublishHeader(request.header);
   if (!header) {
-    return SendError(conn, request.round, "malformed invitation-publish header");
+    return fail("malformed invitation-publish header");
   }
   if (header->shard_index != config_.shard_index || header->num_shards != config_.num_shards) {
-    return SendError(conn, request.round, "dist partition map mismatch");
+    return fail("dist partition map mismatch");
   }
   deaddrop::InvitationDropRange range = deaddrop::InvitationDropsOfShard(
       config_.shard_index, header->num_drops, config_.num_shards);
@@ -184,10 +304,10 @@ bool DistDaemon::HandlePublish(net::TcpConnection& conn, const BatchMessage& req
   for (const auto& item : request.items) {
     auto parsed = wire::DialRequest::Parse(item);
     if (!parsed) {
-      return SendError(conn, request.round, "malformed published invitation");
+      return fail("malformed published invitation");
     }
     if (parsed->dead_drop_index < range.begin || parsed->dead_drop_index >= range.end) {
-      return SendError(conn, request.round, "published invitation outside bucket range");
+      return fail("published invitation outside bucket range");
     }
     slice.buckets[parsed->dead_drop_index - range.begin].push_back(parsed->invitation);
   }
@@ -197,7 +317,7 @@ bool DistDaemon::HandlePublish(net::TcpConnection& conn, const BatchMessage& req
   // fetches to — a divergence from the in-process backend that would only
   // surface as sporadic unknown-round errors.
   if (header->keep_latest > config_.max_rounds) {
-    return SendError(conn, request.round, "keep_latest exceeds shard --max-rounds");
+    return fail("keep_latest exceeds shard --max-rounds");
   }
   {
     std::unique_lock<std::shared_mutex> lock(tables_mutex_);
@@ -205,45 +325,50 @@ bool DistDaemon::HandlePublish(net::TcpConnection& conn, const BatchMessage& req
     rounds_.Expire(header->keep_latest);
   }
   publishes_stored_.fetch_add(1);
-  return SendBatchMessage(conn, request.op, request.round, {}, {}, config_.chunk_payload);
+  reply.ok = true;
+  reply.op = request.op;  // ack: same op, zero items
+  return reply;
 }
 
-bool DistDaemon::HandleFetch(net::TcpConnection& conn, const BatchMessage& request) {
+DistDaemon::RpcReply DistDaemon::HandleFetch(const BatchMessage& request) {
+  RpcReply reply;
+  auto fail = [&reply](const char* message) {
+    reply.error = message;
+    return reply;
+  };
   auto header = ParseInvitationFetchHeader(request.header);
   if (!header) {
-    return SendError(conn, request.round, "malformed invitation-fetch header");
+    return fail("malformed invitation-fetch header");
   }
   if (header->shard_index != config_.shard_index || header->num_shards != config_.num_shards) {
-    return SendError(conn, request.round, "dist partition map mismatch");
+    return fail("dist partition map mismatch");
   }
-  std::vector<util::Bytes> items;
   {
     std::shared_lock<std::shared_mutex> lock(tables_mutex_);
     const RoundSlice* found = rounds_.Find(request.round);
     if (found == nullptr) {
-      lock.unlock();
-      return SendError(conn, request.round, kDistUnknownRoundError);
+      return fail(kDistUnknownRoundError);
     }
     const RoundSlice& slice = *found;
     if (header->num_drops != slice.num_drops) {
-      lock.unlock();
-      return SendError(conn, request.round, "bucket map mismatch");
+      return fail("bucket map mismatch");
     }
     if (header->drop_index < slice.range_begin ||
         header->drop_index - slice.range_begin >= slice.buckets.size()) {
-      lock.unlock();
-      return SendError(conn, request.round, "bucket outside shard range");
+      return fail("bucket outside shard range");
     }
     uint32_t offset = header->drop_index - slice.range_begin;
     const auto& bucket = slice.buckets[offset];
-    items.reserve(bucket.size());
+    reply.items.reserve(bucket.size());
     for (const auto& invitation : bucket) {
-      items.emplace_back(invitation.begin(), invitation.end());
+      reply.items.emplace_back(invitation.begin(), invitation.end());
     }
   }
   fetches_served_.fetch_add(1);
-  bytes_served_.fetch_add(items.size() * wire::kInvitationSize);
-  return SendBatchMessage(conn, request.op, request.round, {}, items, config_.chunk_payload);
+  bytes_served_.fetch_add(reply.items.size() * wire::kInvitationSize);
+  reply.ok = true;
+  reply.op = request.op;
+  return reply;
 }
 
 }  // namespace vuvuzela::transport

@@ -12,8 +12,15 @@
 // Unlike the hop and exchange daemons — whose one-connection-at-a-time
 // discipline *is* the engine's stage serialization — a dist shard is a
 // broadcast server: the router's persistent publish connection and any number
-// of downloading clients are served concurrently, one thread per connection,
-// over a shared-mutex table store (publishes exclusive, fetches shared).
+// of downloading clients are served concurrently over a shared-mutex table
+// store (publishes exclusive, fetches shared). The default serve path is a
+// net::EventLoop reactor (one thread, every connection, per-connection
+// BatchAssembler reassembly — this edge faces the client fleet, where
+// thread-per-connection cannot scale); `config.reactor = false` selects the
+// original thread-per-connection path, kept as an operational fallback and
+// as the reference the byte-identity conformance test compares against.
+// Both paths answer through the same HandleRequest and the same chunk
+// builder, so their replies are byte-identical by construction.
 //
 // State is per-round and replaceable: a re-published round (the
 // coordinator's retry path) overwrites its slice, and every publish carries
@@ -32,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/net/event_loop.h"
 #include "src/net/tcp.h"
 #include "src/transport/hop_wire.h"
 #include "src/util/keep_latest.h"
@@ -51,6 +59,12 @@ struct DistDaemonConfig {
   // Backstop cap on retained rounds, should a router never piggyback an
   // expiry horizon (each publish's keep_latest is the primary bound).
   size_t max_rounds = 64;
+  // Serve path: epoll reactor (default) or thread-per-connection (fallback;
+  // vuvuzela-distd --threaded).
+  bool reactor = true;
+  // Reactor accept-queue depth (the threaded path keeps the listener
+  // default; its accept loop was never the bottleneck).
+  int backlog = 4096;
 };
 
 class DistDaemon {
@@ -59,7 +73,7 @@ class DistDaemon {
   // coordinates are out of range.
   static std::unique_ptr<DistDaemon> Create(const DistDaemonConfig& config);
 
-  uint16_t port() const { return listener_.port(); }
+  uint16_t port() const { return port_; }
   const DistDaemonConfig& config() const { return config_; }
 
   // Observability: publishes stored, buckets served, invitation bytes served.
@@ -90,18 +104,35 @@ class DistDaemon {
     std::atomic<bool> done{false};
   };
 
+  // Outcome of one dist RPC: an error report (one kHopError frame) or a
+  // batch-message reply — the wire encoding is left to the serve path, both
+  // of which go through the same chunk builder.
+  struct RpcReply {
+    bool ok = false;
+    std::string error;              // when !ok
+    net::FrameType op = net::FrameType::kHopError;
+    std::vector<util::Bytes> items;  // when ok (reply headers are empty)
+  };
+
   DistDaemon(const DistDaemonConfig& config, net::TcpListener listener);
 
+  // The shared RPC core: validates, mutates/reads the table store, and
+  // builds the reply both serve paths encode identically.
+  RpcReply HandleRequest(const BatchMessage& request);
+  RpcReply HandlePublish(const BatchMessage& request);
+  RpcReply HandleFetch(const BatchMessage& request);
+
+  void ServeReactor();
+  void ServeThreaded();
   void ServeConnection(ConnSlot& slot);
   bool Dispatch(net::TcpConnection& conn, BatchMessage request);
-  bool HandlePublish(net::TcpConnection& conn, const BatchMessage& request);
-  bool HandleFetch(net::TcpConnection& conn, const BatchMessage& request);
   // Joins finished connection threads; `all` also joins live ones (Stop path,
   // after their sockets were shut down).
   void ReapConnections(bool all);
 
   DistDaemonConfig config_;
-  net::TcpListener listener_;
+  uint16_t port_ = 0;
+  net::TcpListener listener_;  // moved into the reactor by ServeReactor()
   std::atomic<uint64_t> publishes_stored_{0};
   std::atomic<uint64_t> fetches_served_{0};
   std::atomic<uint64_t> bytes_served_{0};
@@ -111,9 +142,14 @@ class DistDaemon {
   mutable std::shared_mutex tables_mutex_;
   util::KeepLatestMap<RoundSlice> rounds_;
 
-  // Accept-loop bookkeeping (touched only under conns_mutex_).
+  // Accept-loop bookkeeping (touched only under conns_mutex_; threaded path).
   std::mutex conns_mutex_;
   std::vector<std::unique_ptr<ConnSlot>> conns_;
+
+  // Reactor serve path: the loop pointer is published under loop_mutex_ so a
+  // concurrent Stop() can reach it (it lives on Serve()'s stack).
+  std::mutex loop_mutex_;
+  net::EventLoop* loop_ = nullptr;
 };
 
 }  // namespace vuvuzela::transport

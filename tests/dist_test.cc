@@ -146,6 +146,117 @@ TEST(DistConformance, ExpiryDropsOldRoundsOnRouterAndShards) {
   EXPECT_EQ(fetcher.FetchBucket(coord::kDialingRoundBase + 2, 0, 4).size(), 1u);
 }
 
+// The epoll-reactor serve path (config.reactor = true — the default, so every
+// DistGroup test above already runs against it) must be observationally
+// identical to the thread-per-connection path it replaced. Both answer through
+// the same HandleRequest core and the same chunk builder, so identity should
+// hold by construction; this test checks it empirically at the wire level:
+// multi-chunk bucket fetches and every error-reply class compare byte for
+// byte between a reactor daemon and a --threaded daemon holding the same
+// published table.
+TEST(DistConformance, ReactorByteIdenticalToThreadedServePath) {
+  const uint32_t kNumDrops = 6;
+  const uint64_t kRound = coord::kDialingRoundBase;
+  // A small chunk budget forces multi-chunk replies through both encoders.
+  const size_t kChunk = 256;
+
+  struct ServePath {
+    std::unique_ptr<DistDaemon> daemon;
+    std::thread serve;
+  };
+  auto start = [&](bool reactor) {
+    DistDaemonConfig config;
+    config.reactor = reactor;
+    config.chunk_payload = kChunk;
+    ServePath path;
+    path.daemon = DistDaemon::Create(config);
+    if (path.daemon != nullptr) {
+      path.serve = std::thread([daemon = path.daemon.get()] { daemon->Serve(); });
+    }
+    return path;
+  };
+  ServePath reactor = start(/*reactor=*/true);
+  ServePath threaded = start(/*reactor=*/false);
+  ASSERT_NE(reactor.daemon, nullptr);
+  ASSERT_NE(threaded.daemon, nullptr);
+
+  // Publish the same table to both through the router's wire path.
+  deaddrop::InvitationTable table = MakeTable(kNumDrops, {3, 0, 5, 1, 2, 7}, 99);
+  for (DistDaemon* daemon : {reactor.daemon.get(), threaded.daemon.get()}) {
+    DistRouterConfig config;
+    config.shards.push_back({"127.0.0.1", daemon->port()});
+    config.chunk_payload = kChunk;
+    auto router = DistRouter::Connect(config);
+    ASSERT_NE(router, nullptr);
+    router->Publish(kRound, CopyTable(table));
+  }
+  ASSERT_EQ(reactor.daemon->rounds_held(), 1u);
+  ASSERT_EQ(threaded.daemon->rounds_held(), 1u);
+
+  auto connect = [](uint16_t port) {
+    auto conn = net::TcpConnection::Connect("127.0.0.1", port);
+    EXPECT_TRUE(conn.has_value());
+    if (conn) {
+      conn->SetRecvTimeout(10000);
+    }
+    return conn;
+  };
+  auto reactor_conn = connect(reactor.daemon->port());
+  auto threaded_conn = connect(threaded.daemon->port());
+  ASSERT_TRUE(reactor_conn.has_value() && threaded_conn.has_value());
+
+  // Every bucket — including the empty one — fetched over both paths, on one
+  // persistent connection each (the fetcher's access pattern). The same
+  // `peer_label` makes thrown error strings comparable below.
+  for (uint32_t drop = 0; drop < kNumDrops; ++drop) {
+    util::Bytes header =
+        EncodeInvitationFetchHeader({/*shard_index=*/0, /*num_shards=*/1, kNumDrops, drop});
+    BatchMessage from_reactor =
+        CallBatchRpc(*reactor_conn, "shard", net::FrameType::kInvitationFetch, kRound, header, {},
+                     kChunk);
+    BatchMessage from_threaded =
+        CallBatchRpc(*threaded_conn, "shard", net::FrameType::kInvitationFetch, kRound, header, {},
+                     kChunk);
+    EXPECT_EQ(from_reactor.op, from_threaded.op) << "bucket " << drop;
+    EXPECT_EQ(from_reactor.round, from_threaded.round) << "bucket " << drop;
+    EXPECT_EQ(from_reactor.header, from_threaded.header) << "bucket " << drop;
+    EXPECT_EQ(from_reactor.items, from_threaded.items) << "bucket " << drop;
+    EXPECT_EQ(from_reactor.items.size(), table.Drop(drop).size()) << "bucket " << drop;
+  }
+  EXPECT_EQ(reactor.daemon->fetches_served(), threaded.daemon->fetches_served());
+  EXPECT_EQ(reactor.daemon->bytes_served(), threaded.daemon->bytes_served());
+
+  // Error replies carry the same report on both paths: unknown round, a
+  // partition-shape mismatch, and a non-dist op as the opening frame.
+  auto remote_error = [&](net::TcpConnection& conn, net::FrameType op, uint64_t round,
+                          util::ByteSpan header) -> std::string {
+    try {
+      CallBatchRpc(conn, "shard", op, round, header, {}, kChunk);
+    } catch (const HopRemoteError& e) {
+      return e.what();
+    }
+    return "(no error)";
+  };
+  util::Bytes fetch0 = EncodeInvitationFetchHeader({0, 1, kNumDrops, 0});
+  std::string unknown_reactor =
+      remote_error(*reactor_conn, net::FrameType::kInvitationFetch, kRound + 7, fetch0);
+  EXPECT_EQ(unknown_reactor,
+            remote_error(*threaded_conn, net::FrameType::kInvitationFetch, kRound + 7, fetch0));
+  EXPECT_NE(unknown_reactor.find(kDistUnknownRoundError), std::string::npos);
+
+  util::Bytes mismatched = EncodeInvitationFetchHeader({1, 2, kNumDrops, kNumDrops - 1});
+  EXPECT_EQ(remote_error(*reactor_conn, net::FrameType::kInvitationFetch, kRound, mismatched),
+            remote_error(*threaded_conn, net::FrameType::kInvitationFetch, kRound, mismatched));
+
+  EXPECT_EQ(remote_error(*reactor_conn, net::FrameType::kDialAck, kRound, {}),
+            remote_error(*threaded_conn, net::FrameType::kDialAck, kRound, {}));
+
+  for (ServePath* path : {&reactor, &threaded}) {
+    path->daemon->Stop();
+    path->serve.join();
+  }
+}
+
 TEST(DistWire, HeaderCodecsRejectMalformedInput) {
   InvitationPublishHeader publish{1, 2, 8, 4};
   util::Bytes publish_bytes = EncodeInvitationPublishHeader(publish);

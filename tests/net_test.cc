@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -279,6 +280,50 @@ TEST(Tcp, ConnectWithDeadlineStillWorksOnLoopback) {
   auto received = server_side->RecvFrame();
   ASSERT_TRUE(received.has_value());
   EXPECT_EQ(received->payload, frame.payload);
+}
+
+// Regression: SendFrame on a non-blocking socket must survive partial writes
+// and EAGAIN (poll for writability and resume), not report failure with a
+// half-frame on the wire. This is the blocking transport's contract once
+// descriptors start moving between it and the event loop.
+TEST(Tcp, SendFrameSurvivesNonBlockingPartialWrites) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.has_value());
+  auto client = TcpConnection::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  auto server_side = listener->Accept();
+  ASSERT_TRUE(server_side.has_value());
+
+  // Re-wrap the client socket as non-blocking with a tiny send buffer, so a
+  // multi-megabyte frame is guaranteed to hit EAGAIN mid-write.
+  int fd = client->ReleaseFd();
+  int small = 8 << 10;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &small, sizeof(small)), 0);
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ASSERT_EQ(::fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0);
+  TcpConnection nonblocking(fd);
+
+  util::Bytes big(4u << 20);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<uint8_t>(i * 13);
+  }
+  std::thread reader([&] {
+    // Start late so the writer is parked in EAGAIN, then drain.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    auto frame = server_side->RecvFrame();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->payload, big);
+  });
+  EXPECT_TRUE(nonblocking.SendFrame(Frame{FrameType::kInvitationDrop, 2, big}));
+  reader.join();
+}
+
+TEST(Tcp, ListenAcceptsBacklogParameter) {
+  auto listener = TcpListener::Listen(0, /*backlog=*/1);
+  ASSERT_TRUE(listener.has_value());
+  auto client = TcpConnection::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.has_value());
+  EXPECT_TRUE(listener->Accept().has_value());
 }
 
 TEST(Tcp, MultipleFramesOnOneConnection) {

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "src/coord/keydir.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/transport/coord_daemon.h"
 
 using namespace vuvuzela;
@@ -39,6 +41,8 @@ struct Flags {
   // Fault tolerance: submission attempts per round (1 = abandon on first
   // failure, the pre-recovery behavior).
   uint32_t retries = 3;
+  // /metrics + /trace HTTP port (-1 = disabled, 0 = ephemeral).
+  int metrics_port = -1;
 };
 
 bool ParseHops(const std::string& list, std::vector<transport::HopEndpoint>* hops) {
@@ -69,6 +73,7 @@ void Usage(const char* argv0) {
                "          [--dist host:port[,host:port...]] [--dist-keep R]\n"
                "          [--rounds N] [--k K] [--users U | --clients C [--client-port P]]\n"
                "          [--window SEC] [--timeout-ms MS] [--conv-per-dial N] [--retries R]\n"
+               "          [--metrics-port P]\n"
                "--key-dir loads the chain's public keys from vuvuzela-keygen output instead\n"
                "of deriving them from the shared seed. --retries bounds submission attempts\n"
                "per round (crashed rounds re-enter the next admission window; 1 disables).\n"
@@ -125,6 +130,12 @@ bool Parse(int argc, char** argv, Flags* flags) {
       if (flags->retries == 0) {
         return false;
       }
+    } else if (arg == "--metrics-port" && (value = next())) {
+      unsigned long port = std::strtoul(value, nullptr, 10);
+      if (port > 65535) {
+        return false;
+      }
+      flags->metrics_port = static_cast<int>(port);
     } else if (arg == "--key-dir" && (value = next())) {
       flags->key_dir = value;
     } else {
@@ -156,6 +167,7 @@ int main(int argc, char** argv) {
   config.max_round_attempts = flags.retries;
   config.client_port = flags.client_port;
   config.num_clients = flags.clients;
+  config.metrics_port = flags.metrics_port;
   config.synthetic_users = flags.users;
   config.key_seed = flags.seed;
   config.workload_seed = flags.seed ^ 0x9e3779b97f4a7c15ULL;
@@ -175,10 +187,16 @@ int main(int argc, char** argv) {
     config.public_keys = std::move(*chain_keys);
   }
 
+  obs::TraceJournal::Global().SetProcess("coordd");
   transport::CoordinatorDaemon coordinator(std::move(config));
   if (!coordinator.Start()) {
     std::fprintf(stderr, "vuvuzela-coordd: failed to reach every hop\n");
     return 1;
+  }
+  if (flags.metrics_port >= 0) {
+    std::printf("vuvuzela-coordd: metrics on http://127.0.0.1:%u/metrics\n",
+                coordinator.metrics_port());
+    std::fflush(stdout);
   }
   if (flags.clients > 0) {
     std::printf("vuvuzela-coordd: waiting for %zu clients on 127.0.0.1:%u\n", flags.clients,
@@ -205,6 +223,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.dialing_fetch_bytes),
               flags.dist.empty() ? "in-process distributor"
                                  : "sharded vuvuzela-distd fleet");
+  // Machine-readable final snapshot of every registry metric, one line —
+  // what post-mortem tooling parses when no scraper ran during the schedule.
+  std::printf("vuvuzela-coordd: metrics %s\n",
+              obs::Registry::Global().SnapshotJson().c_str());
   // Synthetic mode asserts the modeled download fan-out in full; client mode
   // leaves expected at 0 (clients fetch on their own schedule).
   bool downloads_ok = result.dialing_fetches_expected == 0 ||

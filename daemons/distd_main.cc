@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/obs/trace.h"
 #include "src/transport/dist_daemon.h"
 #include "src/util/logging.h"
 
@@ -28,11 +29,13 @@ struct Flags {
   uint32_t shards = 1;
   size_t max_rounds = 64;
   bool threaded = false;
+  int metrics_port = -1;  // /metrics + /trace (-1 = disabled, 0 = ephemeral)
 };
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --shard I --shards N [--port P] [--max-rounds R] [--threaded]\n"
+               "          [--metrics-port P]\n"
                "Runs one invitation-distribution shard (shard I of N); port 0 picks an\n"
                "ephemeral port and prints it. --max-rounds caps retained publications\n"
                "(each publish also carries the coordinator's expiry horizon). --threaded\n"
@@ -60,6 +63,12 @@ bool Parse(int argc, char** argv, Flags* flags) {
       flags->max_rounds = std::strtoul(value, nullptr, 10);
     } else if (arg == "--threaded") {
       flags->threaded = true;
+    } else if (arg == "--metrics-port" && (value = next())) {
+      unsigned long port = std::strtoul(value, nullptr, 10);
+      if (port > 65535) {
+        return false;
+      }
+      flags->metrics_port = static_cast<int>(port);
     } else {
       return false;
     }
@@ -76,20 +85,26 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  obs::TraceJournal::Global().SetProcess("distd-" + std::to_string(flags.shard));
   transport::DistDaemonConfig config;
   config.port = flags.port;
   config.shard_index = flags.shard;
   config.num_shards = flags.shards;
   config.max_rounds = flags.max_rounds;
   config.reactor = !flags.threaded;
+  config.metrics_port = flags.metrics_port;
   auto daemon = transport::DistDaemon::Create(config);
   if (!daemon) {
     std::fprintf(stderr, "vuvuzela-distd: cannot listen on port %u\n", flags.port);
     return 1;
   }
 
-  std::printf("vuvuzela-distd: shard %u/%u listening on 127.0.0.1:%u\n", flags.shard,
+  std::printf("vuvuzela-distd: shard %u/%u listening on 127.0.0.1:%u", flags.shard,
               flags.shards, daemon->port());
+  if (daemon->metrics_port() != 0) {
+    std::printf(" (metrics on http://127.0.0.1:%u/metrics)", daemon->metrics_port());
+  }
+  std::printf("\n");
   std::fflush(stdout);
   daemon->Serve();
   std::printf("vuvuzela-distd: shard %u stored %llu publishes, served %llu bucket fetches "

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/obs/trace.h"
 #include "src/transport/exchange_daemon.h"
 #include "src/util/logging.h"
 
@@ -25,11 +26,13 @@ struct Flags {
   uint32_t shard = 0;
   uint32_t shards = 1;
   size_t local_shards = 1;
+  int metrics_port = -1;  // /metrics + /trace (-1 = disabled, 0 = ephemeral)
 };
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --shard I --shards N [--port P] [--local-shards K]\n"
+               "          [--metrics-port P]\n"
                "Runs one exchange partition (shard I of N); port 0 picks an ephemeral port\n"
                "and prints it.\n",
                argv0);
@@ -52,6 +55,12 @@ bool Parse(int argc, char** argv, Flags* flags) {
       flags->port = static_cast<uint16_t>(port);
     } else if (arg == "--local-shards" && (value = next())) {
       flags->local_shards = std::strtoul(value, nullptr, 10);
+    } else if (arg == "--metrics-port" && (value = next())) {
+      unsigned long port = std::strtoul(value, nullptr, 10);
+      if (port > 65535) {
+        return false;
+      }
+      flags->metrics_port = static_cast<int>(port);
     } else {
       return false;
     }
@@ -68,19 +77,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  obs::TraceJournal::Global().SetProcess("exchanged-" + std::to_string(flags.shard));
   transport::ExchangedConfig config;
   config.port = flags.port;
   config.shard_index = flags.shard;
   config.num_shards = flags.shards;
   config.local_shards = flags.local_shards;
+  config.metrics_port = flags.metrics_port;
   auto daemon = transport::ExchangedDaemon::Create(config);
   if (!daemon) {
     std::fprintf(stderr, "vuvuzela-exchanged: cannot listen on port %u\n", flags.port);
     return 1;
   }
 
-  std::printf("vuvuzela-exchanged: shard %u/%u listening on 127.0.0.1:%u\n", flags.shard,
+  std::printf("vuvuzela-exchanged: shard %u/%u listening on 127.0.0.1:%u", flags.shard,
               flags.shards, daemon->port());
+  if (daemon->metrics_port() != 0) {
+    std::printf(" (metrics on http://127.0.0.1:%u/metrics)", daemon->metrics_port());
+  }
+  std::printf("\n");
   std::fflush(stdout);
   daemon->Serve();
   std::printf("vuvuzela-exchanged: shard %u served %llu RPCs, exiting\n", flags.shard,

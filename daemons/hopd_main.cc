@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/coord/keydir.h"
+#include "src/obs/trace.h"
 #include "src/transport/hop_chain.h"
 #include "src/transport/hop_daemon.h"
 #include "src/util/logging.h"
@@ -51,6 +52,7 @@ struct Flags {
   double dial_mu = 10.0;
   size_t exchange_shards = 0;  // 0 = one shard per pool worker (last hop only)
   std::vector<transport::ExchangePartitionEndpoint> exchange;  // last hop only
+  int metrics_port = -1;  // /metrics + /trace (-1 = disabled, 0 = ephemeral)
 };
 
 void Usage(const char* argv0) {
@@ -58,6 +60,7 @@ void Usage(const char* argv0) {
                "usage: %s [--position I --servers N] [--port P] [--mu M] [--dial-mu D]\n"
                "          [--seed S | --key-file HOP.key --key-dir CHAIN.pub]\n"
                "          [--shards K] [--exchange host:port[,host:port...]]\n"
+               "          [--metrics-port P]\n"
                "Runs one Vuvuzela chain hop; port 0 picks an ephemeral port and prints it.\n"
                "--key-file/--key-dir load vuvuzela-keygen output (the hop holds only its\n"
                "own secret; position and chain length come from the files). --seed is the\n"
@@ -120,6 +123,12 @@ bool Parse(int argc, char** argv, Flags* flags) {
       if (!ParseExchange(value, &flags->exchange)) {
         return false;
       }
+    } else if (arg == "--metrics-port" && (value = next())) {
+      unsigned long port = std::strtoul(value, nullptr, 10);
+      if (port > 65535) {
+        return false;
+      }
+      flags->metrics_port = static_cast<int>(port);
     } else {
       return false;
     }
@@ -215,9 +224,11 @@ int main(int argc, char** argv) {
   server_config.parallel = chain_config.parallel;
   server_config.exchange_shards = chain_config.exchange_shards;
 
+  obs::TraceJournal::Global().SetProcess("hopd-" + std::to_string(flags.position));
   transport::HopDaemonConfig daemon_config;
   daemon_config.port = flags.port;
   daemon_config.exchange.partitions = flags.exchange;
+  daemon_config.metrics_port = flags.metrics_port;
   auto daemon = transport::HopDaemon::Create(
       daemon_config,
       std::make_unique<mixnet::MixServer>(server_config, key_pair, public_keys, noise_seed));
@@ -233,6 +244,9 @@ int main(int argc, char** argv) {
               flags.servers, daemon->port());
   if (daemon->exchange_router()) {
     std::printf(" (exchange partitioned %zu ways)", daemon->exchange_router()->num_partitions());
+  }
+  if (daemon->metrics_port() != 0) {
+    std::printf(" (metrics on http://127.0.0.1:%u/metrics)", daemon->metrics_port());
   }
   std::printf("\n");
   std::fflush(stdout);

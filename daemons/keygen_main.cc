@@ -41,10 +41,12 @@ struct Flags {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --servers N --out DIR [--seed S]\n"
+               "usage: %s --servers N --out DIR [--seed S] [--metrics-port P]\n"
                "Writes DIR/hop<i>.key (one secret per hop, mode 0600) and DIR/chain.pub\n"
                "(the public key directory). --seed derives the same material as the\n"
-               "daemons' shared-seed ceremony; omit it for keys from the OS entropy pool.\n",
+               "daemons' shared-seed ceremony; omit it for keys from the OS entropy pool.\n"
+               "--metrics-port is accepted for fleet-launcher uniformity but ignored:\n"
+               "keygen is a one-shot ceremony with nothing to scrape.\n",
                argv0);
 }
 
@@ -60,6 +62,13 @@ bool Parse(int argc, char** argv, Flags* flags) {
     } else if (arg == "--seed" && (value = next())) {
       flags->seed = std::strtoull(value, nullptr, 10);
       flags->seeded = true;
+    } else if (arg == "--metrics-port" && (value = next())) {
+      // Accepted so fleet launchers can pass a uniform flag set to every
+      // vuvuzela-* binary; keygen exits before any scrape could land.
+      unsigned long port = std::strtoul(value, nullptr, 10);
+      if (port > 65535) {
+        return false;
+      }
     } else {
       return false;
     }

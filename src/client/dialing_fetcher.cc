@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/deaddrop/invitation_table.h"
+#include "src/obs/registry.h"
 
 namespace vuvuzela::client {
 
@@ -43,8 +44,18 @@ std::vector<wire::Invitation> DialingFetcher::FetchBucket(uint64_t round, uint32
   if (!bucket) {
     shard.Fail("ragged invitation in bucket");  // garbage stream; poison it
   }
-  bytes_fetched_ += bucket->size() * wire::kInvitationSize;
+  // §8.3 client bandwidth: charge what actually crossed the wire — every
+  // chunk's framing included — not just the invitation payloads, which
+  // undercount by the per-frame overhead.
+  bytes_fetched_ += message.wire_bytes;
   ++buckets_fetched_;
+  static obs::Counter* fetch_bytes = obs::Registry::Global().GetCounter(
+      "vuvuzela_client_fetch_bytes_total",
+      "On-the-wire bytes of bucket downloads, framing included");
+  static obs::Counter* fetch_buckets = obs::Registry::Global().GetCounter(
+      "vuvuzela_client_buckets_fetched_total", "Invitation buckets downloaded by clients");
+  fetch_bytes->Add(message.wire_bytes);
+  fetch_buckets->Add();
   return std::move(*bucket);
 }
 

@@ -2,7 +2,55 @@
 
 #include <stdexcept>
 
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
 namespace vuvuzela::engine {
+
+namespace {
+
+// Span name for a transition ("lifecycle/forward") — the vocabulary the
+// trace stitcher's per-round timelines are built from.
+const char* PhaseSpan(RoundPhase phase) {
+  switch (phase) {
+    case RoundPhase::kAnnounced:
+      return "lifecycle/announced";
+    case RoundPhase::kSubmitting:
+      return "lifecycle/submitting";
+    case RoundPhase::kForward:
+      return "lifecycle/forward";
+    case RoundPhase::kExchange:
+      return "lifecycle/exchange";
+    case RoundPhase::kBackward:
+      return "lifecycle/backward";
+    case RoundPhase::kDistributing:
+      return "lifecycle/distributing";
+    case RoundPhase::kComplete:
+      return "lifecycle/complete";
+    case RoundPhase::kRetrying:
+      return "lifecycle/retrying";
+    case RoundPhase::kAbandoned:
+      return "lifecycle/abandoned";
+  }
+  return "lifecycle/?";
+}
+
+std::string PhaseDetail(const RoundStatus& status) {
+  std::string detail = status.type == wire::RoundType::kDialing ? "type=dialing" : "type=conv";
+  if (status.phase == RoundPhase::kForward || status.phase == RoundPhase::kBackward) {
+    detail += " hop=" + std::to_string(status.hop);
+  }
+  if (status.attempt > 1) {
+    detail += " attempt=" + std::to_string(status.attempt);
+  }
+  if (!status.last_error.empty() &&
+      (status.phase == RoundPhase::kRetrying || status.phase == RoundPhase::kAbandoned)) {
+    detail += " error=" + status.last_error;
+  }
+  return detail;
+}
+
+}  // namespace
 
 const char* RoundPhaseName(RoundPhase phase) {
   switch (phase) {
@@ -28,7 +76,18 @@ const char* RoundPhaseName(RoundPhase phase) {
   return "?";
 }
 
-RoundLifecycle::RoundLifecycle(Listener listener) : listener_(std::move(listener)) {}
+RoundLifecycle::RoundLifecycle(Listener listener) : listener_(std::move(listener)) {
+  obs::Registry& registry = obs::Registry::Global();
+  obs_announced_ =
+      registry.GetCounter("vuvuzela_rounds_announced_total", "Rounds entering the lifecycle");
+  obs_completed_ =
+      registry.GetCounter("vuvuzela_rounds_completed_total", "Rounds reaching Complete");
+  obs_abandoned_ =
+      registry.GetCounter("vuvuzela_rounds_abandoned_total", "Rounds reaching Abandoned");
+  obs_retries_ = registry.GetCounter("vuvuzela_rounds_retried_total",
+                                     "Re-submissions (Retrying to Submitting edges)");
+  obs_live_ = registry.GetGauge("vuvuzela_rounds_live", "Rounds currently in flight");
+}
 
 RoundStatus& RoundLifecycle::Require(uint64_t round, const char* verb) {
   auto it = rounds_.find(round);
@@ -46,6 +105,7 @@ void RoundLifecycle::Reject(const RoundStatus& status, const char* verb) {
 }
 
 void RoundLifecycle::Notify(const RoundStatus& status) {
+  obs::TraceJournal::Global().Emit(status.round, PhaseSpan(status.phase), PhaseDetail(status));
   if (listener_) {
     listener_(status);
   }
@@ -63,6 +123,8 @@ void RoundLifecycle::Announce(uint64_t round, wire::RoundType type) {
     it->second.type = type;
     it->second.phase = RoundPhase::kAnnounced;
     ++counters_.announced;
+    obs_announced_->Add();
+    obs_live_->Set(static_cast<int64_t>(rounds_.size()));
     snapshot = it->second;
   }
   Notify(snapshot);
@@ -79,9 +141,12 @@ void RoundLifecycle::BeginAttempt(uint64_t round, wire::RoundType type) {
       status.round = round;
       status.type = type;
       ++counters_.announced;
+      obs_announced_->Add();
+      obs_live_->Set(static_cast<int64_t>(rounds_.size()));
     } else if (status.phase == RoundPhase::kRetrying) {
       ++status.attempt;
       ++counters_.retries;
+      obs_retries_->Add();
     } else if (status.phase != RoundPhase::kAnnounced) {
       Reject(status, "Submitting");
     }
@@ -171,8 +236,10 @@ void RoundLifecycle::Complete(uint64_t round) {
     }
     status.phase = RoundPhase::kComplete;
     ++counters_.completed;
+    obs_completed_->Add();
     snapshot = status;
     rounds_.erase(round);
+    obs_live_->Set(static_cast<int64_t>(rounds_.size()));
   }
   Notify(snapshot);
 }
@@ -204,8 +271,10 @@ void RoundLifecycle::Abandon(uint64_t round, const std::string& error) {
     status.phase = RoundPhase::kAbandoned;
     status.last_error = error;
     ++counters_.abandoned;
+    obs_abandoned_->Add();
     snapshot = status;
     rounds_.erase(round);
+    obs_live_->Set(static_cast<int64_t>(rounds_.size()));
   }
   Notify(snapshot);
 }

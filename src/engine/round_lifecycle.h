@@ -41,6 +41,11 @@
 
 #include "src/wire/messages.h"
 
+namespace vuvuzela::obs {
+class Counter;
+class Gauge;
+}  // namespace vuvuzela::obs
+
 namespace vuvuzela::engine {
 
 enum class RoundPhase : uint8_t {
@@ -122,6 +127,16 @@ class RoundLifecycle {
   mutable std::mutex mutex_;
   std::map<uint64_t, RoundStatus> rounds_;
   Counters counters_;
+
+  // Mirrors of `counters_` in obs::Registry::Global(), plus a live-round
+  // gauge; every transition also lands a span in obs::TraceJournal::Global()
+  // (emitted from Notify, lock released). Shared across lifecycles in one
+  // process by design — telemetry is aggregate-only.
+  obs::Counter* obs_announced_;
+  obs::Counter* obs_completed_;
+  obs::Counter* obs_abandoned_;
+  obs::Counter* obs_retries_;
+  obs::Gauge* obs_live_;
 };
 
 }  // namespace vuvuzela::engine

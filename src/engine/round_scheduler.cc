@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/util/stats.h"
 
 namespace vuvuzela::engine {
@@ -14,6 +17,20 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 using util::SecondsSince;
+
+// One span per stage handoff and one per finished pass; the pass span's
+// detail carries what the timeline reader wants at a glance.
+void EmitStageSpan(uint64_t round, const char* span, const char* stage, size_t hop,
+                   size_t onions, double seconds = -1.0) {
+  std::string detail = std::string("stage=") + stage + " hop=" + std::to_string(hop) +
+                       " onions=" + std::to_string(onions);
+  if (seconds >= 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " secs=%.6f", seconds);
+    detail += buf;
+  }
+  obs::TraceJournal::Global().Emit(round, span, detail);
+}
 
 // Re-materializes a failure as a FRESH exception object before it enters a
 // round future. current_exception() shares the in-flight exception between
@@ -154,6 +171,14 @@ void RoundScheduler::Init() {
     }
     dist_worker_ = std::make_unique<StageWorker>();
   }
+  obs::Registry& registry = obs::Registry::Global();
+  obs_onions_submitted_ = registry.GetCounter("vuvuzela_onions_submitted_total",
+                                              "Onions admitted into the round pipeline");
+  obs_stage_onions_ =
+      registry.GetCounter("vuvuzela_stage_onions_total", "Onions crossing any pipeline stage");
+  obs_pass_seconds_ = registry.GetHistogram(
+      "vuvuzela_pass_seconds", "Wall time of one chain pass at one stage worker",
+      obs::LatencyBuckets());
 }
 
 RoundScheduler::~RoundScheduler() {
@@ -265,6 +290,7 @@ std::future<mixnet::Chain::ConversationResult> RoundScheduler::SubmitConversatio
   ctx->result.stats.backward.resize(num_stages() - 1);
   ctx->submitted = Clock::now();
   ctx->forward_start = ctx->submitted;
+  obs_onions_submitted_->Add(ctx->batch.size());
   std::future<mixnet::Chain::ConversationResult> future = ctx->promise.get_future();
 
   if (num_stages() == 1) {
@@ -277,8 +303,10 @@ std::future<mixnet::Chain::ConversationResult> RoundScheduler::SubmitConversatio
 
 void RoundScheduler::PostConversationForward(std::shared_ptr<ConversationContext> ctx,
                                              size_t position) {
+  EmitStageSpan(ctx->round, "stage/enqueue", "forward", position, ctx->batch.size());
   workers_[position]->Post([this, ctx = std::move(ctx), position]() mutable {
     transport::HopTransport& hop = *hops_[position];
+    const auto pass_start = Clock::now();
     try {
       if (config_.lifecycle) {
         config_.lifecycle->EnterForward(ctx->round, position);
@@ -303,6 +331,10 @@ void RoundScheduler::PostConversationForward(std::shared_ptr<ConversationContext
       FailConversation(std::move(ctx), std::current_exception());
       return;
     }
+    const double pass_seconds = SecondsSince(pass_start);
+    obs_pass_seconds_->Observe(pass_seconds);
+    obs_stage_onions_->Add(ctx->batch.size());
+    EmitStageSpan(ctx->round, "stage/pass", "forward", position, ctx->batch.size(), pass_seconds);
     if (position + 2 == num_stages()) {
       PostConversationLastHop(std::move(ctx));
     } else {
@@ -313,7 +345,9 @@ void RoundScheduler::PostConversationForward(std::shared_ptr<ConversationContext
 
 void RoundScheduler::PostConversationLastHop(std::shared_ptr<ConversationContext> ctx) {
   size_t last = num_stages() - 1;
+  EmitStageSpan(ctx->round, "stage/enqueue", "exchange", last, ctx->batch.size());
   workers_[last]->Post([this, ctx = std::move(ctx), last]() mutable {
+    const auto pass_start = Clock::now();
     try {
       if (config_.lifecycle) {
         config_.lifecycle->EnterExchange(ctx->round);
@@ -339,6 +373,10 @@ void RoundScheduler::PostConversationLastHop(std::shared_ptr<ConversationContext
       FailConversation(std::move(ctx), std::current_exception());
       return;
     }
+    const double pass_seconds = SecondsSince(pass_start);
+    obs_pass_seconds_->Observe(pass_seconds);
+    obs_stage_onions_->Add(ctx->batch.size());
+    EmitStageSpan(ctx->round, "stage/pass", "exchange", last, ctx->batch.size(), pass_seconds);
     if (last == 0) {
       CompleteConversation(std::move(ctx));
     } else {
@@ -349,7 +387,9 @@ void RoundScheduler::PostConversationLastHop(std::shared_ptr<ConversationContext
 
 void RoundScheduler::PostConversationBackward(std::shared_ptr<ConversationContext> ctx,
                                               size_t position) {
+  EmitStageSpan(ctx->round, "stage/enqueue", "backward", position, ctx->batch.size());
   workers_[position]->Post([this, ctx = std::move(ctx), position]() mutable {
+    const auto pass_start = Clock::now();
     try {
       if (config_.lifecycle) {
         config_.lifecycle->EnterBackward(ctx->round, position);
@@ -360,6 +400,10 @@ void RoundScheduler::PostConversationBackward(std::shared_ptr<ConversationContex
       FailConversation(std::move(ctx), std::current_exception());
       return;
     }
+    const double pass_seconds = SecondsSince(pass_start);
+    obs_pass_seconds_->Observe(pass_seconds);
+    obs_stage_onions_->Add(ctx->batch.size());
+    EmitStageSpan(ctx->round, "stage/pass", "backward", position, ctx->batch.size(), pass_seconds);
     if (position == 0) {
       CompleteConversation(std::move(ctx));
     } else {
@@ -397,6 +441,7 @@ std::future<mixnet::Chain::DialingResult> RoundScheduler::SubmitDialing(
   ctx->batch = std::move(onions);
   ctx->stats.forward.resize(num_stages());
   ctx->forward_start = Clock::now();
+  obs_onions_submitted_->Add(ctx->batch.size());
   std::future<mixnet::Chain::DialingResult> future = ctx->promise.get_future();
 
   if (num_stages() == 1) {
@@ -408,7 +453,9 @@ std::future<mixnet::Chain::DialingResult> RoundScheduler::SubmitDialing(
 }
 
 void RoundScheduler::PostDialingForward(std::shared_ptr<DialingContext> ctx, size_t position) {
+  EmitStageSpan(ctx->round, "stage/enqueue", "forward", position, ctx->batch.size());
   workers_[position]->Post([this, ctx = std::move(ctx), position]() mutable {
+    const auto pass_start = Clock::now();
     try {
       if (config_.lifecycle) {
         config_.lifecycle->EnterForward(ctx->round, position);
@@ -427,6 +474,10 @@ void RoundScheduler::PostDialingForward(std::shared_ptr<DialingContext> ctx, siz
       FailDialing(std::move(ctx), std::current_exception());
       return;
     }
+    const double pass_seconds = SecondsSince(pass_start);
+    obs_pass_seconds_->Observe(pass_seconds);
+    obs_stage_onions_->Add(ctx->batch.size());
+    EmitStageSpan(ctx->round, "stage/pass", "forward", position, ctx->batch.size(), pass_seconds);
     if (position + 2 == num_stages()) {
       PostDialingLastHop(std::move(ctx));
     } else {
@@ -437,7 +488,9 @@ void RoundScheduler::PostDialingForward(std::shared_ptr<DialingContext> ctx, siz
 
 void RoundScheduler::PostDialingLastHop(std::shared_ptr<DialingContext> ctx) {
   size_t last = num_stages() - 1;
+  EmitStageSpan(ctx->round, "stage/enqueue", "exchange", last, ctx->batch.size());
   workers_[last]->Post([this, ctx = std::move(ctx), last]() mutable {
+    const auto pass_start = Clock::now();
     try {
       if (config_.lifecycle) {
         config_.lifecycle->EnterExchange(ctx->round);
@@ -449,6 +502,9 @@ void RoundScheduler::PostDialingLastHop(std::shared_ptr<DialingContext> ctx) {
       FailDialing(std::move(ctx), std::current_exception());
       return;
     }
+    const double pass_seconds = SecondsSince(pass_start);
+    obs_pass_seconds_->Observe(pass_seconds);
+    EmitStageSpan(ctx->round, "stage/pass", "exchange", last, 0, pass_seconds);
     if (config_.distribution != nullptr) {
       PostDialingDistribute(std::move(ctx));
     } else {
@@ -458,7 +514,9 @@ void RoundScheduler::PostDialingLastHop(std::shared_ptr<DialingContext> ctx) {
 }
 
 void RoundScheduler::PostDialingDistribute(std::shared_ptr<DialingContext> ctx) {
+  EmitStageSpan(ctx->round, "stage/enqueue", "distribute", num_stages(), 0);
   dist_worker_->Post([this, ctx = std::move(ctx)]() mutable {
+    const auto pass_start = Clock::now();
     try {
       if (config_.lifecycle) {
         config_.lifecycle->EnterDistribute(ctx->round);
@@ -474,6 +532,9 @@ void RoundScheduler::PostDialingDistribute(std::shared_ptr<DialingContext> ctx) 
       FailDialing(std::move(ctx), std::current_exception());
       return;
     }
+    const double pass_seconds = SecondsSince(pass_start);
+    obs_pass_seconds_->Observe(pass_seconds);
+    EmitStageSpan(ctx->round, "stage/pass", "distribute", num_stages(), 0, pass_seconds);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.invitation_tables_distributed;

@@ -64,6 +64,11 @@
 #include "src/mixnet/chain.h"
 #include "src/transport/hop_transport.h"
 
+namespace vuvuzela::obs {
+class Counter;
+class Histogram;
+}  // namespace vuvuzela::obs
+
 namespace vuvuzela::engine {
 
 struct SchedulerConfig {
@@ -243,6 +248,13 @@ class RoundScheduler {
   uint64_t newest_conversation_round_ = 0;
   std::multiset<uint64_t> active_conversation_rounds_;
   SchedulerStats stats_;
+
+  // Hot-path telemetry in obs::Registry::Global(): onion volume, per-pass
+  // wall time (the crypto-batching push's baseline), and stage throughput.
+  // Stage enqueue/pass spans land in obs::TraceJournal::Global().
+  obs::Counter* obs_onions_submitted_;
+  obs::Counter* obs_stage_onions_;
+  obs::Histogram* obs_pass_seconds_;
 };
 
 }  // namespace vuvuzela::engine

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/obs/registry.h"
 #include "src/util/logging.h"
 
 namespace vuvuzela::net {
@@ -56,7 +57,21 @@ std::unique_ptr<EventLoop> EventLoop::Create(Handlers handlers, EventLoopConfig 
 }
 
 EventLoop::EventLoop(Handlers handlers, EventLoopConfig config, int epoll_fd, int wake_fd)
-    : handlers_(std::move(handlers)), config_(config), epoll_fd_(epoll_fd), wake_fd_(wake_fd) {}
+    : handlers_(std::move(handlers)), config_(config), epoll_fd_(epoll_fd), wake_fd_(wake_fd) {
+  obs::Registry& registry = obs::Registry::Global();
+  obs_accepts_ = registry.GetCounter("vuvuzela_reactor_accepts_total",
+                                     "Connections accepted by reactor listeners");
+  obs_frames_ = registry.GetCounter("vuvuzela_reactor_frames_total",
+                                    "Complete frames parsed by reactor loops");
+  obs_sheds_ = registry.GetCounter(
+      "vuvuzela_reactor_sheds_total",
+      "Connections closed for exceeding a buffer ceiling (slow-loris / raw overflow)");
+  obs_spilled_bytes_ = registry.GetCounter(
+      "vuvuzela_reactor_spilled_bytes_total",
+      "Outbound bytes that missed the direct write and spilled into the write buffer");
+  obs_closes_ = registry.GetCounter("vuvuzela_reactor_closes_total",
+                                    "Reactor connections closed (any path)");
+}
 
 EventLoop::~EventLoop() {
   for (auto& [id, conn] : conns_) {
@@ -72,7 +87,7 @@ EventLoop::~EventLoop() {
   }
 }
 
-bool EventLoop::AddListener(TcpListener listener, uint64_t tag) {
+bool EventLoop::AddListener(TcpListener listener, uint64_t tag, bool raw) {
   if (!listener.valid() || !SetNonBlocking(listener.fd())) {
     return false;
   }
@@ -83,7 +98,7 @@ bool EventLoop::AddListener(TcpListener listener, uint64_t tag) {
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener.fd(), &ev) != 0) {
     return false;
   }
-  listeners_.emplace(id, Listener{std::move(listener), tag});
+  listeners_.emplace(id, Listener{std::move(listener), tag, raw});
   return true;
 }
 
@@ -96,10 +111,10 @@ EventLoop::ConnId EventLoop::AddConnection(TcpConnection conn) {
     ::close(fd);
     return 0;
   }
-  return Register(fd);
+  return Register(fd, /*raw=*/false);
 }
 
-EventLoop::ConnId EventLoop::Register(int fd) {
+EventLoop::ConnId EventLoop::Register(int fd, bool raw) {
   ConnId id = next_id_++;
   epoll_event ev{};
   ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
@@ -110,6 +125,7 @@ EventLoop::ConnId EventLoop::Register(int fd) {
   }
   Conn conn;
   conn.fd = fd;
+  conn.raw = raw;
   conns_.emplace(id, std::move(conn));
   num_connections_.fetch_add(1, std::memory_order_relaxed);
   return id;
@@ -120,6 +136,7 @@ void EventLoop::AcceptReady(Listener& listener) {
   // copy what the loop needs before the first callback.
   const int listen_fd = listener.listener.fd();
   const uint64_t tag = listener.tag;
+  const bool raw = listener.raw;
   while (true) {
     int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
@@ -135,9 +152,12 @@ void EventLoop::AcceptReady(Listener& listener) {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    ConnId id = Register(fd);
-    if (id != 0 && handlers_.on_accept) {
-      handlers_.on_accept(id, tag);
+    ConnId id = Register(fd, raw);
+    if (id != 0) {
+      obs_accepts_->Add();
+      if (handlers_.on_accept) {
+        handlers_.on_accept(id, tag);
+      }
     }
   }
 }
@@ -188,7 +208,22 @@ void EventLoop::ReadReady(ConnId id, bool peer_hup) {
       return;
     }
     conn.in.insert(conn.in.end(), read_scratch_.begin(), read_scratch_.begin() + n);
-    if (!ParseFrames(id)) {
+    if (conn.raw) {
+      // `conn` may dangle once the handler touches the connection table;
+      // everything below re-finds by id.
+      if (handlers_.on_data) {
+        handlers_.on_data(id, it->second.in);
+      }
+      auto again = conns_.find(id);
+      if (again == conns_.end() || again->second.draining) {
+        return;
+      }
+      if (again->second.in.size() > config_.max_raw_buffer) {
+        obs_sheds_->Add();
+        Close(id);
+        return;
+      }
+    } else if (!ParseFrames(id)) {
       return;
     }
     if (static_cast<size_t>(n) < config_.read_chunk && !peer_hup) {
@@ -226,6 +261,7 @@ bool EventLoop::ParseFrames(ConnId id) {
       return false;
     }
     offset += 4 + static_cast<size_t>(len);
+    obs_frames_->Add();
     if (handlers_.on_frame) {
       handlers_.on_frame(id, std::move(*frame));
     }
@@ -260,6 +296,14 @@ bool EventLoop::Send(ConnId id, const Frame& frame) {
 }
 
 bool EventLoop::SendEncoded(ConnId id, const util::Bytes& wire) {
+  return QueueBytes(id, wire.data(), wire.size());
+}
+
+bool EventLoop::SendRaw(ConnId id, const uint8_t* data, size_t len) {
+  return QueueBytes(id, data, len);
+}
+
+bool EventLoop::QueueBytes(ConnId id, const uint8_t* data, size_t len) {
   auto it = conns_.find(id);
   if (it == conns_.end() || it->second.draining) {
     return false;
@@ -270,8 +314,8 @@ bool EventLoop::SendEncoded(ConnId id, const util::Bytes& wire) {
     // Nothing queued: write straight to the socket, queue only the tail.
     conn.out.clear();
     conn.out_offset = 0;
-    while (written < wire.size()) {
-      ssize_t n = ::send(conn.fd, wire.data() + written, wire.size() - written, MSG_NOSIGNAL);
+    while (written < len) {
+      ssize_t n = ::send(conn.fd, data + written, len - written, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) {
           continue;
@@ -285,14 +329,15 @@ bool EventLoop::SendEncoded(ConnId id, const util::Bytes& wire) {
       }
       written += static_cast<size_t>(n);
     }
-    if (written == wire.size()) {
+    if (written == len) {
       return true;
     }
   }
   const size_t pending = conn.out.size() - conn.out_offset;
-  if (pending + (wire.size() - written) > config_.max_write_buffer) {
+  if (pending + (len - written) > config_.max_write_buffer) {
     VZ_LOG_WARN << "event_loop: conn " << id << " write buffer over "
                 << config_.max_write_buffer << " bytes, closing";
+    obs_sheds_->Add();
     Close(id);
     return false;
   }
@@ -300,7 +345,8 @@ bool EventLoop::SendEncoded(ConnId id, const util::Bytes& wire) {
     conn.out.erase(conn.out.begin(), conn.out.begin() + static_cast<ptrdiff_t>(conn.out_offset));
     conn.out_offset = 0;
   }
-  conn.out.insert(conn.out.end(), wire.begin() + static_cast<ptrdiff_t>(written), wire.end());
+  conn.out.insert(conn.out.end(), data + written, data + len);
+  obs_spilled_bytes_->Add(len - written);
   return true;
 }
 
@@ -358,6 +404,7 @@ void EventLoop::Close(ConnId id) {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
   num_connections_.fetch_sub(1, std::memory_order_relaxed);
+  obs_closes_->Add();
   if (handlers_.on_close) {
     handlers_.on_close(id);
   }

@@ -57,6 +57,10 @@
 #include "src/net/frame.h"
 #include "src/net/tcp.h"
 
+namespace vuvuzela::obs {
+class Counter;
+}  // namespace vuvuzela::obs
+
 namespace vuvuzela::net {
 
 struct EventLoopConfig {
@@ -72,6 +76,10 @@ struct EventLoopConfig {
   // read() granularity. Input buffers only ever hold what the socket
   // delivered, so this also bounds per-read transient memory.
   size_t read_chunk = 64u << 10;
+  // Buffered-input ceiling for raw-mode connections (which have no frame
+  // grammar to bound them). The raw edges speak scrape-sized HTTP, so this
+  // is generous; exceeding it closes the connection.
+  size_t max_raw_buffer = 64u << 10;
 };
 
 class EventLoop {
@@ -84,6 +92,13 @@ class EventLoop {
     std::function<void(ConnId, uint64_t tag)> on_accept;
     // A complete, well-formed frame arrived.
     std::function<void(ConnId, Frame&&)> on_frame;
+    // Bytes arrived on a raw-mode connection (accepted from a listener
+    // registered with raw=true — e.g. the /metrics HTTP listener sharing
+    // this loop). Called with the connection's whole buffered input each
+    // time more arrives; the handler responds with SendRaw + CloseConn once
+    // it sees a complete request. Input is never consumed piecemeal — raw
+    // connections are request/response-per-connection by contract.
+    std::function<void(ConnId, const util::Bytes&)> on_data;
     // The connection is gone (any close path; see the ownership contract).
     std::function<void(ConnId)> on_close;
   };
@@ -95,8 +110,10 @@ class EventLoop {
   EventLoop& operator=(const EventLoop&) = delete;
 
   // Registers a listening socket; accepted connections surface via
-  // on_accept. Loop-thread-only.
-  bool AddListener(TcpListener listener, uint64_t tag = 0);
+  // on_accept. `raw` connections bypass frame parsing: their input goes to
+  // on_data and they are written with SendRaw (the /metrics-over-reactor
+  // path). Loop-thread-only.
+  bool AddListener(TcpListener listener, uint64_t tag = 0, bool raw = false);
 
   // Adopts an established connection (e.g. an outbound TcpConnection::
   // Connect result — this is how the load generator drives thousands of
@@ -112,6 +129,9 @@ class EventLoop {
   // Same, for a frame already encoded with EncodeWireFrame — broadcasts
   // encode once and fan the same bytes out.
   bool SendEncoded(ConnId id, const util::Bytes& wire);
+  // Unframed bytes for raw-mode connections (HTTP responses). Same
+  // buffering/overflow discipline as SendEncoded. Loop-thread-only.
+  bool SendRaw(ConnId id, const uint8_t* data, size_t len);
 
   // The length-prefixed on-the-wire form of a frame (what SendFrame ships).
   static util::Bytes EncodeWireFrame(const Frame& frame);
@@ -141,16 +161,19 @@ class EventLoop {
     size_t out_offset = 0;    // already-written prefix of `out`
     bool writable = true;     // last write did not hit EAGAIN
     bool draining = false;    // CloseConn called: no reads, close on flush
+    bool raw = false;         // no frame grammar: input goes to on_data
   };
 
   struct Listener {
     TcpListener listener;
     uint64_t tag = 0;
+    bool raw = false;
   };
 
   EventLoop(Handlers handlers, EventLoopConfig config, int epoll_fd, int wake_fd);
 
-  ConnId Register(int fd);
+  ConnId Register(int fd, bool raw);
+  bool QueueBytes(ConnId id, const uint8_t* data, size_t len);
   void AcceptReady(Listener& listener);
   void ReadReady(ConnId id, bool peer_hup);
   // Parses whole frames out of conn.in; false if the connection died (the
@@ -176,6 +199,15 @@ class EventLoop {
 
   std::mutex tasks_mutex_;
   std::deque<std::function<void()>> tasks_;
+
+  // Aggregate reactor health counters in obs::Registry::Global() — the
+  // baselines the slow-loris/shed and spill behavior is judged by. Shared
+  // across every loop in the process by design (aggregate-only telemetry).
+  obs::Counter* obs_accepts_;
+  obs::Counter* obs_frames_;
+  obs::Counter* obs_sheds_;
+  obs::Counter* obs_spilled_bytes_;
+  obs::Counter* obs_closes_;
 };
 
 }  // namespace vuvuzela::net

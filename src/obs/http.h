@@ -1,0 +1,98 @@
+// The /metrics + /trace HTTP surface, in two deployment shapes:
+//
+//  * MetricsHttpServer — a tiny blocking acceptor thread for the daemons
+//    whose serve path is blocking one-connection-at-a-time I/O (hopd,
+//    exchanged, distd --threaded, coordd synthetic mode). One thread,
+//    serial request handling, connection-per-request: a scrape every few
+//    seconds is the whole workload.
+//
+//  * The reactor daemons (coordd's FrontDoor loop, distd's reactor path)
+//    serve the same endpoints from a raw-mode listener on their existing
+//    net::EventLoop — see EventLoop::Handlers::on_data. HandleRawHttp is
+//    the shared brain both shapes call: feed it the buffered input, get
+//    back a complete response once a full request has arrived.
+//
+// Endpoints (GET only):
+//   /metrics            Prometheus text exposition of an obs::Registry
+//   /trace              whole trace ring as JSONL
+//   /trace?round=N      one round's records as JSONL
+//   anything else       404
+//
+// The protocol support is deliberately minimal — HTTP/1.0-style
+// connection-close responses, no keep-alive, no chunking — which every
+// scraper and curl handles fine and keeps this dependency-free.
+
+#ifndef VUVUZELA_SRC_OBS_HTTP_H_
+#define VUVUZELA_SRC_OBS_HTTP_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "src/net/tcp.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
+
+namespace vuvuzela::obs {
+
+// Largest request head we accept before dropping the connection; scrape
+// requests are a few hundred bytes.
+inline constexpr size_t kMaxHttpRequestBytes = 16u << 10;
+
+struct HttpRequest {
+  std::string method;
+  std::string path;                    // without the query string
+  std::optional<std::string> query;    // raw query string if present
+};
+
+// Parses a request head once the blank line has arrived. nullopt = the head
+// is still incomplete (caller keeps buffering); a malformed head yields a
+// request with an empty method (caller responds 400/closes).
+std::optional<HttpRequest> ParseHttpRequest(std::string_view buffered);
+
+// Routes a parsed request to the registry/journal and builds the full
+// response bytes (status line + headers + body).
+std::string BuildHttpResponse(const HttpRequest& request, const Registry& registry,
+                              const TraceJournal& journal);
+
+// One-call driver for both serve shapes: inspects `buffered` raw input and
+// returns the complete response once a full request head has arrived, or
+// nullopt while it is still incomplete. Oversized or malformed input yields
+// an error response (the caller should close after writing either way —
+// responses carry Connection: close).
+std::optional<std::string> HandleRawHttp(std::string_view buffered, const Registry& registry,
+                                         const TraceJournal& journal);
+
+// Blocking acceptor-thread server for the blocking-I/O daemons.
+class MetricsHttpServer {
+ public:
+  // Listens on 127.0.0.1:port (0 = ephemeral). nullptr on listen failure.
+  static std::unique_ptr<MetricsHttpServer> Start(uint16_t port,
+                                                  const Registry* registry = nullptr,
+                                                  const TraceJournal* journal = nullptr);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  uint16_t port() const { return port_; }
+
+ private:
+  MetricsHttpServer(net::TcpListener listener, const Registry* registry,
+                    const TraceJournal* journal);
+  void Serve();
+  void ServeOne(net::TcpConnection conn);
+
+  net::TcpListener listener_;
+  const Registry* registry_;
+  const TraceJournal* journal_;
+  uint16_t port_;
+  std::thread thread_;
+};
+
+}  // namespace vuvuzela::obs
+
+#endif  // VUVUZELA_SRC_OBS_HTTP_H_

@@ -1,0 +1,90 @@
+// Round-trace spans: a bounded per-process ring journal of timestamped
+// events keyed by round number, dumpable as JSONL over /trace?round=N and
+// stitchable offline into a per-round cross-daemon timeline.
+//
+// Spans are emitted at round-lifecycle granularity (a transition, a stage
+// handoff, an admission edge, a shard RPC) — tens of records per round per
+// process, never per-onion — so a mutex-protected ring is cheap, TSan-clean,
+// and bounded by construction: the ring holds the most recent `capacity`
+// records and silently overwrites the oldest. Every record carries both a
+// wall-clock timestamp (microseconds since the Unix epoch, comparable across
+// processes on one NTP-disciplined fleet — what the stitcher sorts by) and a
+// monotonic timestamp (for in-process deltas immune to clock steps).
+//
+// StitchTimeline is the offline half: given JSONL dumps from several
+// daemons, it groups records by round and renders one time-ordered timeline
+// per round. It lives here (not in tools/) so tests can cover it; the
+// tools/trace_stitch binary is a thin file-reading wrapper.
+
+#ifndef VUVUZELA_SRC_OBS_TRACE_H_
+#define VUVUZELA_SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vuvuzela::obs {
+
+struct TraceRecord {
+  std::string process;  // daemon label, e.g. "coordd" or "hopd1"
+  uint64_t round = 0;
+  int64_t wall_us = 0;   // CLOCK_REALTIME, microseconds since epoch
+  uint64_t mono_us = 0;  // steady clock, microseconds
+  std::string span;      // e.g. "lifecycle/forward", "admission/open"
+  std::string detail;    // freeform: "hop=1 attempt=0"
+};
+
+class TraceJournal {
+ public:
+  explicit TraceJournal(size_t capacity = 1 << 16);
+
+  // The process-wide journal every daemon dumps over /trace.
+  static TraceJournal& Global();
+
+  // Stamped into every subsequent record; call once at daemon startup.
+  void SetProcess(std::string label);
+
+  void Emit(uint64_t round, std::string_view span, std::string_view detail = {});
+
+  // Oldest-first JSONL, one record per line; `round` filters to one round.
+  std::string DumpJsonl(std::optional<uint64_t> round = std::nullopt) const;
+
+  // Oldest-first snapshot (tests and in-process inspection).
+  std::vector<TraceRecord> Snapshot(std::optional<uint64_t> round = std::nullopt) const;
+
+  size_t capacity() const { return capacity_; }
+  uint64_t total_emitted() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::string process_;
+  std::vector<TraceRecord> ring_;
+  uint64_t emitted_ = 0;  // ring_[emitted_ % capacity_] is the next slot
+};
+
+// Parses JSONL produced by DumpJsonl (restricted grammar: the exact fields
+// Emit writes). Unparseable lines are skipped.
+std::vector<TraceRecord> ParseTraceJsonl(std::string_view jsonl);
+
+// Per-round cross-process timelines from several daemons' dumps. Rounds are
+// rendered ascending; within a round, records sort by wall_us. Returns
+// human-readable text like:
+//   round 7
+//     +0us      coordd    lifecycle/announced
+//     +1833us   hopd0     pass/forward hop=0
+struct StitchedRound {
+  uint64_t round = 0;
+  std::vector<TraceRecord> records;  // wall-clock sorted
+  // Distinct span names in this round (e.g. for phase-coverage assertions).
+  std::vector<std::string> spans;
+};
+std::vector<StitchedRound> StitchRounds(const std::vector<std::vector<TraceRecord>>& dumps);
+std::string RenderTimeline(const std::vector<StitchedRound>& rounds);
+
+}  // namespace vuvuzela::obs
+
+#endif  // VUVUZELA_SRC_OBS_TRACE_H_

@@ -1,10 +1,13 @@
 #include "src/transport/coord_daemon.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <set>
 #include <utility>
 
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/sim/workload.h"
 #include "src/transport/hop_chain.h"
 #include "src/util/logging.h"
@@ -15,7 +18,23 @@ namespace vuvuzela::transport {
 using Clock = std::chrono::steady_clock;
 using util::SecondsSince;
 
-CoordinatorDaemon::CoordinatorDaemon(CoordDaemonConfig config) : config_(std::move(config)) {}
+CoordinatorDaemon::CoordinatorDaemon(CoordDaemonConfig config) : config_(std::move(config)) {
+  auto& registry = obs::Registry::Global();
+  obs_fetches_ = registry.GetCounter("vuvuzela_dialing_fetches_total",
+                                     "Bucket downloads served through the coordinator");
+  obs_fetch_bytes_ = registry.GetCounter("vuvuzela_dialing_fetch_bytes_total",
+                                         "Invitation bytes served to downloaders (§5.5)");
+  obs_retry_budget_ = registry.GetCounter(
+      "vuvuzela_retry_budget_burned_total",
+      "Round attempts that failed, each consuming one unit of the retry budget");
+  obs_banked_onions_ = registry.GetGauge(
+      "vuvuzela_banked_onions",
+      "Client onions banked for possible re-submission of in-flight rounds");
+  obs_pending_rounds_ = registry.GetGauge("vuvuzela_pending_rounds",
+                                          "Submitted rounds awaiting collection");
+  obs_retry_depth_ = registry.GetGauge("vuvuzela_retry_queue_depth",
+                                       "Failed rounds queued for re-submission");
+}
 
 size_t CoordinatorDaemon::admission_dedup_rounds() const {
   std::lock_guard<std::mutex> lock(admission_mutex_);
@@ -84,6 +103,8 @@ bool CoordinatorDaemon::Start() {
     FrontDoorConfig door_config;
     door_config.port = config_.client_port;
     door_config.backlog = config_.client_backlog;
+    // /metrics rides the same reactor loop as the client edge.
+    door_config.metrics_port = config_.metrics_port;
     FrontDoorHandlers door_handlers;
     door_handlers.on_frame = [this](size_t index, net::Frame&& frame) {
       OnClientFrame(index, std::move(frame));
@@ -99,6 +120,14 @@ bool CoordinatorDaemon::Start() {
     front_door_ = FrontDoor::Create(door_config, std::move(door_handlers));
     if (!front_door_ || !front_door_->Start()) {
       front_door_.reset();
+      return false;
+    }
+  } else if (config_.metrics_port >= 0) {
+    // Synthetic mode has no reactor; a blocking acceptor serves scrapes.
+    metrics_server_ =
+        obs::MetricsHttpServer::Start(static_cast<uint16_t>(config_.metrics_port));
+    if (!metrics_server_) {
+      VZ_LOG_ERROR << "coordinator: metrics port " << config_.metrics_port << " unavailable";
       return false;
     }
   }
@@ -175,6 +204,8 @@ net::Frame CoordinatorDaemon::BuildFetchReply(uint64_t round, util::ByteSpan pay
         }
         dialing_fetches_.fetch_add(1);
         dialing_fetch_bytes_.fetch_add(reply.payload.size());
+        obs_fetches_->Add();
+        obs_fetch_bytes_->Add(reply.payload.size());
       } catch (const HopRemoteError& e) {
         // The shard answered with a definitive report (fast, no deadline
         // paid): relay it without memoing — the shard is alive.
@@ -231,6 +262,8 @@ void CoordinatorDaemon::SyntheticFetchFanOut(const wire::RoundAnnouncement& anno
           dist_backend_->Fetch(announcement.round, bucket_index);
       dialing_fetches_.fetch_add(1);
       dialing_fetch_bytes_.fetch_add(bucket.size() * wire::kInvitationSize);
+      obs_fetches_->Add();
+      obs_fetch_bytes_->Add(bucket.size() * wire::kInvitationSize);
     } catch (const std::exception& e) {
       failed_buckets.insert(bucket_index);
       VZ_LOG_WARN << "coordinator: bucket " << bucket_index << " fetch failed (round "
@@ -300,6 +333,7 @@ void CoordinatorDaemon::CollectLoop(CoordDaemonResult& result) {
       }
       round = std::move(pending_.front());
       pending_.pop_front();
+      obs_pending_rounds_->Set(static_cast<int64_t>(pending_.size()));
       // Wake an announcer blocked on the pending bound (SubmitAttempt).
       pending_cv_.notify_all();
     }
@@ -340,6 +374,7 @@ void CoordinatorDaemon::CollectLoop(CoordDaemonResult& result) {
         }
       }
     } catch (const std::exception& e) {
+      obs_retry_budget_->Add();
       if (round.attempt < config_.max_round_attempts) {
         // Recovery: re-enqueue the banked onions under the SAME round number
         // for the announcing thread to re-submit into the next admission
@@ -357,6 +392,7 @@ void CoordinatorDaemon::CollectLoop(CoordDaemonResult& result) {
         {
           std::lock_guard<std::mutex> lock(retry_mutex_);
           retry_queue_.push_back(std::move(round));
+          obs_retry_depth_->Set(static_cast<int64_t>(retry_queue_.size()));
         }
         retry_cv_.notify_all();
         continue;
@@ -369,6 +405,9 @@ void CoordinatorDaemon::CollectLoop(CoordDaemonResult& result) {
       VZ_LOG_WARN << "coordinator: abandoning round " << round.announcement.round << " after "
                   << round.attempt << " attempts: " << e.what();
     }
+    // Terminal state reached (complete or abandoned): the banked onions are
+    // released. Rounds re-queued for retry above never reach here.
+    obs_banked_onions_->Add(-static_cast<int64_t>(round.onions.size()));
     {
       std::lock_guard<std::mutex> lock(retry_mutex_);
       --unresolved_rounds_;
@@ -412,9 +451,16 @@ void CoordinatorDaemon::SubmitAttempt(engine::RoundScheduler& scheduler, Pending
   std::vector<util::Bytes> batch;
   if (round.attempt < config_.max_round_attempts) {
     batch = round.onions;  // bank for further attempts
+    if (round.attempt == 1) {
+      obs_banked_onions_->Add(static_cast<int64_t>(batch.size()));
+    }
   } else {
     batch = std::move(round.onions);
     round.onions.clear();
+    if (config_.max_round_attempts > 1) {
+      // The final attempt ships the bank itself; nothing is held back.
+      obs_banked_onions_->Add(-static_cast<int64_t>(batch.size()));
+    }
   }
   // Submit blocks while K rounds are in flight — the §8.3 backpressure.
   if (round.announcement.type == wire::RoundType::kConversation) {
@@ -426,6 +472,7 @@ void CoordinatorDaemon::SubmitAttempt(engine::RoundScheduler& scheduler, Pending
   {
     std::lock_guard<std::mutex> lock(pending_mutex_);
     pending_.push_back(std::move(round));
+    obs_pending_rounds_->Set(static_cast<int64_t>(pending_.size()));
   }
   pending_cv_.notify_one();
 }
@@ -442,6 +489,7 @@ void CoordinatorDaemon::SubmitRetries(engine::RoundScheduler& scheduler) {
       }
       retry = std::move(retry_queue_.front());
       retry_queue_.pop_front();
+      obs_retry_depth_->Set(static_cast<int64_t>(retry_queue_.size()));
     }
     SubmitAttempt(scheduler, std::move(retry));
   }
@@ -479,6 +527,14 @@ CoordDaemonResult CoordinatorDaemon::Run() {
     wire::RoundAnnouncement announcement = schedule.Next();
     lifecycle_.Announce(announcement.round, announcement.type);
     {
+      char detail[96];
+      std::snprintf(detail, sizeof detail, "type=%s window=%.3f clients=%zu",
+                    announcement.type == wire::RoundType::kConversation ? "conv" : "dialing",
+                    config_.admission_window_seconds,
+                    front_door_ != nullptr ? front_door_->alive() : size_t{0});
+      obs::TraceJournal::Global().Emit(announcement.round, "admission/open", detail);
+    }
+    {
       std::lock_guard<std::mutex> lock(retry_mutex_);
       ++unresolved_rounds_;
     }
@@ -508,6 +564,11 @@ CoordDaemonResult CoordinatorDaemon::Run() {
       auto closed = CloseAdmission();
       pending.onions = std::move(closed.first);
       pending.contributors = std::move(closed.second);
+    }
+    {
+      char detail[64];
+      std::snprintf(detail, sizeof detail, "onions=%zu", pending.onions.size());
+      obs::TraceJournal::Global().Emit(announcement.round, "admission/close", detail);
     }
     SubmitAttempt(scheduler, std::move(pending));
   }

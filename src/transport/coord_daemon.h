@@ -58,10 +58,16 @@
 #include "src/engine/round_lifecycle.h"
 #include "src/engine/round_scheduler.h"
 #include "src/net/tcp.h"
+#include "src/obs/http.h"
 #include "src/transport/dist_router.h"
 #include "src/transport/front_door.h"
 #include "src/transport/reconnecting_transport.h"
 #include "src/transport/tcp_transport.h"
+
+namespace vuvuzela::obs {
+class Counter;
+class Gauge;
+}  // namespace vuvuzela::obs
 
 namespace vuvuzela::transport {
 
@@ -131,6 +137,11 @@ struct CoordDaemonConfig {
   // Test hook: keep every completed round's response batch in the result,
   // keyed by round number (byte-identity assertions in the recovery suite).
   bool record_responses = false;
+
+  // /metrics + /trace HTTP port: < 0 disables it, 0 picks an ephemeral port
+  // (metrics_port() reports the binding). Client mode serves it from the
+  // FrontDoor's reactor loop; synthetic mode runs a blocking acceptor.
+  int metrics_port = -1;
 };
 
 struct CoordDaemonResult {
@@ -165,6 +176,14 @@ class CoordinatorDaemon {
 
   // Valid after Start() in client mode.
   uint16_t client_port() const { return front_door_ ? front_door_->port() : 0; }
+
+  // Bound /metrics port (valid after Start()); 0 when disabled.
+  uint16_t metrics_port() const {
+    if (front_door_) {
+      return front_door_->metrics_port();
+    }
+    return metrics_server_ ? metrics_server_->port() : 0;
+  }
 
   // Accepts clients (client mode), announces and drives all rounds, drains
   // the pipeline, and shuts clients (and optionally hops) down.
@@ -267,6 +286,17 @@ class CoordinatorDaemon {
 
   // The reactor-backed client edge (client mode; nullptr in synthetic mode).
   std::unique_ptr<FrontDoor> front_door_;
+  // Synthetic-mode /metrics endpoint (client mode rides the FrontDoor loop).
+  std::unique_ptr<obs::MetricsHttpServer> metrics_server_;
+
+  // Global-registry telemetry: admission/collection health and the §5.5
+  // download-side accounting mirrors.
+  obs::Counter* obs_fetches_;
+  obs::Counter* obs_fetch_bytes_;
+  obs::Counter* obs_retry_budget_;
+  obs::Gauge* obs_banked_onions_;
+  obs::Gauge* obs_pending_rounds_;
+  obs::Gauge* obs_retry_depth_;
 
   // Admission state for the currently announced round.
   mutable std::mutex admission_mutex_;

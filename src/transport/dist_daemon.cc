@@ -1,10 +1,14 @@
 #include "src/transport/dist_daemon.h"
 
+#include <cstdio>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 
 #include "src/deaddrop/invitation_table.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/wire/messages.h"
 
@@ -20,7 +24,17 @@ bool SendError(net::TcpConnection& conn, uint64_t round, const std::string& mess
 }  // namespace
 
 DistDaemon::DistDaemon(const DistDaemonConfig& config, net::TcpListener listener)
-    : config_(config), port_(listener.port()), listener_(std::move(listener)) {}
+    : config_(config), port_(listener.port()), listener_(std::move(listener)) {
+  auto& registry = obs::Registry::Global();
+  obs_publishes_ = registry.GetCounter("vuvuzela_dist_publishes_total",
+                                       "Invitation-table slices stored by dist shards");
+  obs_fetches_ = registry.GetCounter("vuvuzela_dist_fetches_total",
+                                     "Bucket downloads served by dist shards");
+  obs_bytes_served_ = registry.GetCounter("vuvuzela_dist_bytes_served_total",
+                                          "Invitation bytes served to downloaders");
+  obs_rounds_held_ = registry.GetGauge("vuvuzela_dist_rounds_held",
+                                       "Published dialing rounds currently resident");
+}
 
 std::unique_ptr<DistDaemon> DistDaemon::Create(const DistDaemonConfig& config) {
   if (config.num_shards == 0 || config.shard_index >= config.num_shards ||
@@ -31,12 +45,39 @@ std::unique_ptr<DistDaemon> DistDaemon::Create(const DistDaemonConfig& config) {
   if (!listener) {
     return nullptr;
   }
-  return std::unique_ptr<DistDaemon>(new DistDaemon(config, std::move(*listener)));
+  auto daemon = std::unique_ptr<DistDaemon>(new DistDaemon(config, std::move(*listener)));
+  if (config.metrics_port >= 0) {
+    if (config.reactor) {
+      // The reactor path serves /metrics from a raw-mode listener on the
+      // same loop; bind it now so the port is known before Serve() runs.
+      auto metrics_listener =
+          net::TcpListener::Listen(static_cast<uint16_t>(config.metrics_port));
+      if (!metrics_listener) {
+        return nullptr;  // the requested metrics port is taken
+      }
+      daemon->metrics_listener_port_ = metrics_listener->port();
+      daemon->metrics_listener_ = std::move(*metrics_listener);
+    } else {
+      daemon->metrics_server_ =
+          obs::MetricsHttpServer::Start(static_cast<uint16_t>(config.metrics_port));
+      if (!daemon->metrics_server_) {
+        return nullptr;
+      }
+    }
+  }
+  return daemon;
 }
 
 size_t DistDaemon::rounds_held() const {
   std::shared_lock<std::shared_mutex> lock(tables_mutex_);
   return rounds_.size();
+}
+
+uint16_t DistDaemon::metrics_port() const {
+  if (metrics_server_) {
+    return metrics_server_->port();
+  }
+  return metrics_listener_port_;
 }
 
 void DistDaemon::Serve() {
@@ -64,9 +105,28 @@ void DistDaemon::ServeReactor() {
                               util::Bytes(message.begin(), message.end())});
   };
 
+  constexpr uint64_t kRpcTag = 0;
+  constexpr uint64_t kMetricsTag = 1;
+
   net::EventLoop::Handlers handlers;
-  handlers.on_accept = [&states](net::EventLoop::ConnId id, uint64_t) { states.try_emplace(id); };
+  handlers.on_accept = [&states](net::EventLoop::ConnId id, uint64_t tag) {
+    if (tag == kRpcTag) {
+      states.try_emplace(id);
+    }
+  };
   handlers.on_close = [&states](net::EventLoop::ConnId id) { states.erase(id); };
+  // Scrape connections from the raw metrics listener: answer one request,
+  // then close (responses carry Connection: close).
+  handlers.on_data = [&loop](net::EventLoop::ConnId id, const util::Bytes& buffered) {
+    auto response = obs::HandleRawHttp(
+        std::string_view(reinterpret_cast<const char*>(buffered.data()), buffered.size()),
+        obs::Registry::Global(), obs::TraceJournal::Global());
+    if (!response) {
+      return;  // request head still incomplete; keep buffering
+    }
+    loop->SendRaw(id, reinterpret_cast<const uint8_t*>(response->data()), response->size());
+    loop->CloseConn(id);
+  };
   handlers.on_frame = [&, this](net::EventLoop::ConnId id, net::Frame&& frame) {
     auto it = states.find(id);
     if (it == states.end()) {
@@ -120,8 +180,13 @@ void DistDaemon::ServeReactor() {
   };
 
   auto owned_loop = net::EventLoop::Create(std::move(handlers));
-  if (!owned_loop || !owned_loop->AddListener(std::move(listener_))) {
+  if (!owned_loop || !owned_loop->AddListener(std::move(listener_), kRpcTag)) {
     VZ_LOG_ERROR << "dist shard " << config_.shard_index << ": reactor setup failed";
+    return;
+  }
+  if (metrics_listener_ &&
+      !owned_loop->AddListener(std::move(*metrics_listener_), kMetricsTag, /*raw=*/true)) {
+    VZ_LOG_ERROR << "dist shard " << config_.shard_index << ": metrics listener setup failed";
     return;
   }
   loop = owned_loop.get();
@@ -319,12 +384,20 @@ DistDaemon::RpcReply DistDaemon::HandlePublish(const BatchMessage& request) {
   if (header->keep_latest > config_.max_rounds) {
     return fail("keep_latest exceeds shard --max-rounds");
   }
+  size_t held;
   {
     std::unique_lock<std::shared_mutex> lock(tables_mutex_);
     rounds_.Put(request.round, std::move(slice));
     rounds_.Expire(header->keep_latest);
+    held = rounds_.size();
   }
   publishes_stored_.fetch_add(1);
+  obs_publishes_->Add();
+  obs_rounds_held_->Set(static_cast<int64_t>(held));
+  char detail[96];
+  std::snprintf(detail, sizeof detail, "shard=%u invitations=%zu held=%zu", config_.shard_index,
+                request.items.size(), held);
+  obs::TraceJournal::Global().Emit(request.round, "dist/publish", detail);
   reply.ok = true;
   reply.op = request.op;  // ack: same op, zero items
   return reply;
@@ -366,6 +439,8 @@ DistDaemon::RpcReply DistDaemon::HandleFetch(const BatchMessage& request) {
   }
   fetches_served_.fetch_add(1);
   bytes_served_.fetch_add(reply.items.size() * wire::kInvitationSize);
+  obs_fetches_->Add();
+  obs_bytes_served_->Add(reply.items.size() * wire::kInvitationSize);
   reply.ok = true;
   reply.op = request.op;
   return reply;

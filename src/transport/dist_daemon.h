@@ -35,14 +35,21 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <thread>
 #include <vector>
 
 #include "src/net/event_loop.h"
 #include "src/net/tcp.h"
+#include "src/obs/http.h"
 #include "src/transport/hop_wire.h"
 #include "src/util/keep_latest.h"
+
+namespace vuvuzela::obs {
+class Counter;
+class Gauge;
+}  // namespace vuvuzela::obs
 
 namespace vuvuzela::transport {
 
@@ -65,6 +72,11 @@ struct DistDaemonConfig {
   // Reactor accept-queue depth (the threaded path keeps the listener
   // default; its accept loop was never the bottleneck).
   int backlog = 4096;
+  // /metrics + /trace HTTP port: < 0 disables the endpoint, 0 picks an
+  // ephemeral port (metrics_port() reports the binding). On the reactor
+  // path this is a raw-mode listener sharing the serve loop; on the
+  // threaded path it is a MetricsHttpServer acceptor thread.
+  int metrics_port = -1;
 };
 
 class DistDaemon {
@@ -81,6 +93,8 @@ class DistDaemon {
   uint64_t fetches_served() const { return fetches_served_.load(); }
   uint64_t bytes_served() const { return bytes_served_.load(); }
   size_t rounds_held() const;
+  // Bound /metrics port; 0 when the endpoint is disabled.
+  uint16_t metrics_port() const;
 
   // Accepts and serves connections concurrently until a kShutdown frame
   // arrives on any of them or Stop() is called.
@@ -133,6 +147,17 @@ class DistDaemon {
   DistDaemonConfig config_;
   uint16_t port_ = 0;
   net::TcpListener listener_;  // moved into the reactor by ServeReactor()
+  // Metrics endpoint, one of two shapes: a raw-mode listener bound at Create
+  // and moved into the reactor by ServeReactor(), or a blocking acceptor
+  // thread for the threaded path.
+  std::optional<net::TcpListener> metrics_listener_;
+  uint16_t metrics_listener_port_ = 0;
+  std::unique_ptr<obs::MetricsHttpServer> metrics_server_;
+  // Global-registry mirrors of the observability accessors above.
+  obs::Counter* obs_publishes_;
+  obs::Counter* obs_fetches_;
+  obs::Counter* obs_bytes_served_;
+  obs::Gauge* obs_rounds_held_;
   std::atomic<uint64_t> publishes_stored_{0};
   std::atomic<uint64_t> fetches_served_{0};
   std::atomic<uint64_t> bytes_served_{0};

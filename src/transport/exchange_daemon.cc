@@ -1,11 +1,15 @@
 #include "src/transport/exchange_daemon.h"
 
+#include <chrono>
+#include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/deaddrop/conversation_table.h"
 #include "src/deaddrop/invitation_table.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/wire/messages.h"
 
@@ -30,7 +34,17 @@ util::Bytes PackDrop(const std::vector<wire::Invitation>& invitations) {
 }  // namespace
 
 ExchangedDaemon::ExchangedDaemon(const ExchangedConfig& config, net::TcpListener listener)
-    : config_(config), listener_(std::move(listener)) {}
+    : config_(config), listener_(std::move(listener)) {
+  auto& registry = obs::Registry::Global();
+  obs_rpcs_ = registry.GetCounter("vuvuzela_exchange_rpcs_total",
+                                  "Exchange-partition RPCs served (conversation + dialing)");
+  obs_requests_ = registry.GetCounter(
+      "vuvuzela_exchange_requests_total",
+      "Dead-drop accesses and invitation deposits processed by this partition");
+  obs_exchange_seconds_ = registry.GetHistogram(
+      "vuvuzela_exchange_seconds", "Wall time of one exchange-partition RPC, match plus reply",
+      obs::LatencyBuckets());
+}
 
 std::unique_ptr<ExchangedDaemon> ExchangedDaemon::Create(const ExchangedConfig& config) {
   if (config.num_shards == 0 || config.shard_index >= config.num_shards) {
@@ -40,7 +54,15 @@ std::unique_ptr<ExchangedDaemon> ExchangedDaemon::Create(const ExchangedConfig& 
   if (!listener) {
     return nullptr;
   }
-  return std::unique_ptr<ExchangedDaemon>(new ExchangedDaemon(config, std::move(*listener)));
+  auto daemon =
+      std::unique_ptr<ExchangedDaemon>(new ExchangedDaemon(config, std::move(*listener)));
+  if (config.metrics_port >= 0) {
+    daemon->metrics_ = obs::MetricsHttpServer::Start(static_cast<uint16_t>(config.metrics_port));
+    if (!daemon->metrics_) {
+      return nullptr;  // the requested metrics port is taken
+    }
+  }
+  return daemon;
 }
 
 void ExchangedDaemon::Serve() {
@@ -132,15 +154,34 @@ bool ExchangedDaemon::ServeConnection(net::TcpConnection& conn) {
 
 bool ExchangedDaemon::Dispatch(net::TcpConnection& conn, BatchMessage request) {
   rpcs_served_.fetch_add(1);
+  obs_rpcs_->Add();
+  obs_requests_->Add(request.items.size());
+  const char* op_name =
+      request.op == net::FrameType::kExchangeConversation ? "conversation" : "dialing";
+  size_t num_items = request.items.size();
+  auto start = std::chrono::steady_clock::now();
+  bool sent;
   try {
     if (request.op == net::FrameType::kExchangeConversation) {
-      return HandleConversation(conn, request);
+      sent = HandleConversation(conn, request);
+    } else {
+      sent = HandleDialing(conn, request);
     }
-    return HandleDialing(conn, request);
   } catch (const std::exception& e) {
     VZ_LOG_WARN << "exchange partition rpc failed (round " << request.round << "): " << e.what();
+    obs::TraceJournal::Global().Emit(
+        request.round, "exchange/error",
+        std::string("op=") + op_name + " error=" + e.what());
     return SendError(conn, request.round, e.what());
   }
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  obs_exchange_seconds_->Observe(seconds);
+  char detail[112];
+  std::snprintf(detail, sizeof detail, "op=%s shard=%u items=%zu secs=%.6f", op_name,
+                config_.shard_index, num_items, seconds);
+  obs::TraceJournal::Global().Emit(request.round, "exchange/rpc", detail);
+  return sent;
 }
 
 bool ExchangedDaemon::HandleConversation(net::TcpConnection& conn, const BatchMessage& request) {

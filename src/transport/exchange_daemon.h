@@ -27,7 +27,13 @@
 #include <mutex>
 
 #include "src/net/tcp.h"
+#include "src/obs/http.h"
 #include "src/transport/hop_wire.h"
+
+namespace vuvuzela::obs {
+class Counter;
+class Histogram;
+}  // namespace vuvuzela::obs
 
 namespace vuvuzela::transport {
 
@@ -44,6 +50,9 @@ struct ExchangedConfig {
   size_t chunk_payload = kDefaultChunkPayload;
   // Receive-poll interval between RPCs (see HopDaemonConfig).
   int poll_interval_ms = 500;
+  // /metrics + /trace HTTP port: < 0 disables the server, 0 picks an
+  // ephemeral port (metrics_port() reports the binding).
+  int metrics_port = -1;
 };
 
 class ExchangedDaemon {
@@ -55,6 +64,8 @@ class ExchangedDaemon {
   uint16_t port() const { return listener_.port(); }
   uint64_t rpcs_served() const { return rpcs_served_.load(); }
   const ExchangedConfig& config() const { return config_; }
+  // Bound /metrics port; 0 when the server is disabled.
+  uint16_t metrics_port() const { return metrics_ ? metrics_->port() : 0; }
 
   // Serves connections until a kShutdown frame arrives or Stop() is called.
   void Serve();
@@ -73,6 +84,12 @@ class ExchangedDaemon {
 
   ExchangedConfig config_;
   net::TcpListener listener_;
+  // Optional /metrics + /trace endpoint (config.metrics_port >= 0).
+  std::unique_ptr<obs::MetricsHttpServer> metrics_;
+  // Global-registry mirrors of this partition's hot-path counters.
+  obs::Counter* obs_rpcs_;
+  obs::Counter* obs_requests_;
+  obs::Histogram* obs_exchange_seconds_;
   std::atomic<uint64_t> rpcs_served_{0};
   std::atomic<bool> stop_{false};
   // The connection currently being served, so Stop() can interrupt it.

@@ -1,8 +1,10 @@
 #include "src/transport/front_door.h"
 
 #include <chrono>
+#include <string_view>
 #include <utility>
 
+#include "src/obs/http.h"
 #include "src/util/logging.h"
 
 namespace vuvuzela::transport {
@@ -20,8 +22,17 @@ std::unique_ptr<FrontDoor> FrontDoor::Create(const FrontDoorConfig& config,
   if (!listener) {
     return nullptr;
   }
-  return std::unique_ptr<FrontDoor>(
+  auto door = std::unique_ptr<FrontDoor>(
       new FrontDoor(config, std::move(handlers), std::move(*listener)));
+  if (config.metrics_port >= 0) {
+    auto metrics_listener = net::TcpListener::Listen(static_cast<uint16_t>(config.metrics_port));
+    if (!metrics_listener) {
+      return nullptr;  // the requested metrics port is taken
+    }
+    door->metrics_port_ = metrics_listener->port();
+    door->metrics_listener_ = std::move(*metrics_listener);
+  }
+  return door;
 }
 
 FrontDoor::~FrontDoor() { Shutdown(); }
@@ -33,14 +44,38 @@ bool FrontDoor::Start() {
   net::EventLoopConfig loop_config;
   loop_config.max_frame_payload = config_.max_frame_payload;
   loop_config.max_write_buffer = config_.max_write_buffer;
+  constexpr uint64_t kClientTag = 0;
+  constexpr uint64_t kMetricsTag = 1;
   net::EventLoop::Handlers loop_handlers;
-  loop_handlers.on_accept = [this](net::EventLoop::ConnId id, uint64_t) { HandleAccept(id); };
+  loop_handlers.on_accept = [this](net::EventLoop::ConnId id, uint64_t tag) {
+    if (tag == kClientTag) {
+      HandleAccept(id);
+    }
+  };
   loop_handlers.on_frame = [this](net::EventLoop::ConnId id, net::Frame&& frame) {
     HandleFrame(id, std::move(frame));
   };
   loop_handlers.on_close = [this](net::EventLoop::ConnId id) { HandleClose(id); };
+  // Scrape connections from the raw metrics listener: answer one request,
+  // then close (responses carry Connection: close). They never get a client
+  // index, so the admission maps cannot see them.
+  loop_handlers.on_data = [this](net::EventLoop::ConnId id, const util::Bytes& buffered) {
+    auto response = obs::HandleRawHttp(
+        std::string_view(reinterpret_cast<const char*>(buffered.data()), buffered.size()),
+        obs::Registry::Global(), obs::TraceJournal::Global());
+    if (!response) {
+      return;  // request head still incomplete; keep buffering
+    }
+    loop_->SendRaw(id, reinterpret_cast<const uint8_t*>(response->data()), response->size());
+    loop_->CloseConn(id);
+  };
   loop_ = net::EventLoop::Create(std::move(loop_handlers), loop_config);
-  if (!loop_ || !loop_->AddListener(std::move(listener_))) {
+  if (!loop_ || !loop_->AddListener(std::move(listener_), kClientTag)) {
+    loop_.reset();
+    return false;
+  }
+  if (metrics_listener_ &&
+      !loop_->AddListener(std::move(*metrics_listener_), kMetricsTag, /*raw=*/true)) {
     loop_.reset();
     return false;
   }

@@ -43,6 +43,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -64,6 +65,11 @@ struct FrontDoorConfig {
   // larger frame is hostile and is cut off before the allocation.
   size_t max_frame_payload = 16u << 20;
   size_t max_write_buffer = 64u << 20;
+  // /metrics + /trace HTTP port, served from a raw-mode listener on the same
+  // reactor loop: < 0 disables it, 0 picks an ephemeral port
+  // (metrics_port() reports the binding). Scrape connections never occupy a
+  // client index.
+  int metrics_port = -1;
 };
 
 struct FrontDoorHandlers {
@@ -87,6 +93,8 @@ class FrontDoor {
   ~FrontDoor();
 
   uint16_t port() const { return port_; }
+  // Bound /metrics port; 0 when the endpoint is disabled.
+  uint16_t metrics_port() const { return metrics_port_; }
 
   // Spawns the loop thread and the fetch worker; accepting begins now.
   bool Start();
@@ -137,6 +145,10 @@ class FrontDoor {
   FrontDoorHandlers handlers_;
   uint16_t port_ = 0;
   net::TcpListener listener_;  // moved into the loop by Start()
+  // Raw-mode /metrics listener (config.metrics_port >= 0), also moved into
+  // the loop by Start().
+  std::optional<net::TcpListener> metrics_listener_;
+  uint16_t metrics_port_ = 0;
   std::unique_ptr<net::EventLoop> loop_;
   std::thread loop_thread_;
   bool started_ = false;

@@ -1,11 +1,15 @@
 #include "src/transport/hop_daemon.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <exception>
 #include <string>
 #include <utility>
 
 #include "src/coord/coordinator.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/wire/serde.h"
 
@@ -44,6 +48,23 @@ bool IsDialingOp(net::FrameType op) {
   return op == net::FrameType::kHopForwardDialing || op == net::FrameType::kHopLastDialing;
 }
 
+const char* HopOpName(net::FrameType op) {
+  switch (op) {
+    case net::FrameType::kHopForwardConversation:
+      return "forward_conversation";
+    case net::FrameType::kHopBackwardConversation:
+      return "backward_conversation";
+    case net::FrameType::kHopLastConversation:
+      return "last_conversation";
+    case net::FrameType::kHopForwardDialing:
+      return "forward_dialing";
+    case net::FrameType::kHopLastDialing:
+      return "last_dialing";
+    default:
+      return "unknown";
+  }
+}
+
 // Fingerprints a request so a cached reply can never be served for different
 // input: op, round, every item (length-prefixed, so item boundaries are
 // unambiguous), and — for dialing ops — the header, which carries num_drops
@@ -79,7 +100,20 @@ crypto::Sha256Digest DigestRequest(const BatchMessage& request) {
 
 HopDaemon::HopDaemon(const HopDaemonConfig& config, std::unique_ptr<mixnet::MixServer> server,
                      net::TcpListener listener)
-    : config_(config), server_(std::move(server)), listener_(std::move(listener)) {}
+    : config_(config), server_(std::move(server)), listener_(std::move(listener)) {
+  auto& registry = obs::Registry::Global();
+  obs_rpcs_ = registry.GetCounter("vuvuzela_hop_rpcs_total",
+                                  "Hop RPCs served (all ops, including replayed passes)");
+  obs_replay_hits_ = registry.GetCounter(
+      "vuvuzela_hop_replay_hits_total", "Passes re-served from the idempotent replay cache");
+  obs_pass_onions_ = registry.GetCounter("vuvuzela_hop_pass_onions_total",
+                                         "Onions entering hop passes (request items)");
+  obs_pass_errors_ = registry.GetCounter("vuvuzela_hop_pass_errors_total",
+                                         "Hop passes that failed and answered kHopError");
+  obs_pass_seconds_ = registry.GetHistogram(
+      "vuvuzela_hop_pass_seconds", "Wall time of one hop pass, crypto plus reply send",
+      obs::LatencyBuckets());
+}
 
 std::unique_ptr<HopDaemon> HopDaemon::Create(const HopDaemonConfig& config,
                                              std::unique_ptr<mixnet::MixServer> server) {
@@ -95,6 +129,12 @@ std::unique_ptr<HopDaemon> HopDaemon::Create(const HopDaemonConfig& config,
       return nullptr;  // a partition is unreachable at startup
     }
     daemon->server_->SetExchangeBackend(daemon->exchange_router_.get());
+  }
+  if (config.metrics_port >= 0) {
+    daemon->metrics_ = obs::MetricsHttpServer::Start(static_cast<uint16_t>(config.metrics_port));
+    if (!daemon->metrics_) {
+      return nullptr;  // the requested metrics port is taken
+    }
   }
   return daemon;
 }
@@ -254,8 +294,8 @@ bool HopDaemon::SendAndCache(net::TcpConnection& conn, const BatchMessage& reque
 
 bool HopDaemon::Dispatch(net::TcpConnection& conn, BatchMessage request) {
   rpcs_served_.fetch_add(1);
+  obs_rpcs_->Add();
   wire::Reader header(request.header);
-  mixnet::ServerRoundStats stats;
 
   // Hygiene rides on forward-conversation requests. Apply it before the
   // replay lookup so a replayed pass still sheds expired state.
@@ -281,13 +321,34 @@ bool HopDaemon::Dispatch(net::TcpConnection& conn, BatchMessage request) {
       // was lost with the old connection): re-serve the identical bytes
       // instead of running the pass twice.
       replay_hits_.fetch_add(1);
+      obs_replay_hits_->Add();
       const CachedReply& cached = it->second;
       lock.unlock();
+      obs::TraceJournal::Global().Emit(request.round, "hop/replay",
+                                       std::string("op=") + HopOpName(request.op));
       return SendBatchMessage(conn, request.op, request.round, cached.header, cached.items,
                               config_.chunk_payload);
     }
   }
 
+  uint64_t round = request.round;
+  const char* op_name = HopOpName(request.op);
+  size_t num_items = request.items.size();
+  auto pass_start = std::chrono::steady_clock::now();
+  bool sent = RunPass(conn, request, header, digest);
+  double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - pass_start)
+                       .count();
+  obs_pass_seconds_->Observe(seconds);
+  obs_pass_onions_->Add(num_items);
+  char detail[112];
+  std::snprintf(detail, sizeof detail, "op=%s items=%zu secs=%.6f", op_name, num_items, seconds);
+  obs::TraceJournal::Global().Emit(round, "hop/pass", detail);
+  return sent;
+}
+
+bool HopDaemon::RunPass(net::TcpConnection& conn, BatchMessage& request, wire::Reader& header,
+                        const crypto::Sha256Digest& digest) {
+  mixnet::ServerRoundStats stats;
   try {
     switch (request.op) {
       case net::FrameType::kHopForwardConversation: {
@@ -342,6 +403,10 @@ bool HopDaemon::Dispatch(net::TcpConnection& conn, BatchMessage request) {
   } catch (const std::exception& e) {
     // One failed pass must not take the hop down: report it and keep serving.
     VZ_LOG_WARN << "hop pass failed (round " << request.round << "): " << e.what();
+    obs_pass_errors_->Add();
+    obs::TraceJournal::Global().Emit(
+        request.round, "hop/error",
+        std::string("op=") + HopOpName(request.op) + " error=" + e.what());
     return SendError(conn, request.round, e.what());
   }
 }

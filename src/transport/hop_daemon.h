@@ -42,8 +42,14 @@
 #include "src/crypto/sha256.h"
 #include "src/mixnet/mix_server.h"
 #include "src/net/tcp.h"
+#include "src/obs/http.h"
 #include "src/transport/exchange_router.h"
 #include "src/transport/hop_wire.h"
+
+namespace vuvuzela::obs {
+class Counter;
+class Histogram;
+}  // namespace vuvuzela::obs
 
 namespace vuvuzela::transport {
 
@@ -67,6 +73,9 @@ struct HopDaemonConfig {
   bool replay_cache = true;
   size_t replay_keep_dialing = 8;
   size_t replay_max_entries = 64;
+  // /metrics + /trace HTTP port: < 0 disables the server, 0 picks an
+  // ephemeral port (metrics_port() reports the binding).
+  int metrics_port = -1;
 };
 
 class HopDaemon {
@@ -81,6 +90,8 @@ class HopDaemon {
   // (observability; the replay-dedup tests assert these).
   uint64_t replay_hits() const { return replay_hits_.load(); }
   size_t replay_entries() const;
+  // Bound /metrics port; 0 when the server is disabled.
+  uint16_t metrics_port() const { return metrics_ ? metrics_->port() : 0; }
   // Non-null iff the daemon exchanges through partition servers.
   ExchangeRouter* exchange_router() const { return exchange_router_.get(); }
 
@@ -111,6 +122,10 @@ class HopDaemon {
   // Returns false once the daemon should stop serving entirely.
   bool ServeConnection(net::TcpConnection& conn);
   bool Dispatch(net::TcpConnection& conn, BatchMessage request);
+  // The op switch proper (the timed part of Dispatch): runs the pass and
+  // sends (and caches) the reply.
+  bool RunPass(net::TcpConnection& conn, BatchMessage& request, wire::Reader& header,
+               const crypto::Sha256Digest& digest);
   // Sends the reply and (when the cache is on) retains it for replay.
   bool SendAndCache(net::TcpConnection& conn, const BatchMessage& request,
                     const crypto::Sha256Digest& digest, util::Bytes header,
@@ -124,6 +139,15 @@ class HopDaemon {
   // backend pointer and makes no calls during destruction.
   std::unique_ptr<ExchangeRouter> exchange_router_;
   net::TcpListener listener_;
+  // Optional /metrics + /trace endpoint (config.metrics_port >= 0).
+  std::unique_ptr<obs::MetricsHttpServer> metrics_;
+  // Global-registry mirrors of this hop's hot-path counters (registration is
+  // idempotent, so multiple in-process daemons share one series).
+  obs::Counter* obs_rpcs_;
+  obs::Counter* obs_replay_hits_;
+  obs::Counter* obs_pass_onions_;
+  obs::Counter* obs_pass_errors_;
+  obs::Histogram* obs_pass_seconds_;
   std::atomic<uint64_t> rpcs_served_{0};
   std::atomic<uint64_t> replay_hits_{0};
   std::atomic<bool> stop_{false};

@@ -1,8 +1,12 @@
 #include "src/transport/hop_wire.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <functional>
 
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/transport/hop_transport.h"
 
 namespace vuvuzela::transport {
@@ -80,6 +84,8 @@ BatchAssembler::Status BatchAssembler::Consume(const net::Frame& frame) {
     return Fail("chunk after final chunk");
   }
   peak_frame_bytes_ = std::max(peak_frame_bytes_, frame.payload.size());
+  // Each chunk travels as [u32 len][frame header][payload]; charge all of it.
+  message_.wire_bytes += 4 + net::kFrameHeaderBytes + frame.payload.size();
   wire::Reader r(frame.payload);
   auto flags = r.U8();
   if (!flags || *flags > 1) {
@@ -215,11 +221,44 @@ namespace {
   throw HopError(peer_label + ": " + what);
 }
 
+// Counts the RPC failed and lands an rpc/error span unless Disarm()ed — the
+// exception paths out of CallBatchRpc all unwind through here.
+class RpcFailureScope {
+ public:
+  RpcFailureScope(obs::Counter* errors, uint64_t round, const std::string& peer_label)
+      : errors_(errors), round_(round), peer_label_(peer_label) {}
+  ~RpcFailureScope() {
+    if (armed_) {
+      errors_->Add();
+      obs::TraceJournal::Global().Emit(round_, "rpc/error", "peer=" + peer_label_);
+    }
+  }
+  void Disarm() { armed_ = false; }
+
+ private:
+  obs::Counter* errors_;
+  uint64_t round_;
+  const std::string& peer_label_;
+  bool armed_ = true;
+};
+
 }  // namespace
 
 BatchMessage CallBatchRpc(net::TcpConnection& conn, const std::string& peer_label,
                           net::FrameType op, uint64_t round, util::ByteSpan header,
                           const std::vector<util::Bytes>& items, size_t max_chunk_payload) {
+  // Shard fan-out telemetry: one span pair + one latency sample per RPC
+  // (per-round-per-shard rate). Function-local statics keep registration off
+  // the call path after the first RPC.
+  static obs::Histogram* rpc_seconds = obs::Registry::Global().GetHistogram(
+      "vuvuzela_rpc_seconds", "Batch RPC round trip to a shard or hop peer",
+      obs::LatencyBuckets());
+  static obs::Counter* rpc_errors = obs::Registry::Global().GetCounter(
+      "vuvuzela_rpc_errors_total", "Batch RPCs that failed (send, receive, or remote error)");
+  const auto rpc_start = std::chrono::steady_clock::now();
+  obs::TraceJournal::Global().Emit(round, "rpc/call",
+                                   "peer=" + peer_label + " items=" + std::to_string(items.size()));
+  RpcFailureScope failure_scope(rpc_errors, round, peer_label);
   if (!SendBatchMessage(conn, op, round, header, items, max_chunk_payload)) {
     FailRpc(conn, peer_label, "send failed");
   }
@@ -253,6 +292,13 @@ BatchMessage CallBatchRpc(net::TcpConnection& conn, const std::string& peer_labe
   if (message->round != round) {
     FailRpc(conn, peer_label, "response round mismatch");
   }
+  failure_scope.Disarm();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - rpc_start).count();
+  rpc_seconds->Observe(secs);
+  char detail[160];
+  std::snprintf(detail, sizeof(detail), "peer=%s secs=%.6f", peer_label.c_str(), secs);
+  obs::TraceJournal::Global().Emit(round, "rpc/done", detail);
   return std::move(*message);
 }
 

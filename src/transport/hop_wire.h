@@ -50,6 +50,11 @@ struct BatchMessage {
   uint64_t round = 0;
   util::Bytes header;
   std::vector<util::Bytes> items;
+  // True on-the-wire size of the message as received: every chunk's payload
+  // plus its frame header and length prefix. This is what bandwidth
+  // accounting (§8.3) must charge — item payloads alone undercount by the
+  // framing overhead.
+  uint64_t wire_bytes = 0;
 };
 
 // Splits a batch message into frames, none of whose payloads exceed

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/transport/hop_transport.h"
 
 namespace vuvuzela::transport {
@@ -53,6 +55,11 @@ BatchMessage ShardLink::Call(net::FrameType op, uint64_t round, util::ByteSpan h
     // request — every fleet RPC is idempotent (fetches read, publishes
     // replace their slice, exchange slices are stateless), so a duplicate
     // delivery cannot corrupt shard state.
+    static obs::Counter* reconnects = obs::Registry::Global().GetCounter(
+        "vuvuzela_shard_reconnects_total",
+        "ShardLink reconnect-and-replay attempts after a stale connection died");
+    reconnects->Add();
+    obs::TraceJournal::Global().Emit(round, "rpc/reconnect", "peer=" + label_);
     if (!TryConnectLocked()) {
       throw HopError(label_ + ": unreachable");
     }

@@ -462,7 +462,12 @@ TEST(DialingFetcher, BucketsByteIdenticalToRouterFetch) {
   for (uint32_t drop = 0; drop < kNumDrops; ++drop) {
     std::vector<wire::Invitation> bucket = fetcher.FetchBucket(round, drop, kNumDrops);
     EXPECT_EQ(bucket, router->Fetch(round, drop)) << "bucket " << drop;
-    expect_bytes += bucket.size() * wire::kInvitationSize;
+    // bytes_fetched counts true wire bytes, framing included. Each bucket
+    // reply here fits one chunk: length prefix + frame header, then the
+    // chunk payload — flags byte, header_len (empty header), item_count,
+    // and a length-prefixed invitation per item.
+    expect_bytes += 4 + net::kFrameHeaderBytes + 1 + 4 + 4 +
+                    bucket.size() * (4 + wire::kInvitationSize);
   }
   EXPECT_EQ(fetcher.buckets_fetched(), kNumDrops);
   EXPECT_EQ(fetcher.bytes_fetched(), expect_bytes);

@@ -10,11 +10,118 @@
 
 #include "bench/bench_util.h"
 #include "bench/round_runner.h"
+#include "src/client/dialing_fetcher.h"
 #include "src/crypto/onion.h"
+#include "src/net/frame.h"
 #include "src/sim/cost_model.h"
+#include "src/sim/wiretap.h"
+#include "src/transport/coord_daemon.h"
+#include "src/transport/hop_chain.h"
 #include "src/wire/constants.h"
 
 using namespace vuvuzela;
+
+// Measured per-client cost row: a real deployment (loopback hop daemons +
+// dist shards) driven by the real coordinator, with the coordd→hop0 link
+// behind a sim::WireTap. Conversation up/down bytes per client come off the
+// tapped wire (frame-attributed, so only the conversation passes count);
+// the dialing download comes from a real client::DialingFetcher pull against
+// the dist fleet — the same accounting §8.3 quotes per client.
+static void MeasuredPerClientRow() {
+  const uint64_t users = bench::FullScale() ? 200 : 24;
+  const uint64_t rounds = 8;
+  constexpr uint64_t kSeed = 0xbee5;
+
+  mixnet::ChainConfig chain_config;
+  chain_config.num_servers = 3;
+  chain_config.conversation_noise = {.params = {6.0, 2.0}, .deterministic = true};
+  chain_config.dialing_noise = {.params = {6.0, 2.0}, .deterministic = true};
+  chain_config.parallel = false;
+
+  auto dist = transport::DistGroup::Start(2);
+  auto chain = transport::LoopbackChain::Start(chain_config, kSeed);
+  if (dist == nullptr || chain == nullptr) {
+    std::printf("    (skipped: deployment failed to start)\n");
+    return;
+  }
+  sim::WireTapConfig tap_config;
+  tap_config.label = "coordd-hop0";
+  tap_config.upstream_port = chain->port(0);
+  auto tap = sim::WireTap::Start(tap_config);
+  if (tap == nullptr) {
+    std::printf("    (skipped: wire tap failed to bind)\n");
+    return;
+  }
+
+  transport::CoordDaemonConfig config;
+  config.hops.push_back({"127.0.0.1", tap->port()});
+  for (size_t i = 1; i < chain->size(); ++i) {
+    config.hops.push_back({"127.0.0.1", chain->port(i)});
+  }
+  for (size_t i = 0; i < dist->size(); ++i) {
+    config.dist.push_back({"127.0.0.1", dist->port(i)});
+  }
+  config.schedule.conversation_rounds_per_dialing_round = 3;
+  config.total_rounds = rounds;
+  config.admission_window_seconds = 0.002;
+  config.synthetic_users = users;
+  config.key_seed = kSeed;
+  const uint32_t dial_drops = config.schedule.dial_dead_drops;
+  transport::CoordinatorDaemon coordinator(std::move(config));
+  if (!coordinator.Start()) {
+    std::printf("    (skipped: coordinator failed to start)\n");
+    return;
+  }
+  transport::CoordDaemonResult result = coordinator.Run();
+
+  uint64_t up_bytes = 0, down_bytes = 0;
+  for (const auto& record : tap->Records()) {
+    if (record.direction == sim::TapDirection::kForward &&
+        record.frame_type == static_cast<uint8_t>(net::FrameType::kHopForwardConversation)) {
+      up_bytes += record.bytes;  // the user batch entering the chain
+    }
+    if (record.direction == sim::TapDirection::kBackward &&
+        record.frame_type == static_cast<uint8_t>(net::FrameType::kHopBackwardConversation)) {
+      down_bytes += record.bytes;  // the responses leaving hop0
+    }
+  }
+  tap->Shutdown();
+
+  double conv_rounds = static_cast<double>(result.conversation_rounds_completed);
+  double denom = conv_rounds * static_cast<double>(users);
+  double up_per_client = denom > 0 ? static_cast<double>(up_bytes) / denom : 0.0;
+  double down_per_client = denom > 0 ? static_cast<double>(down_bytes) / denom : 0.0;
+
+  // One client's dialing download, off the real dist fleet: the newest
+  // retained dialing round's whole bucket (every client polling a bucket
+  // downloads the same bytes — see dialing_fetcher.h).
+  client::DialingFetcher fetcher(dist->FetcherConfig());
+  double dial_bytes_per_client = 0.0;
+  for (uint64_t r = result.dialing_rounds_completed; r-- > 0;) {
+    try {
+      fetcher.FetchBucket(coord::kDialingRoundBase + r, 0, dial_drops);
+      dial_bytes_per_client = static_cast<double>(fetcher.bytes_fetched());
+      break;
+    } catch (const std::exception&) {
+      continue;  // round not retained on this shard; try an older one
+    }
+  }
+
+  std::printf("    %llu users, %llu conv + %llu dial rounds (wire-tapped):\n",
+              static_cast<unsigned long long>(users),
+              static_cast<unsigned long long>(result.conversation_rounds_completed),
+              static_cast<unsigned long long>(result.dialing_rounds_completed));
+  std::printf("    conversation: %.0f B up + %.0f B down per client per round\n",
+              up_per_client, down_per_client);
+  std::printf("    dialing download: %.0f B per client per round (bucket 0)\n",
+              dial_bytes_per_client);
+  bench::EmitJson("tab_bw_per_client",
+                  {{"users", static_cast<double>(users)},
+                   {"conv_rounds", conv_rounds},
+                   {"conv_up_bytes_per_client", up_per_client},
+                   {"conv_down_bytes_per_client", down_per_client},
+                   {"dial_fetch_bytes_per_client", dial_bytes_per_client}});
+}
 
 int main() {
   bench::PrintHeader("TAB-BW", "bandwidth accounting (§1, §8.2, §8.3)");
@@ -61,9 +168,14 @@ int main() {
               drop_bytes * static_cast<double>(kUsers) / kDialRoundSeconds / 1e9);
 
   // Cross-check the model's byte accounting against a real reduced-scale
-  // round's measured counters.
-  std::printf("\n  cross-check vs real round (10K users, mu=3K):\n");
-  bench::RealRound round = bench::RunRealConversationRound(10000, kServers, 3000, 5);
+  // round's measured counters (smoke scale shrinks the round to CI size).
+  const uint64_t check_users = bench::SmokeScale() ? 2000 : 10000;
+  const double check_mu = bench::SmokeScale() ? 600 : 3000;
+  std::printf("\n  cross-check vs real round (%s users, mu=%s):\n",
+              bench::Human(static_cast<double>(check_users)).c_str(),
+              bench::Human(check_mu).c_str());
+  bench::RealRound round =
+      bench::RunRealConversationRound(check_users, kServers, check_mu, 5);
   uint64_t measured = 0;
   for (const auto& s : round.stats.forward) {
     measured += s.bytes_in + s.bytes_out;
@@ -73,11 +185,18 @@ int main() {
   }
   uint64_t modeled = 0;
   for (size_t position = 0; position < kServers; ++position) {
-    modeled += model.ConversationServerBytes(10000, kServers, 3000, position);
+    modeled += model.ConversationServerBytes(check_users, kServers, check_mu, position);
   }
   std::printf("    measured %llu bytes, modeled %llu bytes (%.0f%%)\n",
               static_cast<unsigned long long>(measured),
               static_cast<unsigned long long>(modeled),
               100.0 * static_cast<double>(measured) / static_cast<double>(modeled));
+  bench::EmitJson("tab_bw_crosscheck",
+                  {{"users", static_cast<double>(check_users)},
+                   {"measured_bytes", static_cast<double>(measured)},
+                   {"modeled_bytes", static_cast<double>(modeled)}});
+
+  std::printf("\n  measured per-client (real deployment behind a wire tap):\n");
+  MeasuredPerClientRow();
   return 0;
 }

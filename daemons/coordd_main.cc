@@ -43,6 +43,13 @@ struct Flags {
   uint32_t retries = 3;
   // /metrics + /trace HTTP port (-1 = disabled, 0 = ephemeral).
   int metrics_port = -1;
+  // Privacy budget accountant (§6). The noise means must match the hop
+  // daemons' --mu / --dial-mu so the accountant charges what the deployment
+  // actually adds; epsilon_budget > 0 arms refusal-before-announcement.
+  double mu = 50.0;
+  double dial_mu = 10.0;
+  double epsilon_budget = 0.0;
+  double delta_budget = 1e-4;
 };
 
 bool ParseHops(const std::string& list, std::vector<transport::HopEndpoint>* hops) {
@@ -74,6 +81,7 @@ void Usage(const char* argv0) {
                "          [--rounds N] [--k K] [--users U | --clients C [--client-port P]]\n"
                "          [--window SEC] [--timeout-ms MS] [--conv-per-dial N] [--retries R]\n"
                "          [--metrics-port P]\n"
+               "          [--mu M --dial-mu D --epsilon-budget E [--delta-budget DLT]]\n"
                "--key-dir loads the chain's public keys from vuvuzela-keygen output instead\n"
                "of deriving them from the shared seed. --retries bounds submission attempts\n"
                "per round (crashed rounds re-enter the next admission window; 1 disables).\n"
@@ -81,7 +89,10 @@ void Usage(const char* argv0) {
                "vuvuzela-distd shards (omitted: in-process distribution); --dist-keep is\n"
                "the number of published rounds every backend retains (floored to K+4 so a\n"
                "table cannot expire before its downloads run; size the shards'\n"
-               "--max-rounds to at least that floor).\n",
+               "--max-rounds to at least that floor).\n"
+               "--epsilon-budget E arms the privacy-budget accountant: rounds whose\n"
+               "composed (Theorem 2) bound would exceed (E, --delta-budget) are refused\n"
+               "before announcement. --mu/--dial-mu must match the hop daemons' flags.\n",
                argv0);
 }
 
@@ -136,6 +147,14 @@ bool Parse(int argc, char** argv, Flags* flags) {
         return false;
       }
       flags->metrics_port = static_cast<int>(port);
+    } else if (arg == "--mu" && (value = next())) {
+      flags->mu = std::strtod(value, nullptr);
+    } else if (arg == "--dial-mu" && (value = next())) {
+      flags->dial_mu = std::strtod(value, nullptr);
+    } else if (arg == "--epsilon-budget" && (value = next())) {
+      flags->epsilon_budget = std::strtod(value, nullptr);
+    } else if (arg == "--delta-budget" && (value = next())) {
+      flags->delta_budget = std::strtod(value, nullptr);
     } else if (arg == "--key-dir" && (value = next())) {
       flags->key_dir = value;
     } else {
@@ -169,6 +188,12 @@ int main(int argc, char** argv) {
   config.num_clients = flags.clients;
   config.metrics_port = flags.metrics_port;
   config.synthetic_users = flags.users;
+  if (flags.epsilon_budget > 0.0) {
+    config.budget.conversation_noise = {flags.mu, flags.mu / 20.0 + 1.0};
+    config.budget.dialing_noise = {flags.dial_mu, flags.dial_mu / 20.0 + 1.0};
+    config.budget.epsilon_budget = flags.epsilon_budget;
+    config.budget.delta_budget = flags.delta_budget;
+  }
   config.key_seed = flags.seed;
   config.workload_seed = flags.seed ^ 0x9e3779b97f4a7c15ULL;
   if (!flags.key_dir.empty()) {
@@ -223,12 +248,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.dialing_fetch_bytes),
               flags.dist.empty() ? "in-process distributor"
                                  : "sharded vuvuzela-distd fleet");
+  if (flags.epsilon_budget > 0.0) {
+    std::printf("vuvuzela-coordd: privacy budget: eps_spent=%.4f/%.4f "
+                "delta_spent=%.3g/%.3g, %llu rounds refused\n",
+                result.epsilon_spent, flags.epsilon_budget, result.delta_spent,
+                flags.delta_budget, static_cast<unsigned long long>(result.rounds_refused));
+  }
   // Machine-readable final snapshot of every registry metric, one line —
   // what post-mortem tooling parses when no scraper ran during the schedule.
+  // Includes the accountant state (vuvuzela_privacy_epsilon_spent_micro,
+  // vuvuzela_privacy_rounds_refused_total) whether or not the budget is
+  // armed, so smoke runs can assert zero refusals.
   std::printf("vuvuzela-coordd: metrics %s\n",
               obs::Registry::Global().SnapshotJson().c_str());
   // Synthetic mode asserts the modeled download fan-out in full; client mode
-  // leaves expected at 0 (clients fetch on their own schedule).
+  // leaves expected at 0 (clients fetch on their own schedule). A refused
+  // round never completed, so an exhausted budget exits nonzero by
+  // construction.
   bool downloads_ok = result.dialing_fetches_expected == 0 ||
                       result.dialing_fetches == result.dialing_fetches_expected;
   return (completed == flags.rounds && result.rounds_abandoned == 0 && downloads_ok) ? 0 : 1;

@@ -1,0 +1,175 @@
+#include "src/sim/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vuvuzela::sim {
+
+ChiSquaredFit ChiSquaredGoodnessOfFit(const std::vector<uint64_t>& samples,
+                                      const std::function<double(uint64_t)>& pmf,
+                                      double min_expected) {
+  if (samples.empty()) {
+    throw std::invalid_argument("ChiSquaredGoodnessOfFit: no samples");
+  }
+  uint64_t max_value = *std::max_element(samples.begin(), samples.end());
+  std::vector<uint64_t> histogram(static_cast<size_t>(max_value) + 1, 0);
+  for (uint64_t sample : samples) {
+    ++histogram[static_cast<size_t>(sample)];
+  }
+  double n = static_cast<double>(samples.size());
+
+  // Greedy bin merge from 0 upward: each bin accumulates consecutive values
+  // until its expected count clears the validity floor. The last bin absorbs
+  // the whole upper tail (observed and expected), so the expected counts sum
+  // to n exactly and the statistic is comparable to a chi-squared(bins - 1).
+  ChiSquaredFit fit;
+  double expected_acc = 0.0;
+  double observed_acc = 0.0;
+  double tail_mass = 1.0;  // pmf mass not yet assigned to a closed bin
+  for (uint64_t value = 0; value <= max_value; ++value) {
+    double p = pmf(value);
+    expected_acc += n * p;
+    tail_mass -= p;
+    observed_acc += static_cast<double>(histogram[static_cast<size_t>(value)]);
+    bool tail_too_thin = n * tail_mass < min_expected;
+    if (expected_acc >= min_expected && !tail_too_thin) {
+      double diff = observed_acc - expected_acc;
+      fit.statistic += diff * diff / expected_acc;
+      ++fit.bins;
+      expected_acc = 0.0;
+      observed_acc = 0.0;
+    }
+    if (tail_too_thin) {
+      // Fold everything above `value` into the open bin and stop scanning.
+      for (uint64_t rest = value + 1; rest <= max_value; ++rest) {
+        observed_acc += static_cast<double>(histogram[static_cast<size_t>(rest)]);
+      }
+      break;
+    }
+  }
+  // Close the tail bin: its expected count is everything not yet binned.
+  double tail_expected = expected_acc + n * std::max(tail_mass, 0.0);
+  if (tail_expected > 0.0) {
+    double diff = observed_acc - tail_expected;
+    fit.statistic += diff * diff / tail_expected;
+    ++fit.bins;
+  }
+  fit.degrees_of_freedom = fit.bins > 1 ? fit.bins - 1 : 1;
+  return fit;
+}
+
+ChiSquaredFit ChiSquaredAgainstCeilTruncatedLaplace(const std::vector<uint64_t>& samples,
+                                                    const noise::LaplaceParams& params,
+                                                    double min_expected) {
+  return ChiSquaredGoodnessOfFit(
+      samples, [&params](uint64_t n) { return noise::CeilTruncatedLaplacePmf(params, n); },
+      min_expected);
+}
+
+double ChiSquaredCriticalValue(size_t degrees_of_freedom, double significance) {
+  if (degrees_of_freedom == 0) {
+    throw std::invalid_argument("ChiSquaredCriticalValue: dof must be positive");
+  }
+  // Standard-normal upper quantiles for the significance levels the suite
+  // uses; anything else is a programming error, not a tunable.
+  double z;
+  if (significance == 0.05) {
+    z = 1.6448536269514722;
+  } else if (significance == 0.01) {
+    z = 2.3263478740408408;
+  } else if (significance == 0.001) {
+    z = 3.0902323061678132;
+  } else {
+    throw std::invalid_argument("ChiSquaredCriticalValue: significance must be one of "
+                                "0.05, 0.01, 0.001");
+  }
+  // Wilson–Hilferty: (χ²/k)^(1/3) is approximately normal with mean
+  // 1 − 2/(9k) and variance 2/(9k).
+  double k = static_cast<double>(degrees_of_freedom);
+  double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * t * t * t;
+}
+
+double PearsonCorrelation(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) {
+    return 0.0;
+  }
+  double n = static_cast<double>(a.size());
+  double mean_a = 0.0, mean_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= n;
+  mean_b /= n;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = a[i] - mean_a;
+    double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) {
+    return 0.0;
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+AttackResult SegmentMatchingAttack(const std::vector<double>& sender,
+                                   const std::vector<double>& receiver, size_t num_segments) {
+  if (num_segments < 2 || sender.size() != receiver.size()) {
+    throw std::invalid_argument("SegmentMatchingAttack: need >= 2 segments on aligned series");
+  }
+  size_t per_segment = sender.size() / num_segments;
+  if (per_segment < 2) {
+    throw std::invalid_argument("SegmentMatchingAttack: need >= 2 rounds per segment");
+  }
+  auto segment = [per_segment](const std::vector<double>& series, size_t index) {
+    auto begin = series.begin() + static_cast<ptrdiff_t>(index * per_segment);
+    return std::vector<double>(begin, begin + static_cast<ptrdiff_t>(per_segment));
+  };
+  size_t correct = 0;
+  for (size_t i = 0; i < num_segments; ++i) {
+    std::vector<double> s = segment(sender, i);
+    size_t best = 0;
+    double best_corr = -2.0;
+    for (size_t j = 0; j < num_segments; ++j) {
+      double corr = PearsonCorrelation(s, segment(receiver, j));
+      if (corr > best_corr) {
+        best_corr = corr;
+        best = j;
+      }
+    }
+    if (best == i) {
+      ++correct;
+    }
+  }
+  AttackResult result;
+  result.segments = num_segments;
+  result.rounds_per_segment = per_segment;
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(num_segments);
+  result.chance = 1.0 / static_cast<double>(num_segments);
+  return result;
+}
+
+AlignedSeries AlignRoundSeries(const std::map<uint64_t, uint64_t>& a,
+                               const std::map<uint64_t, uint64_t>& b) {
+  AlignedSeries aligned;
+  for (const auto& [round, bytes_a] : a) {
+    if (round == 0) {
+      continue;  // unattributed bytes carry no round identity
+    }
+    auto it = b.find(round);
+    if (it == b.end()) {
+      continue;
+    }
+    aligned.rounds.push_back(round);
+    aligned.a.push_back(static_cast<double>(bytes_a));
+    aligned.b.push_back(static_cast<double>(it->second));
+  }
+  return aligned;
+}
+
+}  // namespace vuvuzela::sim

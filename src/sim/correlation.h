@@ -1,0 +1,91 @@
+// Statistical machinery for the adversarial privacy suite.
+//
+// Two families of test, both run against traffic recorded by
+// src/sim/wiretap.h from real deployments:
+//
+//  * Distribution conformance: a chi-squared goodness-of-fit of observed
+//    cover-traffic counts against the analytic ⌈max(0,Laplace(µ,b))⌉ pmf
+//    (noise that merely *averages* right but has the wrong shape still leaks;
+//    §4.2's guarantee is about the distribution, not the mean).
+//
+//  * Traffic correlation: the Bahramali et al. attack model — an adversary
+//    holding per-round byte series from a link near the senders and a link
+//    near the receivers cross-correlates them to link the two. The
+//    segment-matching estimator reports the attack's accuracy; Vuvuzela's
+//    claim is that with paper-parameter noise the accuracy stays at chance,
+//    and the suite also checks the converse (no noise → accuracy well above
+//    chance) so a broken harness cannot vacuously pass.
+//
+// Everything here is deterministic given its inputs — the randomness lives
+// in the (seeded) deployments the suites record.
+
+#ifndef VUVUZELA_SRC_SIM_CORRELATION_H_
+#define VUVUZELA_SRC_SIM_CORRELATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/noise/laplace.h"
+
+namespace vuvuzela::sim {
+
+// Chi-squared goodness-of-fit of sampled non-negative counts against a pmf.
+// Bins are merged greedily from 0 upward until each holds >= min_expected
+// expected samples (the classical validity rule); the final bin absorbs the
+// whole upper tail. degrees_of_freedom = bins - 1.
+struct ChiSquaredFit {
+  double statistic = 0.0;
+  size_t degrees_of_freedom = 0;
+  size_t bins = 0;
+};
+
+ChiSquaredFit ChiSquaredGoodnessOfFit(const std::vector<uint64_t>& samples,
+                                      const std::function<double(uint64_t)>& pmf,
+                                      double min_expected = 5.0);
+
+// Convenience form for the suite's usual null hypothesis.
+ChiSquaredFit ChiSquaredAgainstCeilTruncatedLaplace(const std::vector<uint64_t>& samples,
+                                                    const noise::LaplaceParams& params,
+                                                    double min_expected = 5.0);
+
+// Upper critical value of the chi-squared distribution (Wilson–Hilferty
+// approximation; better than 1% over the dof range the suite uses).
+// `significance` is the tail mass: 0.05, 0.01, or 0.001.
+double ChiSquaredCriticalValue(size_t degrees_of_freedom, double significance);
+
+// Pearson correlation coefficient; 0.0 when either series is constant or
+// the lengths differ / are < 2 (no linear signal to speak of).
+double PearsonCorrelation(const std::vector<double>& a, const std::vector<double>& b);
+
+// Splits two aligned per-round series into `num_segments` contiguous blocks
+// and plays the matching game: for each sender block, the adversary guesses
+// the receiver block with the highest correlation. Accuracy is the fraction
+// of correct guesses; chance is 1/num_segments. Ties break toward the lower
+// index (deterministic).
+struct AttackResult {
+  double accuracy = 0.0;
+  double chance = 0.0;
+  size_t segments = 0;
+  size_t rounds_per_segment = 0;
+};
+
+AttackResult SegmentMatchingAttack(const std::vector<double>& sender,
+                                   const std::vector<double>& receiver, size_t num_segments);
+
+// Joins two per-round byte maps (WireTap::PerRoundBytes) on their common
+// round numbers, ascending; round 0 (unattributed bytes) is dropped. The
+// aligned series feed PearsonCorrelation / SegmentMatchingAttack.
+struct AlignedSeries {
+  std::vector<uint64_t> rounds;
+  std::vector<double> a;
+  std::vector<double> b;
+};
+
+AlignedSeries AlignRoundSeries(const std::map<uint64_t, uint64_t>& a,
+                               const std::map<uint64_t, uint64_t>& b);
+
+}  // namespace vuvuzela::sim
+
+#endif  // VUVUZELA_SRC_SIM_CORRELATION_H_

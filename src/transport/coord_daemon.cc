@@ -1,6 +1,7 @@
 #include "src/transport/coord_daemon.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <set>
@@ -34,6 +35,15 @@ CoordinatorDaemon::CoordinatorDaemon(CoordDaemonConfig config) : config_(std::mo
                                           "Submitted rounds awaiting collection");
   obs_retry_depth_ = registry.GetGauge("vuvuzela_retry_queue_depth",
                                        "Failed rounds queued for re-submission");
+  obs_rounds_refused_ = registry.GetCounter(
+      "vuvuzela_privacy_rounds_refused_total",
+      "Rounds refused before announcement because the privacy budget forbade them");
+  obs_epsilon_spent_micro_ = registry.GetGauge(
+      "vuvuzela_privacy_epsilon_spent_micro",
+      "Composed cumulative epsilon spent, in micro-epsilon (Theorem 2)");
+  obs_delta_spent_nano_ = registry.GetGauge(
+      "vuvuzela_privacy_delta_spent_nano",
+      "Composed cumulative delta spent, in nano-delta (Theorem 2)");
 }
 
 size_t CoordinatorDaemon::admission_dedup_rounds() const {
@@ -44,6 +54,14 @@ size_t CoordinatorDaemon::admission_dedup_rounds() const {
 bool CoordinatorDaemon::Start() {
   if (config_.hops.empty()) {
     return false;
+  }
+  if (config_.budget.epsilon_budget > 0.0) {
+    try {
+      accountant_.emplace(config_.budget);
+    } catch (const std::exception& e) {
+      VZ_LOG_ERROR << "coordinator: privacy budget misconfigured: " << e.what();
+      return false;
+    }
   }
   if (!config_.public_keys.empty()) {
     if (config_.public_keys.size() != config_.hops.size()) {
@@ -309,6 +327,11 @@ std::vector<util::Bytes> CoordinatorDaemon::SyntheticBatch(
     const wire::RoundAnnouncement& announcement) {
   sim::WorkloadConfig workload;
   workload.num_users = config_.synthetic_users;
+  if (announcement.type == wire::RoundType::kConversation &&
+      !config_.synthetic_user_schedule.empty()) {
+    workload.num_users = config_.synthetic_user_schedule[synthetic_schedule_index_++ %
+                                                         config_.synthetic_user_schedule.size()];
+  }
   workload.pairing_fraction = 1.0;
   workload.seed = config_.workload_seed + announcement.round;
   workload.parallel = true;
@@ -525,6 +548,32 @@ CoordDaemonResult CoordinatorDaemon::Run() {
     SubmitRetries(scheduler);
 
     wire::RoundAnnouncement announcement = schedule.Next();
+    if (accountant_) {
+      // The budget gate runs before Announce: a refused round is never
+      // admitted, never announced, and never reaches the hops — the §6.4
+      // "shut down after k rounds" policy enforced per round.
+      bool admitted = announcement.type == wire::RoundType::kConversation
+                          ? accountant_->AdmitConversation()
+                          : accountant_->AdmitDialing();
+      noise::PrivacyBound spent = accountant_->Spent();
+      obs_epsilon_spent_micro_->Set(static_cast<int64_t>(std::llround(spent.epsilon * 1e6)));
+      obs_delta_spent_nano_->Set(static_cast<int64_t>(std::llround(spent.delta * 1e9)));
+      char detail[128];
+      std::snprintf(detail, sizeof detail,
+                    "type=%s eps_spent=%.4f/%.4f delta_spent=%.3g/%.3g",
+                    announcement.type == wire::RoundType::kConversation ? "conv" : "dialing",
+                    spent.epsilon, config_.budget.epsilon_budget, spent.delta,
+                    config_.budget.delta_budget);
+      if (!admitted) {
+        ++result.rounds_refused;
+        obs_rounds_refused_->Add();
+        obs::TraceJournal::Global().Emit(announcement.round, "budget/refused", detail);
+        VZ_LOG_WARN << "coordinator: refusing round " << announcement.round
+                    << " (privacy budget exhausted or per-round bound violated): " << detail;
+        continue;
+      }
+      obs::TraceJournal::Global().Emit(announcement.round, "budget/charged", detail);
+    }
     lifecycle_.Announce(announcement.round, announcement.type);
     {
       char detail[96];
@@ -630,6 +679,11 @@ CoordDaemonResult CoordinatorDaemon::Run() {
   result.dialing_fetches = dialing_fetches_.load();
   result.dialing_fetches_expected = dialing_fetches_expected_.load();
   result.dialing_fetch_bytes = dialing_fetch_bytes_.load();
+  if (accountant_) {
+    noise::PrivacyBound spent = accountant_->Spent();
+    result.epsilon_spent = spent.epsilon;
+    result.delta_spent = spent.delta;
+  }
   return result;
 }
 

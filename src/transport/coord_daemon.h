@@ -48,12 +48,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/coord/coordinator.h"
+#include "src/noise/accountant.h"
 #include "src/coord/distributor.h"
 #include "src/engine/round_lifecycle.h"
 #include "src/engine/round_scheduler.h"
@@ -142,6 +144,23 @@ struct CoordDaemonConfig {
   // (metrics_port() reports the binding). Client mode serves it from the
   // FrontDoor's reactor loop; synthetic mode runs a blocking acceptor.
   int metrics_port = -1;
+
+  // ε/δ budget accountant (§6): budget.epsilon_budget > 0 arms it, and the
+  // coordinator then refuses — before announcement — any round whose charge
+  // would push the composed cumulative bound past the budget. The noise
+  // parameters must mirror what the hop daemons actually add (vuvuzela-hopd
+  // derives {µ, µ/20 + 1} from --mu); a degenerate configuration (b <= 0)
+  // fails Start(). Refusals surface in the result, the
+  // vuvuzela_privacy_rounds_refused_total counter, and a budget/refused
+  // trace span.
+  noise::BudgetAccountantConfig budget;
+
+  // Adversarial-suite hook (synthetic mode): per-conversation-round user
+  // counts, cycled in announcement order — the varying load the wiretap
+  // correlation attack tries to trace through the chain. Empty keeps
+  // `synthetic_users` for every round; dialing rounds always use
+  // `synthetic_users`.
+  std::vector<uint64_t> synthetic_user_schedule;
 };
 
 struct CoordDaemonResult {
@@ -161,6 +180,11 @@ struct CoordDaemonResult {
   // Re-submissions of failed rounds (a round retried twice counts twice).
   uint64_t rounds_retried = 0;
   uint64_t messages_exchanged = 0;
+  // Budget accountant (when armed): rounds refused before announcement and
+  // the composed cumulative (ε', δ') actually spent.
+  uint64_t rounds_refused = 0;
+  double epsilon_spent = 0.0;
+  double delta_spent = 0.0;
   double wall_seconds = 0.0;
   // Populated when config.record_responses is set.
   std::map<uint64_t, std::vector<util::Bytes>> responses;
@@ -297,6 +321,18 @@ class CoordinatorDaemon {
   obs::Gauge* obs_banked_onions_;
   obs::Gauge* obs_pending_rounds_;
   obs::Gauge* obs_retry_depth_;
+  // Budget-accountant surface (registered unconditionally so a disabled
+  // accountant still exports zeros the CI smoke can assert on). Gauges are
+  // integer-valued, so budget burn exports in fixed-point units: micro-ε and
+  // nano-δ.
+  obs::Counter* obs_rounds_refused_;
+  obs::Gauge* obs_epsilon_spent_micro_;
+  obs::Gauge* obs_delta_spent_nano_;
+
+  // Armed in Start() when config_.budget.epsilon_budget > 0.
+  std::optional<noise::BudgetAccountant> accountant_;
+  // Cursor into config_.synthetic_user_schedule (announce thread only).
+  uint64_t synthetic_schedule_index_ = 0;
 
   // Admission state for the currently announced round.
   mutable std::mutex admission_mutex_;

@@ -10,6 +10,8 @@
 
 #include "src/conversation/protocol.h"
 #include "src/crypto/onion.h"
+#include "src/crypto/sha256.h"
+#include "src/sim/workload.h"
 #include "src/dialing/protocol.h"
 #include "src/engine/round_scheduler.h"
 #include "src/mixnet/chain.h"
@@ -538,6 +540,78 @@ TEST_F(CrashRecovery, HopThatNeverReturnsDegradesToBoundedAbandonment) {
   EXPECT_EQ(result.conversation_rounds_completed, 0u);
   EXPECT_EQ(result.rounds_retried, kRounds * 1u);
   EXPECT_EQ(coordinator.lifecycle().counters().abandoned, kRounds);
+}
+
+// --- Noise-plan determinism across crash/restart (adversarial privacy
+// suite). The ε/δ accounting assumes every server adds its planned cover
+// traffic every round — including rounds served by a hop that was killed and
+// rebuilt from the key ceremony. The noise-sensitive observables of a
+// conversation round are the access histogram (user pairs plus every
+// server's singles/pairs plan) and the exchange count; digesting them per
+// round gives a noise-plan fingerprint two runs can be compared by.
+// Both noise backends are pinned: deterministic plans (⌈µ⌉, §8.1) and
+// sampled plans, whose per-round RNG derivation from the ceremony seed must
+// make a restarted hop redraw the identical plan.
+TEST_F(CrashRecovery, RestartedHopReproducesNoisePlanDigest) {
+  constexpr uint64_t kRounds = 6;
+  constexpr uint64_t kCrashAfter = 3;
+  constexpr uint64_t kUsers = 8;
+
+  for (bool deterministic : {true, false}) {
+    SCOPED_TRACE(deterministic ? "deterministic" : "sampled");
+    mixnet::ChainConfig chain_config = RecoveryChainConfig();
+    chain_config.conversation_noise = {.params = {6.0, 2.0}, .deterministic = deterministic};
+    chain_config.dialing_noise = {.params = {6.0, 2.0}, .deterministic = deterministic};
+
+    auto keys = transport::DeriveChainKeys(kRecoverySeed, chain_config.num_servers);
+    std::vector<std::vector<util::Bytes>> batches(kRounds + 1);
+    for (uint64_t round = 1; round <= kRounds; ++round) {
+      sim::WorkloadConfig workload{
+          .num_users = kUsers, .pairing_fraction = 1.0, .seed = 300 + round, .parallel = false};
+      batches[round] = sim::GenerateConversationWorkload(workload, keys.public_keys, round);
+    }
+
+    // Runs rounds [from, to] over fresh transports (a restarted hop's old
+    // connection is gone, as after a real crash) and appends each round's
+    // noise-sensitive observables to the digest.
+    auto run_rounds = [&](transport::LoopbackChain& chain, uint64_t from, uint64_t to,
+                          crypto::Sha256& digest,
+                          std::vector<std::vector<util::Bytes>>& responses) {
+      auto transports = chain.ConnectTransports();
+      ASSERT_EQ(transports.size(), chain_config.num_servers);
+      engine::RoundScheduler scheduler(std::move(transports), {.max_in_flight = 1});
+      for (uint64_t round = from; round <= to; ++round) {
+        Chain::ConversationResult result =
+            scheduler.SubmitConversation(round, batches[round]).get();
+        uint64_t observables[4] = {round, result.histogram.singles, result.histogram.pairs,
+                                   result.messages_exchanged};
+        digest.Update(util::ByteSpan(reinterpret_cast<const uint8_t*>(observables),
+                                     sizeof observables));
+        responses.push_back(std::move(result.responses));
+      }
+      scheduler.Drain();
+    };
+
+    // Uninterrupted reference.
+    auto reference_chain = transport::LoopbackChain::Start(chain_config, kRecoverySeed);
+    ASSERT_NE(reference_chain, nullptr);
+    crypto::Sha256 reference_digest;
+    std::vector<std::vector<util::Bytes>> reference_responses;
+    run_rounds(*reference_chain, 1, kRounds, reference_digest, reference_responses);
+
+    // Same deployment, middle hop killed and rebuilt mid-schedule.
+    auto chain = transport::LoopbackChain::Start(chain_config, kRecoverySeed);
+    ASSERT_NE(chain, nullptr);
+    crypto::Sha256 crashed_digest;
+    std::vector<std::vector<util::Bytes>> crashed_responses;
+    run_rounds(*chain, 1, kCrashAfter, crashed_digest, crashed_responses);
+    chain->Kill(1);
+    ASSERT_TRUE(chain->Restart(1));
+    run_rounds(*chain, kCrashAfter + 1, kRounds, crashed_digest, crashed_responses);
+
+    EXPECT_EQ(reference_digest.Finish(), crashed_digest.Finish());
+    EXPECT_EQ(reference_responses, crashed_responses);
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "src/noise/laplace.h"
+#include "src/sim/correlation.h"
 #include "src/util/random.h"
 
 namespace vuvuzela::noise {
@@ -118,6 +119,68 @@ TEST(SampleCeilTruncatedLaplace, EmpiricalPmfMatchesAnalytic) {
     double expected = CeilTruncatedLaplacePmf(p, n);
     double observed = static_cast<double>(histogram[n]) / kSamples;
     EXPECT_NEAR(observed, expected, 0.004) << "n=" << n;
+  }
+}
+
+// Distribution-conformance grid (adversarial privacy suite): a chi-squared
+// goodness-of-fit of the sampler against the analytic ⌈max(0,Laplace)⌉ pmf
+// across the parameter regimes the deployments use — small µ where the
+// truncation atom at 0 is heavy, paper-style large µ/b, and skewed shapes.
+// §4.2's guarantee is about the noise *distribution*; a sampler that merely
+// gets the mean right would pass the moment tests above and still leak.
+TEST(SampleCeilTruncatedLaplace, ChiSquaredConformanceGrid) {
+  struct Case {
+    LaplaceParams params;
+    uint64_t seed;
+  };
+  const Case kGrid[] = {
+      {{0.0, 1.0}, 11},    // half the mass on the truncation atom
+      {{2.0, 1.0}, 12},    // the failure-injection suite's shape
+      {{8.0, 2.0}, 13},    // mid-size
+      {{50.0, 3.5}, 14},   // vuvuzela-hopd's --mu 50 derivation (µ/20 + 1)
+      {{40.0, 20.0}, 15},  // wide: the wiretap suite's sampled regime
+  };
+  constexpr size_t kSamples = 50000;
+  for (const Case& c : kGrid) {
+    util::Xoshiro256Rng rng(c.seed);
+    std::vector<uint64_t> samples;
+    samples.reserve(kSamples);
+    for (size_t i = 0; i < kSamples; ++i) {
+      samples.push_back(SampleCeilTruncatedLaplace(c.params, rng));
+    }
+    sim::ChiSquaredFit fit = sim::ChiSquaredAgainstCeilTruncatedLaplace(samples, c.params);
+    ASSERT_GE(fit.bins, 2u) << "mu=" << c.params.mu << " b=" << c.params.b;
+    // Fixed seeds make this deterministic; α = 0.001 leaves headroom so the
+    // grid is a conformance check, not a coin flip.
+    double critical = sim::ChiSquaredCriticalValue(fit.degrees_of_freedom, 0.001);
+    EXPECT_LT(fit.statistic, critical)
+        << "mu=" << c.params.mu << " b=" << c.params.b << " dof=" << fit.degrees_of_freedom;
+    // Mean agreement rides along: the empirical mean of the same draw must
+    // sit on the analytic CeilTruncatedLaplaceMean within sampling error.
+    double sum = 0.0;
+    for (uint64_t v : samples) {
+      sum += static_cast<double>(v);
+    }
+    double std_error = c.params.b * 2.0 / std::sqrt(static_cast<double>(kSamples));
+    EXPECT_NEAR(sum / static_cast<double>(kSamples), CeilTruncatedLaplaceMean(c.params),
+                5.0 * std_error + 0.01)
+        << "mu=" << c.params.mu << " b=" << c.params.b;
+  }
+}
+
+// The conformance grid must be able to fail: samples drawn from visibly wrong
+// parameters (shifted mean, halved spread) blow past the same critical value.
+TEST(SampleCeilTruncatedLaplace, ChiSquaredRejectsWrongDistribution) {
+  LaplaceParams truth{8.0, 2.0};
+  util::Xoshiro256Rng rng(4242);
+  std::vector<uint64_t> samples;
+  for (size_t i = 0; i < 50000; ++i) {
+    samples.push_back(SampleCeilTruncatedLaplace(truth, rng));
+  }
+  for (LaplaceParams wrong : {LaplaceParams{10.0, 2.0}, LaplaceParams{8.0, 1.0}}) {
+    sim::ChiSquaredFit fit = sim::ChiSquaredAgainstCeilTruncatedLaplace(samples, wrong);
+    double critical = sim::ChiSquaredCriticalValue(fit.degrees_of_freedom, 0.001);
+    EXPECT_GT(fit.statistic, critical) << "mu=" << wrong.mu << " b=" << wrong.b;
   }
 }
 

@@ -5,10 +5,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench/bench_util.h"
 #include "src/crypto/aead.h"
 #include "src/crypto/onion.h"
+#include "src/crypto/secret_cache.h"
 #include "src/crypto/sha256.h"
 #include "src/crypto/x25519.h"
+#include "src/crypto/x25519_precomp.h"
 #include "src/sim/cost_model.h"
 #include "src/util/random.h"
 #include "src/util/thread_pool.h"
@@ -90,6 +95,60 @@ void BM_OnionUnwrapLayer(benchmark::State& state) {
 }
 BENCHMARK(BM_OnionUnwrapLayer);
 
+// --- Batch-vs-scalar: the primitives behind MixServer's batched pass -------
+// Each scalar benchmark above has a batched counterpart here; the deltas are
+// exactly what the batched pass saves per onion (see docs/PERFORMANCE.md).
+
+// Arbitrary-point comb table vs the Montgomery ladder (same multiplication).
+void BM_X25519PrecompMult(benchmark::State& state) {
+  util::Xoshiro256Rng rng(1);
+  auto a = crypto::X25519KeyPair::Generate(rng);
+  auto b = crypto::X25519KeyPair::Generate(rng);
+  auto table = crypto::X25519Precomp::Create(b.public_key);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->Mult(a.secret_key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_X25519PrecompMult);
+
+// Unwrap with a warm SecretCache + caller scratch (the steady-state batched
+// pass) vs BM_OnionUnwrapLayer's per-onion DH + allocation.
+void BM_OnionUnwrapLayerCached(benchmark::State& state) {
+  util::Xoshiro256Rng rng(6);
+  auto server = crypto::X25519KeyPair::Generate(rng);
+  std::vector<crypto::X25519PublicKey> chain = {server.public_key};
+  util::Bytes payload = rng.RandomBytes(wire::kExchangeRequestSize);
+  auto onion = crypto::OnionWrap(chain, 1, payload, rng);
+  crypto::SecretCache cache;
+  util::Bytes inner(onion.data.size() - crypto::kOnionRequestLayerOverhead);
+  crypto::AeadKey response_key;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::OnionUnwrapLayerInto(server.secret_key, &cache, 1,
+                                                          onion.data, inner, response_key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OnionUnwrapLayerCached);
+
+// Noise wrap through precomputed chain-suffix tables (what ForwardDialing /
+// ForwardConversation use for cover onions) vs BM_OnionWrap3Servers' ladder.
+void BM_OnionWrapPrecomp3Servers(benchmark::State& state) {
+  util::Xoshiro256Rng rng(5);
+  std::vector<crypto::X25519PublicKey> chain;
+  std::vector<crypto::X25519Precomp> tables;
+  for (int i = 0; i < 3; ++i) {
+    chain.push_back(crypto::X25519KeyPair::Generate(rng).public_key);
+    tables.push_back(*crypto::X25519Precomp::Create(chain.back()));
+  }
+  util::Bytes payload = rng.RandomBytes(wire::kExchangeRequestSize);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::OnionWrapPrecomp(tables, 1, payload, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OnionWrapPrecomp3Servers);
+
 // Aggregate unwrap throughput across all cores: the server-side figure that
 // corresponds to the paper's "340,000 Curve25519 ops/sec on 36 cores".
 void BM_ParallelUnwrapThroughput(benchmark::State& state) {
@@ -113,12 +172,95 @@ void BM_ParallelUnwrapThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelUnwrapThroughput)->Unit(benchmark::kMillisecond);
 
+// Microseconds per call of `fn` over `iters` iterations (one warm-up call).
+template <typename Fn>
+double TimeUs(size_t iters, Fn&& fn) {
+  fn();
+  auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < iters; ++i) {
+    fn();
+  }
+  auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return elapsed / static_cast<double>(iters) * 1e6;
+}
+
+// The batch-vs-scalar summary the CI trajectory tracks: one JSONL row pinning
+// the three per-onion savings the batched MixServer pass is built on. Printed
+// (and emitted to $VUVUZELA_BENCH_JSON) on every run, independently of the
+// google-benchmark registry above, so the bench-trajectory job gets it from
+// the same invocation that produces the human-readable table.
+void PrintBatchVsScalarSection() {
+  using namespace vuvuzela;
+  util::Xoshiro256Rng rng(99);
+  auto client = crypto::X25519KeyPair::Generate(rng);
+  auto server = crypto::X25519KeyPair::Generate(rng);
+  auto table = crypto::X25519Precomp::Create(server.public_key);
+
+  constexpr size_t kLadderIters = 200;   // ~55us each
+  constexpr size_t kFastIters = 2000;    // cached / comb paths
+
+  double mult_ladder_us = TimeUs(kLadderIters, [&] {
+    benchmark::DoNotOptimize(crypto::X25519(client.secret_key, server.public_key));
+  });
+  double mult_precomp_us = TimeUs(kLadderIters, [&] {
+    benchmark::DoNotOptimize(table->Mult(client.secret_key));
+  });
+
+  std::vector<crypto::X25519PublicKey> chain = {server.public_key};
+  util::Bytes payload = rng.RandomBytes(wire::kExchangeRequestSize);
+  auto onion = crypto::OnionWrap(chain, 1, payload, rng);
+  crypto::SecretCache cache;
+  util::Bytes inner(onion.data.size() - crypto::kOnionRequestLayerOverhead);
+  crypto::AeadKey response_key;
+  double unwrap_scalar_us = TimeUs(kLadderIters, [&] {
+    benchmark::DoNotOptimize(crypto::OnionUnwrapLayer(server.secret_key, 1, onion.data));
+  });
+  double unwrap_cached_us = TimeUs(kFastIters, [&] {
+    benchmark::DoNotOptimize(crypto::OnionUnwrapLayerInto(server.secret_key, &cache, 1,
+                                                          onion.data, inner, response_key));
+  });
+
+  std::vector<crypto::X25519PublicKey> suffix;
+  std::vector<crypto::X25519Precomp> tables;
+  for (int i = 0; i < 3; ++i) {
+    suffix.push_back(crypto::X25519KeyPair::Generate(rng).public_key);
+    tables.push_back(*crypto::X25519Precomp::Create(suffix.back()));
+  }
+  double wrap_ladder_us = TimeUs(kLadderIters / 2, [&] {
+    benchmark::DoNotOptimize(crypto::OnionWrap(suffix, 1, payload, rng));
+  });
+  double wrap_precomp_us = TimeUs(kLadderIters / 2, [&] {
+    benchmark::DoNotOptimize(crypto::OnionWrapPrecomp(tables, 1, payload, rng));
+  });
+
+  std::printf("\n=== TAB-DOMCOST-BATCH: batch primitives vs scalar reference ===\n");
+  std::printf("  X25519 mult:  ladder %8.2f us  comb table %8.2f us  (%.2fx)\n", mult_ladder_us,
+              mult_precomp_us, mult_ladder_us / mult_precomp_us);
+  std::printf("  layer unwrap: scalar %8.2f us  cached+scratch %4.2f us  (%.1fx)\n",
+              unwrap_scalar_us, unwrap_cached_us, unwrap_scalar_us / unwrap_cached_us);
+  std::printf("  noise wrap 3: ladder %8.2f us  precomp %6.2f us  (%.2fx)\n", wrap_ladder_us,
+              wrap_precomp_us, wrap_ladder_us / wrap_precomp_us);
+
+  bench::EmitJson("tab_domcost_batch",
+                  {{"mult_ladder_us", mult_ladder_us},
+                   {"mult_precomp_us", mult_precomp_us},
+                   {"mult_speedup", mult_ladder_us / mult_precomp_us},
+                   {"unwrap_scalar_us", unwrap_scalar_us},
+                   {"unwrap_cached_us", unwrap_cached_us},
+                   {"unwrap_speedup", unwrap_scalar_us / unwrap_cached_us},
+                   {"wrap_ladder_us", wrap_ladder_us},
+                   {"wrap_precomp_us", wrap_precomp_us},
+                   {"wrap_speedup", wrap_ladder_us / wrap_precomp_us}});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  PrintBatchVsScalarSection();
 
   // The lower-bound analysis of §8.2, recomputed with this machine's
   // measured throughput.

@@ -66,6 +66,32 @@ std::optional<util::Bytes> AeadOpen(const AeadKey& key, const AeadNonce& nonce, 
   return plaintext;
 }
 
+void AeadSealInto(const AeadKey& key, const AeadNonce& nonce, util::ByteSpan aad,
+                  util::ByteSpan plaintext, util::MutableByteSpan out) {
+  ChaCha20Xor(key, nonce, 1, plaintext, util::MutableByteSpan(out.data(), plaintext.size()));
+  Poly1305Key mac_key = DeriveMacKey(key, nonce);
+  Poly1305Tag tag = ComputeTag(mac_key, aad, util::ByteSpan(out.data(), plaintext.size()));
+  std::memcpy(out.data() + plaintext.size(), tag.data(), tag.size());
+}
+
+bool AeadOpenInto(const AeadKey& key, const AeadNonce& nonce, util::ByteSpan aad,
+                  util::ByteSpan ciphertext_and_tag, util::MutableByteSpan plaintext_out) {
+  if (ciphertext_and_tag.size() < kAeadTagSize) {
+    return false;
+  }
+  size_t ct_len = ciphertext_and_tag.size() - kAeadTagSize;
+  util::ByteSpan ciphertext = ciphertext_and_tag.subspan(0, ct_len);
+  util::ByteSpan tag = ciphertext_and_tag.subspan(ct_len);
+
+  Poly1305Key mac_key = DeriveMacKey(key, nonce);
+  Poly1305Tag expected = ComputeTag(mac_key, aad, ciphertext);
+  if (!util::ConstantTimeEqual(expected, tag)) {
+    return false;
+  }
+  ChaCha20Xor(key, nonce, 1, ciphertext, plaintext_out);
+  return true;
+}
+
 AeadNonce NonceFromUint64(uint64_t counter, uint32_t domain) {
   AeadNonce nonce;
   util::StoreLe32(nonce.data(), domain);

@@ -33,6 +33,23 @@ util::Bytes AeadSeal(const AeadKey& key, const AeadNonce& nonce, util::ByteSpan 
 std::optional<util::Bytes> AeadOpen(const AeadKey& key, const AeadNonce& nonce, util::ByteSpan aad,
                                     util::ByteSpan ciphertext_and_tag);
 
+// Allocation-free variants for the batched mix pass: the caller owns the
+// output buffer (typically a slot in a preallocated block of results), so a
+// pass over N onions performs zero intermediate allocations. Byte-identical
+// to AeadSeal/AeadOpen.
+//
+// `out` must be exactly plaintext.size() + kAeadTagSize bytes. `out` must not
+// overlap `plaintext`.
+void AeadSealInto(const AeadKey& key, const AeadNonce& nonce, util::ByteSpan aad,
+                  util::ByteSpan plaintext, util::MutableByteSpan out);
+
+// `plaintext_out` must be exactly ciphertext_and_tag.size() - kAeadTagSize
+// bytes and must not overlap the input. Returns false (leaving
+// `plaintext_out` unspecified) if the tag fails or the input is shorter than
+// a tag.
+bool AeadOpenInto(const AeadKey& key, const AeadNonce& nonce, util::ByteSpan aad,
+                  util::ByteSpan ciphertext_and_tag, util::MutableByteSpan plaintext_out);
+
 // Builds an AEAD nonce from a 64-bit counter (e.g. the round number). The
 // remaining 4 bytes are a caller-chosen domain tag so different uses of the
 // same key never collide.

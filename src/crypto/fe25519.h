@@ -1,0 +1,337 @@
+// Field arithmetic mod 2^255 - 19 shared by the X25519 Montgomery ladder
+// (x25519.cc) and the precomputed-table scalar multiplication
+// (x25519_precomp.cc).
+//
+// Representation: five 51-bit limbs with unsigned __int128 products — the
+// portable "donna-c64" shape. Inputs to FeMul/FeSquare must be *loosely
+// reduced* (every limb < 2^52); outputs are loosely reduced. FeToBytes fully
+// reduces. All functions are branch-free on secret data: the only data-
+// dependent control flow anywhere in this header is over public lengths.
+//
+// Threading/lifetime: every function is a pure function of its arguments
+// with no global state, so concurrent use from any number of threads is safe.
+
+#ifndef VUVUZELA_SRC_CRYPTO_FE25519_H_
+#define VUVUZELA_SRC_CRYPTO_FE25519_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/util/bytes.h"
+
+namespace vuvuzela::crypto::fe25519 {
+
+using uint128_t = unsigned __int128;
+
+// Field element mod 2^255 - 19, five 51-bit limbs.
+struct Fe {
+  uint64_t v[5];
+};
+
+inline constexpr uint64_t kMask51 = 0x7ffffffffffffULL;
+
+inline constexpr Fe FeZero() { return Fe{{0, 0, 0, 0, 0}}; }
+inline constexpr Fe FeOne() { return Fe{{1, 0, 0, 0, 0}}; }
+
+inline void FeFromBytes(Fe& h, const uint8_t s[32]) {
+  h.v[0] = util::LoadLe64(s) & kMask51;
+  h.v[1] = (util::LoadLe64(s + 6) >> 3) & kMask51;
+  h.v[2] = (util::LoadLe64(s + 12) >> 6) & kMask51;
+  h.v[3] = (util::LoadLe64(s + 19) >> 1) & kMask51;
+  h.v[4] = (util::LoadLe64(s + 24) >> 12) & kMask51;
+}
+
+inline void FeToBytes(uint8_t out[32], const Fe& f) {
+  uint64_t t[5];
+  std::memcpy(t, f.v, sizeof(t));
+
+  // Two carry passes bring every limb under 2^51 (+ epsilon in limb 0).
+  for (int pass = 0; pass < 2; ++pass) {
+    t[1] += t[0] >> 51;
+    t[0] &= kMask51;
+    t[2] += t[1] >> 51;
+    t[1] &= kMask51;
+    t[3] += t[2] >> 51;
+    t[2] &= kMask51;
+    t[4] += t[3] >> 51;
+    t[3] &= kMask51;
+    t[0] += 19 * (t[4] >> 51);
+    t[4] &= kMask51;
+  }
+
+  // Add 19 and carry; if the value was >= p this wraps past 2^255.
+  t[0] += 19;
+  t[1] += t[0] >> 51;
+  t[0] &= kMask51;
+  t[2] += t[1] >> 51;
+  t[1] &= kMask51;
+  t[3] += t[2] >> 51;
+  t[2] &= kMask51;
+  t[4] += t[3] >> 51;
+  t[3] &= kMask51;
+  t[0] += 19 * (t[4] >> 51);
+  t[4] &= kMask51;
+
+  // Offset by 2^255 - 19 (limb-wise 2^51-19, 2^51-1 …) and drop the top bit,
+  // which computes t mod p branch-free.
+  t[0] += (kMask51 + 1) - 19;
+  t[1] += (kMask51 + 1) - 1;
+  t[2] += (kMask51 + 1) - 1;
+  t[3] += (kMask51 + 1) - 1;
+  t[4] += (kMask51 + 1) - 1;
+
+  t[1] += t[0] >> 51;
+  t[0] &= kMask51;
+  t[2] += t[1] >> 51;
+  t[1] &= kMask51;
+  t[3] += t[2] >> 51;
+  t[2] &= kMask51;
+  t[4] += t[3] >> 51;
+  t[3] &= kMask51;
+  t[4] &= kMask51;
+
+  util::StoreLe64(out, t[0] | (t[1] << 51));
+  util::StoreLe64(out + 8, (t[1] >> 13) | (t[2] << 38));
+  util::StoreLe64(out + 16, (t[2] >> 26) | (t[3] << 25));
+  util::StoreLe64(out + 24, (t[3] >> 39) | (t[4] << 12));
+}
+
+inline void FeAdd(Fe& out, const Fe& a, const Fe& b) {
+  out.v[0] = a.v[0] + b.v[0];
+  out.v[1] = a.v[1] + b.v[1];
+  out.v[2] = a.v[2] + b.v[2];
+  out.v[3] = a.v[3] + b.v[3];
+  out.v[4] = a.v[4] + b.v[4];
+}
+
+// a - b, biased by 2p per limb so the subtraction cannot underflow as long as
+// inputs are reduced (limbs < 2^52).
+inline void FeSub(Fe& out, const Fe& a, const Fe& b) {
+  out.v[0] = a.v[0] + 0xfffffffffffdaULL - b.v[0];
+  out.v[1] = a.v[1] + 0xffffffffffffeULL - b.v[1];
+  out.v[2] = a.v[2] + 0xffffffffffffeULL - b.v[2];
+  out.v[3] = a.v[3] + 0xffffffffffffeULL - b.v[3];
+  out.v[4] = a.v[4] + 0xffffffffffffeULL - b.v[4];
+}
+
+// out = -a (same 2p bias as FeSub).
+inline void FeNeg(Fe& out, const Fe& a) {
+  Fe zero = FeZero();
+  FeSub(out, zero, a);
+}
+
+inline void FeMul(Fe& out, const Fe& a, const Fe& b) {
+  const uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
+  const uint64_t b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19, b4_19 = b4 * 19;
+
+  uint128_t t0 = static_cast<uint128_t>(a0) * b0 + static_cast<uint128_t>(a1) * b4_19 +
+                 static_cast<uint128_t>(a2) * b3_19 + static_cast<uint128_t>(a3) * b2_19 +
+                 static_cast<uint128_t>(a4) * b1_19;
+  uint128_t t1 = static_cast<uint128_t>(a0) * b1 + static_cast<uint128_t>(a1) * b0 +
+                 static_cast<uint128_t>(a2) * b4_19 + static_cast<uint128_t>(a3) * b3_19 +
+                 static_cast<uint128_t>(a4) * b2_19;
+  uint128_t t2 = static_cast<uint128_t>(a0) * b2 + static_cast<uint128_t>(a1) * b1 +
+                 static_cast<uint128_t>(a2) * b0 + static_cast<uint128_t>(a3) * b4_19 +
+                 static_cast<uint128_t>(a4) * b3_19;
+  uint128_t t3 = static_cast<uint128_t>(a0) * b3 + static_cast<uint128_t>(a1) * b2 +
+                 static_cast<uint128_t>(a2) * b1 + static_cast<uint128_t>(a3) * b0 +
+                 static_cast<uint128_t>(a4) * b4_19;
+  uint128_t t4 = static_cast<uint128_t>(a0) * b4 + static_cast<uint128_t>(a1) * b3 +
+                 static_cast<uint128_t>(a2) * b2 + static_cast<uint128_t>(a3) * b1 +
+                 static_cast<uint128_t>(a4) * b0;
+
+  uint64_t r0 = static_cast<uint64_t>(t0) & kMask51;
+  t1 += static_cast<uint64_t>(t0 >> 51);
+  uint64_t r1 = static_cast<uint64_t>(t1) & kMask51;
+  t2 += static_cast<uint64_t>(t1 >> 51);
+  uint64_t r2 = static_cast<uint64_t>(t2) & kMask51;
+  t3 += static_cast<uint64_t>(t2 >> 51);
+  uint64_t r3 = static_cast<uint64_t>(t3) & kMask51;
+  t4 += static_cast<uint64_t>(t3 >> 51);
+  uint64_t r4 = static_cast<uint64_t>(t4) & kMask51;
+  uint64_t carry = static_cast<uint64_t>(t4 >> 51);
+  r0 += carry * 19;
+  r1 += r0 >> 51;
+  r0 &= kMask51;
+
+  out.v[0] = r0;
+  out.v[1] = r1;
+  out.v[2] = r2;
+  out.v[3] = r3;
+  out.v[4] = r4;
+}
+
+inline void FeSquare(Fe& out, const Fe& a) { FeMul(out, a, a); }
+
+inline void FeMul121665(Fe& out, const Fe& a) {
+  uint128_t t0 = static_cast<uint128_t>(a.v[0]) * 121665;
+  uint128_t t1 = static_cast<uint128_t>(a.v[1]) * 121665;
+  uint128_t t2 = static_cast<uint128_t>(a.v[2]) * 121665;
+  uint128_t t3 = static_cast<uint128_t>(a.v[3]) * 121665;
+  uint128_t t4 = static_cast<uint128_t>(a.v[4]) * 121665;
+
+  uint64_t r0 = static_cast<uint64_t>(t0) & kMask51;
+  t1 += static_cast<uint64_t>(t0 >> 51);
+  uint64_t r1 = static_cast<uint64_t>(t1) & kMask51;
+  t2 += static_cast<uint64_t>(t1 >> 51);
+  uint64_t r2 = static_cast<uint64_t>(t2) & kMask51;
+  t3 += static_cast<uint64_t>(t2 >> 51);
+  uint64_t r3 = static_cast<uint64_t>(t3) & kMask51;
+  t4 += static_cast<uint64_t>(t3 >> 51);
+  uint64_t r4 = static_cast<uint64_t>(t4) & kMask51;
+  r0 += static_cast<uint64_t>(t4 >> 51) * 19;
+
+  out.v[0] = r0;
+  out.v[1] = r1;
+  out.v[2] = r2;
+  out.v[3] = r3;
+  out.v[4] = r4;
+}
+
+// Constant-time conditional swap: swaps a and b iff swap == 1.
+inline void FeCswap(uint64_t swap, Fe& a, Fe& b) {
+  uint64_t mask = 0 - swap;
+  for (int i = 0; i < 5; ++i) {
+    uint64_t x = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= x;
+    b.v[i] ^= x;
+  }
+}
+
+// Constant-time conditional move: out = a iff move == 1 (out unchanged
+// otherwise).
+inline void FeCmov(Fe& out, const Fe& a, uint64_t move) {
+  uint64_t mask = 0 - move;
+  for (int i = 0; i < 5; ++i) {
+    out.v[i] ^= mask & (out.v[i] ^ a.v[i]);
+  }
+}
+
+// Fully reduced canonical bytes tell us sign (bit 0) and zero-ness.
+inline int FeIsNegative(const Fe& f) {
+  uint8_t s[32];
+  FeToBytes(s, f);
+  return s[0] & 1;
+}
+
+inline int FeIsZero(const Fe& f) {
+  uint8_t s[32];
+  FeToBytes(s, f);
+  uint8_t acc = 0;
+  for (int i = 0; i < 32; ++i) {
+    acc |= s[i];
+  }
+  return acc == 0;
+}
+
+// out = z^(p-2) = z^(2^255 - 21), the field inverse by Fermat's little
+// theorem. Standard 254-squaring addition chain. Inverse of 0 is 0.
+inline void FeInvert(Fe& out, const Fe& z) {
+  Fe t0, t1, t2, t3;
+
+  FeSquare(t0, z);                 // 2
+  FeSquare(t1, t0);                // 4
+  FeSquare(t1, t1);                // 8
+  FeMul(t1, z, t1);                // 9
+  FeMul(t0, t0, t1);               // 11
+  FeSquare(t2, t0);                // 22
+  FeMul(t1, t1, t2);               // 31 = 2^5 - 1
+  FeSquare(t2, t1);                // 2^6 - 2
+  for (int i = 1; i < 5; ++i) {
+    FeSquare(t2, t2);
+  }                                // 2^10 - 2^5
+  FeMul(t1, t2, t1);               // 2^10 - 1
+  FeSquare(t2, t1);
+  for (int i = 1; i < 10; ++i) {
+    FeSquare(t2, t2);
+  }                                // 2^20 - 2^10
+  FeMul(t2, t2, t1);               // 2^20 - 1
+  FeSquare(t3, t2);
+  for (int i = 1; i < 20; ++i) {
+    FeSquare(t3, t3);
+  }                                // 2^40 - 2^20
+  FeMul(t2, t3, t2);               // 2^40 - 1
+  FeSquare(t2, t2);
+  for (int i = 1; i < 10; ++i) {
+    FeSquare(t2, t2);
+  }                                // 2^50 - 2^10
+  FeMul(t1, t2, t1);               // 2^50 - 1
+  FeSquare(t2, t1);
+  for (int i = 1; i < 50; ++i) {
+    FeSquare(t2, t2);
+  }                                // 2^100 - 2^50
+  FeMul(t2, t2, t1);               // 2^100 - 1
+  FeSquare(t3, t2);
+  for (int i = 1; i < 100; ++i) {
+    FeSquare(t3, t3);
+  }                                // 2^200 - 2^100
+  FeMul(t2, t3, t2);               // 2^200 - 1
+  FeSquare(t2, t2);
+  for (int i = 1; i < 50; ++i) {
+    FeSquare(t2, t2);
+  }                                // 2^250 - 2^50
+  FeMul(t1, t2, t1);               // 2^250 - 1
+  FeSquare(t1, t1);
+  for (int i = 1; i < 5; ++i) {
+    FeSquare(t1, t1);
+  }                                // 2^255 - 2^5
+  FeMul(out, t1, t0);              // 2^255 - 21
+}
+
+// out = z^((p-5)/8) = z^(2^252 - 3) — the exponent used by the Ed25519-style
+// combined square root (RFC 8032 §5.1.3): for x^2 = u/v, the candidate root
+// is u v^3 (u v^7)^((p-5)/8).
+inline void FePow22523(Fe& out, const Fe& z) {
+  Fe t0, t1, t2;
+
+  FeSquare(t0, z);                 // 2
+  FeSquare(t1, t0);                // 4
+  FeSquare(t1, t1);                // 8
+  FeMul(t1, z, t1);                // 9
+  FeMul(t0, t0, t1);               // 11
+  FeSquare(t0, t0);                // 22
+  FeMul(t0, t1, t0);               // 31 = 2^5 - 1
+  FeSquare(t1, t0);
+  for (int i = 1; i < 5; ++i) {
+    FeSquare(t1, t1);
+  }                                // 2^10 - 2^5
+  FeMul(t0, t1, t0);               // 2^10 - 1
+  FeSquare(t1, t0);
+  for (int i = 1; i < 10; ++i) {
+    FeSquare(t1, t1);
+  }                                // 2^20 - 2^10
+  FeMul(t1, t1, t0);               // 2^20 - 1
+  FeSquare(t2, t1);
+  for (int i = 1; i < 20; ++i) {
+    FeSquare(t2, t2);
+  }                                // 2^40 - 2^20
+  FeMul(t1, t2, t1);               // 2^40 - 1
+  FeSquare(t1, t1);
+  for (int i = 1; i < 10; ++i) {
+    FeSquare(t1, t1);
+  }                                // 2^50 - 2^10
+  FeMul(t0, t1, t0);               // 2^50 - 1
+  FeSquare(t1, t0);
+  for (int i = 1; i < 50; ++i) {
+    FeSquare(t1, t1);
+  }                                // 2^100 - 2^50
+  FeMul(t1, t1, t0);               // 2^100 - 1
+  FeSquare(t2, t1);
+  for (int i = 1; i < 100; ++i) {
+    FeSquare(t2, t2);
+  }                                // 2^200 - 2^100
+  FeMul(t1, t2, t1);               // 2^200 - 1
+  FeSquare(t1, t1);
+  for (int i = 1; i < 50; ++i) {
+    FeSquare(t1, t1);
+  }                                // 2^250 - 2^50
+  FeMul(t0, t1, t0);               // 2^250 - 1
+  FeSquare(t0, t0);
+  FeSquare(t0, t0);                // 2^252 - 4
+  FeMul(out, t0, z);               // 2^252 - 3
+}
+
+}  // namespace vuvuzela::crypto::fe25519
+
+#endif  // VUVUZELA_SRC_CRYPTO_FE25519_H_

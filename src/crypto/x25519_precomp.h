@@ -1,0 +1,83 @@
+// Precomputed-table X25519 for *fixed* points (the crypto raw-speed push).
+//
+// The Montgomery ladder costs ~255 ladder steps regardless of the point. When
+// the point is known in advance — the base point (every key generation) or a
+// hop's long-term public key (every noise-onion layer a mix server wraps) —
+// a signed radix-16 comb over the birationally-equivalent twisted Edwards
+// curve does the same multiplication in 64 cached additions + 4 doublings,
+// roughly 3x faster. The tables are built once per point (microseconds) and
+// reused for every subsequent multiplication; Vuvuzela's key ceremony is
+// static between rotations, so a mix server builds its chain-suffix tables at
+// construction and amortizes them over every round until the next rotation.
+//
+// Correctness contract: for every point on the curve, Mult(scalar) is
+// bit-identical to X25519(scalar, point) — the Edwards comb computes the same
+// group operation, and the Montgomery u-coordinate of k·P is independent of
+// which square root is chosen when lifting P. The conformance suite pins this
+// against the ladder for the RFC 7748 vectors and thousands of random pairs.
+// Points on the *twist* (u-coordinates not on the curve) cannot be lifted;
+// Create returns nullopt and callers fall back to the ladder. Honest Vuvuzela
+// keys are always curve points (they are sk·9).
+//
+// Threading/lifetime: a built X25519Precomp is immutable; Mult is const,
+// allocation-free, and safe to call concurrently from any number of threads.
+// X25519BasePointPrecomp() returns a process-lifetime singleton (thread-safe
+// magic-static initialization). Scalar handling is constant-time (branch-free
+// digit recoding and table selection), matching the ladder's discipline.
+
+#ifndef VUVUZELA_SRC_CRYPTO_X25519_PRECOMP_H_
+#define VUVUZELA_SRC_CRYPTO_X25519_PRECOMP_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/crypto/fe25519.h"
+#include "src/crypto/x25519.h"
+
+namespace vuvuzela::crypto {
+
+class X25519Precomp {
+ public:
+  // Builds the 32x8 comb table for `point` (a Montgomery u-coordinate).
+  // Returns nullopt if the point is not on the curve (it is on the twist or
+  // malformed) — fall back to the ladder. Cost: ~256 point operations + one
+  // field inversion, well under a millisecond.
+  static std::optional<X25519Precomp> Create(const X25519PublicKey& point);
+
+  // Computes the shared secret scalar*point, bit-identical to
+  // X25519(scalar, point). The scalar is clamped per RFC 7748, exactly as the
+  // ladder clamps it.
+  X25519SharedSecret Mult(const X25519SecretKey& scalar) const;
+
+  // The point this table was built for.
+  const X25519PublicKey& point() const { return point_; }
+
+ private:
+  // Affine "niels" form of a precomputed point: (y+x, y-x, 2dxy).
+  struct Niels {
+    fe25519::Fe y_plus_x;
+    fe25519::Fe y_minus_x;
+    fe25519::Fe xy2d;
+  };
+
+  X25519Precomp() = default;
+
+  void Select(Niels& out, int level, int8_t digit) const;
+
+  // table_[i][j-1] = j * 16^(2i) * P in affine niels form, i in [0,32),
+  // j in [1,8].
+  Niels table_[32][8];
+  X25519PublicKey point_{};
+};
+
+// Comb table for the curve base point (u = 9), built once per process.
+// X25519KeyPair::Generate routes through this.
+const X25519Precomp& X25519BasePointPrecomp();
+
+// Fixed-base scalar multiplication via the base-point table; bit-identical to
+// X25519BasePoint (which remains the ladder reference).
+X25519PublicKey X25519BasePointFast(const X25519SecretKey& scalar);
+
+}  // namespace vuvuzela::crypto
+
+#endif  // VUVUZELA_SRC_CRYPTO_X25519_PRECOMP_H_

@@ -178,7 +178,7 @@ void RoundScheduler::Init() {
       registry.GetCounter("vuvuzela_stage_onions_total", "Onions crossing any pipeline stage");
   obs_pass_seconds_ = registry.GetHistogram(
       "vuvuzela_pass_seconds", "Wall time of one chain pass at one stage worker",
-      obs::LatencyBuckets());
+      obs::PassLatencyBuckets());
 }
 
 RoundScheduler::~RoundScheduler() {

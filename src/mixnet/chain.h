@@ -75,6 +75,14 @@ class Chain {
   const std::vector<crypto::X25519PublicKey>& public_keys() const { return public_keys_; }
   MixServer& server(size_t i) { return *servers_[i]; }
 
+  // Warms every server's shared-secret cache for a static client population
+  // (sim::ClientKeyRing::public_keys()) so the first round pays no DH storm.
+  void PrimeSecretCaches(std::span<const crypto::X25519PublicKey> client_pks) {
+    for (auto& server : servers_) {
+      server->PrimeClientSecrets(client_pks);
+    }
+  }
+
   void set_observer(ChainObserver* observer) { observer_ = observer; }
   ChainObserver* observer() const { return observer_; }
 

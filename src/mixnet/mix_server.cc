@@ -29,6 +29,10 @@ wire::ExchangeRequest FakeExchange(util::Rng& rng) {
   return req;
 }
 
+std::vector<util::ByteSpan> ViewsOf(const std::vector<util::Bytes>& items) {
+  return std::vector<util::ByteSpan>(items.begin(), items.end());
+}
+
 }  // namespace
 
 MixServer::MixServer(const MixServerConfig& config, crypto::X25519KeyPair key_pair,
@@ -43,6 +47,40 @@ MixServer::MixServer(const MixServerConfig& config, crypto::X25519KeyPair key_pa
   }
   if (chain_public_keys_.size() != config_.chain_length) {
     throw std::invalid_argument("MixServer: chain key count mismatch");
+  }
+  if (config_.batching) {
+    // Comb tables for the downstream servers' static keys: one-time cost per
+    // key ceremony, a ~3x cheaper DH per noise-onion layer every round after.
+    std::span<const crypto::X25519PublicKey> suffix = ChainSuffix();
+    suffix_tables_.reserve(suffix.size());
+    for (const crypto::X25519PublicKey& pk : suffix) {
+      std::optional<crypto::X25519Precomp> table = crypto::X25519Precomp::Create(pk);
+      if (!table) {
+        // A non-curve key cannot be lifted; wrap with the ladder instead.
+        suffix_tables_.clear();
+        break;
+      }
+      suffix_tables_.push_back(std::move(*table));
+    }
+  }
+}
+
+void MixServer::RotateKey(const crypto::X25519KeyPair& key_pair) {
+  key_pair_ = key_pair;
+  chain_public_keys_[config_.position] = key_pair.public_key;
+  secret_cache_.Invalidate();
+}
+
+void MixServer::PrimeClientSecrets(std::span<const crypto::X25519PublicKey> client_pks) {
+  auto prime_one = [&](size_t i) {
+    secret_cache_.Get(key_pair_.secret_key, client_pks[i], crypto::OnionContext());
+  };
+  if (config_.parallel) {
+    util::GlobalPool().ParallelFor(client_pks.size(), prime_one);
+  } else {
+    for (size_t i = 0; i < client_pks.size(); ++i) {
+      prime_one(i);
+    }
   }
 }
 
@@ -70,37 +108,79 @@ size_t MixServer::ResponseSizeFromNextHop() const {
 }
 
 MixServer::UnwrapBatchResult MixServer::UnwrapBatch(uint64_t round,
-                                                    const std::vector<util::Bytes>& batch) {
-  std::vector<std::optional<crypto::UnwrappedLayer>> unwrapped(batch.size());
-  auto unwrap_one = [&](size_t i) {
-    unwrapped[i] = crypto::OnionUnwrapLayer(key_pair_.secret_key, round, batch[i]);
-  };
-  if (config_.parallel) {
-    util::GlobalPool().ParallelFor(batch.size(), unwrap_one);
+                                                    std::span<const util::ByteSpan> batch) {
+  const size_t n = batch.size();
+  std::vector<util::Bytes> inners(n);
+  std::vector<crypto::AeadKey> keys(n);
+  std::vector<uint8_t> ok(n, 0);  // uint8_t: distinct indices written concurrently
+
+  if (config_.batching) {
+    // Block path: each worker owns a contiguous run of onions, the output
+    // buffer for each is allocated once at its final size, and shared-secret
+    // derivation goes through the cross-round cache.
+    auto unwrap_block = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        util::ByteSpan layer = batch[i];
+        if (layer.size() < crypto::kOnionRequestLayerOverhead) {
+          continue;
+        }
+        inners[i].resize(layer.size() - crypto::kOnionRequestLayerOverhead);
+        ok[i] = crypto::OnionUnwrapLayerInto(key_pair_.secret_key, &secret_cache_, round, layer,
+                                             inners[i], keys[i])
+                    ? 1
+                    : 0;
+      }
+    };
+    if (config_.parallel) {
+      util::GlobalPool().ParallelForBlocks(n, config_.batch_block, unwrap_block);
+    } else {
+      unwrap_block(0, n);
+    }
   } else {
-    for (size_t i = 0; i < batch.size(); ++i) {
-      unwrap_one(i);
+    // Scalar reference path: one DH per onion, no cache, per-index fan-out.
+    auto unwrap_one = [&](size_t i) {
+      std::optional<crypto::UnwrappedLayer> result =
+          crypto::OnionUnwrapLayer(key_pair_.secret_key, round, batch[i]);
+      if (result) {
+        inners[i] = std::move(result->inner);
+        keys[i] = result->response_key;
+        ok[i] = 1;
+      }
+    };
+    if (config_.parallel) {
+      util::GlobalPool().ParallelFor(n, unwrap_one);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        unwrap_one(i);
+      }
     }
   }
 
   UnwrapBatchResult result;
-  result.inners.reserve(batch.size());
-  result.orig_index.reserve(batch.size());
-  result.response_keys.reserve(batch.size());
-  for (size_t i = 0; i < batch.size(); ++i) {
-    if (!unwrapped[i]) {
+  result.inners.reserve(n);
+  result.orig_index.reserve(n);
+  result.response_keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!ok[i]) {
       result.dropped++;
       continue;
     }
-    result.inners.push_back(std::move(unwrapped[i]->inner));
+    result.inners.push_back(std::move(inners[i]));
     result.orig_index.push_back(static_cast<uint32_t>(i));
-    result.response_keys.push_back(unwrapped[i]->response_key);
+    result.response_keys.push_back(keys[i]);
   }
   return result;
 }
 
 std::vector<util::Bytes> MixServer::ForwardConversation(uint64_t round,
                                                         std::vector<util::Bytes> batch,
+                                                        ServerRoundStats* stats) {
+  std::vector<util::ByteSpan> views = ViewsOf(batch);
+  return ForwardConversation(round, std::span<const util::ByteSpan>(views), stats);
+}
+
+std::vector<util::Bytes> MixServer::ForwardConversation(uint64_t round,
+                                                        std::span<const util::ByteSpan> batch,
                                                         ServerRoundStats* stats) {
   if (is_last()) {
     throw std::logic_error("ForwardConversation called on the last server");
@@ -149,9 +229,13 @@ std::vector<util::Bytes> MixServer::ForwardConversation(uint64_t round,
     rng.Fill(seed);
   }
   std::vector<util::Bytes> noise_onions(noise_payloads.size());
+  const bool precomp_wrap = config_.batching && suffix_tables_.size() == suffix.size();
   auto wrap_one = [&](size_t i) {
     crypto::ChaChaRng task_rng(seeds[i]);
-    noise_onions[i] = crypto::OnionWrap(suffix, round, noise_payloads[i], task_rng).data;
+    noise_onions[i] =
+        precomp_wrap
+            ? crypto::OnionWrapPrecomp(suffix_tables_, round, noise_payloads[i], task_rng).data
+            : crypto::OnionWrap(suffix, round, noise_payloads[i], task_rng).data;
   };
   if (config_.parallel) {
     util::GlobalPool().ParallelFor(noise_onions.size(), wrap_one);
@@ -188,6 +272,13 @@ std::vector<util::Bytes> MixServer::ForwardConversation(uint64_t round,
 std::vector<util::Bytes> MixServer::BackwardConversation(uint64_t round,
                                                          std::vector<util::Bytes> responses,
                                                          ServerRoundStats* stats) {
+  std::vector<util::ByteSpan> views = ViewsOf(responses);
+  return BackwardConversation(round, std::span<const util::ByteSpan>(views), stats);
+}
+
+std::vector<util::Bytes> MixServer::BackwardConversation(uint64_t round,
+                                                         std::span<const util::ByteSpan> responses,
+                                                         ServerRoundStats* stats) {
   auto it = rounds_.find(round);
   if (it == rounds_.end()) {
     throw std::logic_error("BackwardConversation: unknown round");
@@ -204,26 +295,45 @@ std::vector<util::Bytes> MixServer::BackwardConversation(uint64_t round,
     local.bytes_in += r.size();
   }
 
-  // Undo the shuffle, then drop the tail: our noise responses.
-  std::vector<util::Bytes> unshuffled(responses.size());
-  for (size_t k = 0; k < state.perm.size(); ++k) {
-    unshuffled[state.perm[k]] = std::move(responses[k]);
-  }
+  // Instead of materializing the unshuffled batch, invert the permutation:
+  // valid slot j's response sits at input position pos_of[j]. Positions
+  // >= num_valid are our own noise responses and are simply never read.
   size_t num_valid = state.orig_index.size();
-  unshuffled.resize(num_valid);
+  std::vector<uint32_t> pos_of(num_valid);
+  for (size_t k = 0; k < state.perm.size(); ++k) {
+    if (state.perm[k] < num_valid) {
+      pos_of[state.perm[k]] = static_cast<uint32_t>(k);
+    }
+  }
 
   // Seal each response with the key retained on the forward pass and place
   // it at the position the previous hop expects.
   std::vector<util::Bytes> out(state.input_size);
-  auto seal_one = [&](size_t j) {
-    out[state.orig_index[j]] =
-        crypto::OnionSealResponse(state.response_keys[j], round, unshuffled[j]);
-  };
-  if (config_.parallel) {
-    util::GlobalPool().ParallelFor(num_valid, seal_one);
+  if (config_.batching) {
+    auto seal_block = [&](size_t begin, size_t end) {
+      for (size_t j = begin; j < end; ++j) {
+        util::ByteSpan resp = responses[pos_of[j]];
+        util::Bytes& slot = out[state.orig_index[j]];
+        slot.resize(resp.size() + crypto::kOnionResponseLayerOverhead);
+        crypto::OnionSealResponseInto(state.response_keys[j], round, resp, slot);
+      }
+    };
+    if (config_.parallel) {
+      util::GlobalPool().ParallelForBlocks(num_valid, config_.batch_block, seal_block);
+    } else {
+      seal_block(0, num_valid);
+    }
   } else {
-    for (size_t j = 0; j < num_valid; ++j) {
-      seal_one(j);
+    auto seal_one = [&](size_t j) {
+      out[state.orig_index[j]] =
+          crypto::OnionSealResponse(state.response_keys[j], round, responses[pos_of[j]]);
+    };
+    if (config_.parallel) {
+      util::GlobalPool().ParallelFor(num_valid, seal_one);
+    } else {
+      for (size_t j = 0; j < num_valid; ++j) {
+        seal_one(j);
+      }
     }
   }
 
@@ -250,6 +360,12 @@ std::vector<util::Bytes> MixServer::BackwardConversation(uint64_t round,
 MixServer::LastServerResult MixServer::ProcessConversationLastHop(uint64_t round,
                                                                   std::vector<util::Bytes> batch,
                                                                   ServerRoundStats* stats) {
+  std::vector<util::ByteSpan> views = ViewsOf(batch);
+  return ProcessConversationLastHop(round, std::span<const util::ByteSpan>(views), stats);
+}
+
+MixServer::LastServerResult MixServer::ProcessConversationLastHop(
+    uint64_t round, std::span<const util::ByteSpan> batch, ServerRoundStats* stats) {
   if (!is_last()) {
     throw std::logic_error("ProcessConversationLastHop called on a non-last server");
   }
@@ -296,15 +412,31 @@ MixServer::LastServerResult MixServer::ProcessConversationLastHop(uint64_t round
   result.histogram = outcome.histogram;
   result.messages_exchanged = outcome.messages_exchanged;
   result.responses.resize(batch.size());
-  auto seal_one = [&](size_t j) {
-    result.responses[orig_index[j]] =
-        crypto::OnionSealResponse(keys[j], round, outcome.results[j]);
-  };
-  if (config_.parallel) {
-    util::GlobalPool().ParallelFor(requests.size(), seal_one);
+  if (config_.batching) {
+    auto seal_block = [&](size_t begin, size_t end) {
+      for (size_t j = begin; j < end; ++j) {
+        util::ByteSpan resp = outcome.results[j];
+        util::Bytes& slot = result.responses[orig_index[j]];
+        slot.resize(resp.size() + crypto::kOnionResponseLayerOverhead);
+        crypto::OnionSealResponseInto(keys[j], round, resp, slot);
+      }
+    };
+    if (config_.parallel) {
+      util::GlobalPool().ParallelForBlocks(requests.size(), config_.batch_block, seal_block);
+    } else {
+      seal_block(0, requests.size());
+    }
   } else {
-    for (size_t j = 0; j < requests.size(); ++j) {
-      seal_one(j);
+    auto seal_one = [&](size_t j) {
+      result.responses[orig_index[j]] =
+          crypto::OnionSealResponse(keys[j], round, outcome.results[j]);
+    };
+    if (config_.parallel) {
+      util::GlobalPool().ParallelFor(requests.size(), seal_one);
+    } else {
+      for (size_t j = 0; j < requests.size(); ++j) {
+        seal_one(j);
+      }
     }
   }
   crypto::ChaChaRng rng = RoundRng(kRngLastConversation, round);
@@ -325,6 +457,13 @@ MixServer::LastServerResult MixServer::ProcessConversationLastHop(uint64_t round
 }
 
 std::vector<util::Bytes> MixServer::ForwardDialing(uint64_t round, std::vector<util::Bytes> batch,
+                                                   uint32_t num_drops, ServerRoundStats* stats) {
+  std::vector<util::ByteSpan> views = ViewsOf(batch);
+  return ForwardDialing(round, std::span<const util::ByteSpan>(views), num_drops, stats);
+}
+
+std::vector<util::Bytes> MixServer::ForwardDialing(uint64_t round,
+                                                   std::span<const util::ByteSpan> batch,
                                                    uint32_t num_drops, ServerRoundStats* stats) {
   if (is_last()) {
     throw std::logic_error("ForwardDialing called on the last server");
@@ -357,9 +496,13 @@ std::vector<util::Bytes> MixServer::ForwardDialing(uint64_t round, std::vector<u
     rng.Fill(seed);
   }
   std::vector<util::Bytes> noise_onions(noise_payloads.size());
+  const bool precomp_wrap = config_.batching && suffix_tables_.size() == suffix.size();
   auto wrap_one = [&](size_t i) {
     crypto::ChaChaRng task_rng(seeds[i]);
-    noise_onions[i] = crypto::OnionWrap(suffix, round, noise_payloads[i], task_rng).data;
+    noise_onions[i] =
+        precomp_wrap
+            ? crypto::OnionWrapPrecomp(suffix_tables_, round, noise_payloads[i], task_rng).data
+            : crypto::OnionWrap(suffix, round, noise_payloads[i], task_rng).data;
   };
   if (config_.parallel) {
     util::GlobalPool().ParallelFor(noise_onions.size(), wrap_one);
@@ -401,6 +544,14 @@ void MixServer::ExpireRounds(uint64_t newest_round, uint64_t keep) {
 
 deaddrop::InvitationTable MixServer::ProcessDialingLastHop(uint64_t round,
                                                            std::vector<util::Bytes> batch,
+                                                           uint32_t num_drops,
+                                                           ServerRoundStats* stats) {
+  std::vector<util::ByteSpan> views = ViewsOf(batch);
+  return ProcessDialingLastHop(round, std::span<const util::ByteSpan>(views), num_drops, stats);
+}
+
+deaddrop::InvitationTable MixServer::ProcessDialingLastHop(uint64_t round,
+                                                           std::span<const util::ByteSpan> batch,
                                                            uint32_t num_drops,
                                                            ServerRoundStats* stats) {
   if (!is_last()) {

@@ -18,6 +18,24 @@
 // restarted from its key file replays any round bit-for-bit, whatever rounds
 // it processed before the crash — which is what lets the round engine retry a
 // crashed round and get output byte-identical to an uninterrupted run.
+//
+// Batched hot path: with MixServerConfig::batching (the default), onions are
+// processed in cache-friendly blocks over ThreadPool::ParallelForBlocks with
+// preallocated per-slot output buffers (no per-onion intermediate
+// allocation), per-client shared secrets are cached across rounds in a
+// SecretCache (the round number only enters the AEAD nonce, so a hit cannot
+// change any output byte), and noise onions are wrapped against precomputed
+// comb tables for the chain suffix's static keys. All of it is byte-identical
+// to the scalar reference path (batching = false), which the conformance
+// suite pins down; the determinism contract above is what makes that
+// provable rather than statistical.
+//
+// Threading/ownership: one MixServer runs one pass at a time — callers
+// serialize passes (the hop daemon's connection loop and the chain driver
+// both do). Within a pass the server fans out over util::GlobalPool();
+// per-round state is touched only between fan-outs, on the calling thread.
+// The secret cache is internally synchronized because pool workers hit it
+// concurrently. RotateKey and ExpireRounds must not race a running pass.
 
 #ifndef VUVUZELA_SRC_MIXNET_MIX_SERVER_H_
 #define VUVUZELA_SRC_MIXNET_MIX_SERVER_H_
@@ -29,7 +47,9 @@
 
 #include "src/crypto/drbg.h"
 #include "src/crypto/onion.h"
+#include "src/crypto/secret_cache.h"
 #include "src/crypto/x25519.h"
+#include "src/crypto/x25519_precomp.h"
 #include "src/deaddrop/conversation_table.h"
 #include "src/deaddrop/exchange_backend.h"
 #include "src/deaddrop/invitation_table.h"
@@ -56,6 +76,15 @@ struct MixServerConfig {
   // A server under adversarial control may skip mixing; tests use this to
   // model compromise (§4.2 attack scenarios). Honest servers always mix.
   bool mix = true;
+  // Batched hot path: per-client shared-secret cache, block processing with
+  // per-block scratch, and precomputed-table DH for noise wrapping. Output is
+  // byte-identical to the scalar path (tests/batch_pass_test.cc pins it);
+  // `false` selects the original per-onion reference implementation.
+  bool batching = true;
+  // Onions per block on the batched path. Blocks are the work-stealing unit
+  // of ParallelForBlocks and the reuse scope for scratch state; any value
+  // yields identical bytes.
+  size_t batch_block = 64;
 };
 
 // Per-round, per-server counters surfaced to benches (Figures 9-11, §8.2
@@ -90,16 +119,29 @@ class MixServer {
   deaddrop::ExchangeBackend* exchange_backend() const { return exchange_backend_; }
 
   // --- Conversation rounds ------------------------------------------------
+  //
+  // Every pass comes in two forms: a span form taking views over the caller's
+  // buffers (the zero-copy wire path — the hop daemon passes views straight
+  // into the decoded chunk storage), and a vector form that wraps it. The
+  // span form only reads the views during the call; nothing is retained, so
+  // the backing buffers may be freed as soon as it returns. Outputs are
+  // always freshly owned Bytes.
 
   // Intermediate server: peel one layer from each onion, add cover traffic,
   // shuffle, and return the batch for the next hop. Stores round state for
   // the return pass.
+  std::vector<util::Bytes> ForwardConversation(uint64_t round,
+                                               std::span<const util::ByteSpan> batch,
+                                               ServerRoundStats* stats = nullptr);
   std::vector<util::Bytes> ForwardConversation(uint64_t round, std::vector<util::Bytes> batch,
                                                ServerRoundStats* stats = nullptr);
 
   // Intermediate server, return pass: `responses` aligned with the batch
   // returned by ForwardConversation. Returns responses aligned with that
   // call's input batch. Clears the round state.
+  std::vector<util::Bytes> BackwardConversation(uint64_t round,
+                                                std::span<const util::ByteSpan> responses,
+                                                ServerRoundStats* stats = nullptr);
   std::vector<util::Bytes> BackwardConversation(uint64_t round,
                                                 std::vector<util::Bytes> responses,
                                                 ServerRoundStats* stats = nullptr);
@@ -111,6 +153,9 @@ class MixServer {
     deaddrop::AccessHistogram histogram;
     uint64_t messages_exchanged = 0;
   };
+  LastServerResult ProcessConversationLastHop(uint64_t round,
+                                              std::span<const util::ByteSpan> batch,
+                                              ServerRoundStats* stats = nullptr);
   LastServerResult ProcessConversationLastHop(uint64_t round, std::vector<util::Bytes> batch,
                                               ServerRoundStats* stats = nullptr);
 
@@ -119,15 +164,39 @@ class MixServer {
   // Intermediate server: peel, add per-drop noise invitations, shuffle,
   // forward. Dialing has no return pass through the chain (§5.5): clients
   // download their invitation drop out-of-band.
+  std::vector<util::Bytes> ForwardDialing(uint64_t round, std::span<const util::ByteSpan> batch,
+                                          uint32_t num_drops,
+                                          ServerRoundStats* stats = nullptr);
   std::vector<util::Bytes> ForwardDialing(uint64_t round, std::vector<util::Bytes> batch,
                                           uint32_t num_drops,
                                           ServerRoundStats* stats = nullptr);
 
   // Last server: peel, deposit invitations into the table, add this server's
   // own noise directly.
+  deaddrop::InvitationTable ProcessDialingLastHop(uint64_t round,
+                                                  std::span<const util::ByteSpan> batch,
+                                                  uint32_t num_drops,
+                                                  ServerRoundStats* stats = nullptr);
   deaddrop::InvitationTable ProcessDialingLastHop(uint64_t round, std::vector<util::Bytes> batch,
                                                   uint32_t num_drops,
                                                   ServerRoundStats* stats = nullptr);
+
+  // --- Key lifecycle --------------------------------------------------------
+
+  // Installs a new long-term key pair and invalidates every cached client
+  // secret derived under the old one (a stale entry would fail the AEAD tag
+  // on every onion wrapped for the new key and silently drop the batch).
+  // Callers must not rotate concurrently with a running pass.
+  void RotateKey(const crypto::X25519KeyPair& key_pair);
+
+  // Warms the shared-secret cache for a known client population (the static
+  // key ceremony) so the first round after startup or rotation pays no DH
+  // storm inside the pass. Optional: misses during a pass derive on demand.
+  void PrimeClientSecrets(std::span<const crypto::X25519PublicKey> client_pks);
+
+  // Cache observability: hits climb once clients present static keys; a
+  // rotation shows up as an epoch bump and a restart of misses.
+  const crypto::SecretCache& secret_cache() const { return secret_cache_; }
 
   // --- Hygiene --------------------------------------------------------------
 
@@ -162,7 +231,7 @@ class MixServer {
     std::vector<crypto::AeadKey> response_keys;    // per inner
     uint64_t dropped = 0;
   };
-  UnwrapBatchResult UnwrapBatch(uint64_t round, const std::vector<util::Bytes>& batch);
+  UnwrapBatchResult UnwrapBatch(uint64_t round, std::span<const util::ByteSpan> batch);
 
   std::span<const crypto::X25519PublicKey> ChainSuffix() const;
   size_t ResponseSizeFromNextHop() const;
@@ -176,6 +245,12 @@ class MixServer {
   crypto::ChaCha20Key rng_seed_;
   std::unordered_map<uint64_t, RoundState> rounds_;
   deaddrop::ExchangeBackend* exchange_backend_ = nullptr;
+  // Derived-key cache for the batched unwrap path; invalidated by RotateKey.
+  crypto::SecretCache secret_cache_;
+  // Comb tables for the chain suffix's public keys (noise-wrap fast path).
+  // Empty when batching is off or any suffix key failed to lift (fall back
+  // to the ladder); otherwise aligned with ChainSuffix().
+  std::vector<crypto::X25519Precomp> suffix_tables_;
 };
 
 }  // namespace vuvuzela::mixnet

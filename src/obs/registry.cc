@@ -128,6 +128,16 @@ std::vector<double> LatencyBuckets() {
   return {1e-4, 3.16e-4, 1e-3, 3.16e-3, 1e-2, 3.16e-2, 1e-1, 3.16e-1, 1, 3.16, 10, 31.6, 100};
 }
 
+std::vector<double> PassLatencyBuckets() {
+  // Quarter-decade (x1.78) through 10us..100ms — a batched smoke pass is
+  // single-digit milliseconds and a backward seal pass tens of microseconds,
+  // so this is the resolving range — then the coarse LatencyBuckets tail so
+  // full-scale rounds still land inside the preset.
+  return {1e-5, 1.78e-5, 3.16e-5, 5.62e-5, 1e-4, 1.78e-4, 3.16e-4, 5.62e-4,
+          1e-3, 1.78e-3, 3.16e-3, 5.62e-3, 1e-2, 1.78e-2, 3.16e-2, 5.62e-2,
+          1e-1, 3.16e-1, 1,       3.16,    10,   31.6,    100};
+}
+
 std::vector<double> SizeBuckets() {
   std::vector<double> buckets;
   for (double b = 256; b <= 256.0 * 1024 * 1024; b *= 4) {

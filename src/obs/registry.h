@@ -115,6 +115,11 @@ class Histogram {
 // Latency bucket presets (seconds). Shared so every daemon's pass/RPC
 // histograms land in comparable buckets.
 std::vector<double> LatencyBuckets();        // 100us .. ~100s, log-spaced
+// Pass-duration preset: quarter-decade steps through the 10us..100ms range
+// where batched passes actually land (the half-decade preset collapsed a
+// whole smoke round into one bucket), coarsening to LatencyBuckets' spacing
+// above 100ms. Use for pass/stage wall-time histograms.
+std::vector<double> PassLatencyBuckets();    // 10us .. ~100s, fine low end
 std::vector<double> SizeBuckets();           // 256 B .. 256 MB, powers of 4
 
 class Registry {

@@ -27,7 +27,40 @@ void ForEachUser(uint64_t n, uint64_t seed, bool parallel,
   }
 }
 
+// Wraps one user's onion: static layer keys from the ring when configured,
+// fresh ephemerals otherwise.
+util::Bytes WrapUserOnion(const WorkloadConfig& config,
+                          std::span<const crypto::X25519PublicKey> chain, uint64_t round,
+                          size_t user, util::ByteSpan payload, util::Rng& rng) {
+  if (config.key_ring != nullptr && config.key_ring->size() >= config.num_users) {
+    // Same static key pair at every layer; safe because each user sends one
+    // onion per round (ClientKeyRing's nonce contract).
+    std::vector<crypto::X25519KeyPair> layer_keys(chain.size(), config.key_ring->key(user));
+    return crypto::OnionWrapWithKeys(chain, layer_keys, round, payload).data;
+  }
+  return crypto::OnionWrap(chain, round, payload, rng).data;
+}
+
 }  // namespace
+
+ClientKeyRing::ClientKeyRing(uint64_t num_users, uint64_t seed, bool parallel) {
+  keys_.resize(num_users);
+  auto gen_one = [&](size_t i) {
+    util::Xoshiro256Rng rng(seed * 0xbf58476d1ce4e5b9ULL + i);
+    keys_[i] = crypto::X25519KeyPair::Generate(rng);
+  };
+  if (parallel) {
+    util::GlobalPool().ParallelFor(num_users, gen_one);
+  } else {
+    for (uint64_t i = 0; i < num_users; ++i) {
+      gen_one(i);
+    }
+  }
+  public_keys_.reserve(num_users);
+  for (const auto& kp : keys_) {
+    public_keys_.push_back(kp.public_key);
+  }
+}
 
 std::vector<util::Bytes> GenerateConversationWorkload(
     const WorkloadConfig& config, std::span<const crypto::X25519PublicKey> chain,
@@ -50,7 +83,7 @@ std::vector<util::Bytes> GenerateConversationWorkload(
                   rng.Fill(request.dead_drop);  // idle: random drop
                 }
                 rng.Fill(request.envelope);  // sealed contents: random-equivalent
-                onions[i] = crypto::OnionWrap(chain, round, request.Serialize(), rng).data;
+                onions[i] = WrapUserOnion(config, chain, round, i, request.Serialize(), rng);
               });
   return onions;
 }
@@ -77,7 +110,7 @@ std::vector<util::Bytes> GenerateDialingWorkload(const WorkloadConfig& config,
                   request.dead_drop_index = dial_config.noop_index();
                 }
                 rng.Fill(request.invitation);
-                onions[i] = crypto::OnionWrap(chain, round, request.Serialize(), rng).data;
+                onions[i] = WrapUserOnion(config, chain, round, i, request.Serialize(), rng);
               });
   return onions;
 }

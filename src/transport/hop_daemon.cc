@@ -71,7 +71,8 @@ const char* HopOpName(net::FrameType op) {
 // and is semantic. The forward-conversation header is deliberately excluded:
 // it carries only the piggybacked expiry horizon, which legitimately differs
 // between the original send and a post-reconnect re-send of the same pass.
-crypto::Sha256Digest DigestRequest(const BatchMessage& request) {
+crypto::Sha256Digest DigestRequest(const BatchMessage& request,
+                                   std::span<const util::ByteSpan> items) {
   crypto::Sha256 hasher;
   uint8_t prefix[12];
   prefix[0] = static_cast<uint8_t>(request.op);
@@ -85,7 +86,7 @@ crypto::Sha256Digest DigestRequest(const BatchMessage& request) {
   if (IsDialingOp(request.op)) {
     hasher.Update(request.header);
   }
-  for (const auto& item : request.items) {
+  for (const auto& item : items) {
     uint8_t len[8];
     for (int i = 0; i < 8; ++i) {
       len[i] = static_cast<uint8_t>(static_cast<uint64_t>(item.size()) >> (8 * i));
@@ -112,7 +113,7 @@ HopDaemon::HopDaemon(const HopDaemonConfig& config, std::unique_ptr<mixnet::MixS
                                          "Hop passes that failed and answered kHopError");
   obs_pass_seconds_ = registry.GetHistogram(
       "vuvuzela_hop_pass_seconds", "Wall time of one hop pass, crypto plus reply send",
-      obs::LatencyBuckets());
+      obs::PassLatencyBuckets());
 }
 
 std::unique_ptr<HopDaemon> HopDaemon::Create(const HopDaemonConfig& config,
@@ -211,7 +212,10 @@ bool HopDaemon::ServeConnection(net::TcpConnection& conn) {
     if (config_.poll_interval_ms > 0) {
       conn.SetRecvTimeout(0);
     }
-    auto request = ReadBatchMessage(conn, std::move(*frame));
+    // Zero-copy decode: the pass reads item views straight out of the wire
+    // chunks; nothing is re-assembled into a contiguous batch.
+    auto request =
+        ReadBatchMessage(conn, std::move(*frame), BatchAssembler::ItemMode::kZeroCopy);
     if (config_.poll_interval_ms > 0) {
       conn.SetRecvTimeout(config_.poll_interval_ms);
     }
@@ -311,9 +315,13 @@ bool HopDaemon::Dispatch(net::TcpConnection& conn, BatchMessage request) {
     }
   }
 
+  // One view per item, shared by the replay digest and the pass itself. The
+  // views alias `request`, which outlives both uses.
+  std::vector<util::ByteSpan> items = request.ItemSpans();
+
   crypto::Sha256Digest digest{};
   if (config_.replay_cache && IsHopOp(request.op)) {
-    digest = DigestRequest(request);
+    digest = DigestRequest(request, items);
     std::unique_lock<std::mutex> lock(replay_mutex_);
     auto it = replay_cache_.find({static_cast<uint8_t>(request.op), request.round});
     if (it != replay_cache_.end() && it->second.request_digest == digest) {
@@ -333,9 +341,9 @@ bool HopDaemon::Dispatch(net::TcpConnection& conn, BatchMessage request) {
 
   uint64_t round = request.round;
   const char* op_name = HopOpName(request.op);
-  size_t num_items = request.items.size();
+  size_t num_items = items.size();
   auto pass_start = std::chrono::steady_clock::now();
-  bool sent = RunPass(conn, request, header, digest);
+  bool sent = RunPass(conn, request, items, header, digest);
   double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - pass_start)
                        .count();
   obs_pass_seconds_->Observe(seconds);
@@ -346,28 +354,26 @@ bool HopDaemon::Dispatch(net::TcpConnection& conn, BatchMessage request) {
   return sent;
 }
 
-bool HopDaemon::RunPass(net::TcpConnection& conn, BatchMessage& request, wire::Reader& header,
+bool HopDaemon::RunPass(net::TcpConnection& conn, BatchMessage& request,
+                        std::span<const util::ByteSpan> items, wire::Reader& header,
                         const crypto::Sha256Digest& digest) {
   mixnet::ServerRoundStats stats;
   try {
     switch (request.op) {
       case net::FrameType::kHopForwardConversation: {
-        auto batch =
-            server_->ForwardConversation(request.round, std::move(request.items), &stats);
+        auto batch = server_->ForwardConversation(request.round, items, &stats);
         wire::Writer reply(48);
         WriteStats(reply, stats);
         return SendAndCache(conn, request, digest, reply.Take(), std::move(batch));
       }
       case net::FrameType::kHopBackwardConversation: {
-        auto responses =
-            server_->BackwardConversation(request.round, std::move(request.items), &stats);
+        auto responses = server_->BackwardConversation(request.round, items, &stats);
         wire::Writer reply(48);
         WriteStats(reply, stats);
         return SendAndCache(conn, request, digest, reply.Take(), std::move(responses));
       }
       case net::FrameType::kHopLastConversation: {
-        auto result =
-            server_->ProcessConversationLastHop(request.round, std::move(request.items), &stats);
+        auto result = server_->ProcessConversationLastHop(request.round, items, &stats);
         wire::Writer reply(80);
         WriteStats(reply, stats);
         WriteHistogram(reply, result.histogram, result.messages_exchanged);
@@ -380,14 +386,13 @@ bool HopDaemon::RunPass(net::TcpConnection& conn, BatchMessage& request, wire::R
           return SendError(conn, request.round, "truncated dialing header");
         }
         if (request.op == net::FrameType::kHopForwardDialing) {
-          auto batch = server_->ForwardDialing(request.round, std::move(request.items),
-                                               *num_drops, &stats);
+          auto batch = server_->ForwardDialing(request.round, items, *num_drops, &stats);
           wire::Writer reply(48);
           WriteStats(reply, stats);
           return SendAndCache(conn, request, digest, reply.Take(), std::move(batch));
         }
-        deaddrop::InvitationTable table = server_->ProcessDialingLastHop(
-            request.round, std::move(request.items), *num_drops, &stats);
+        deaddrop::InvitationTable table =
+            server_->ProcessDialingLastHop(request.round, items, *num_drops, &stats);
         std::vector<util::Bytes> drops;
         drops.reserve(table.num_drops());
         for (uint32_t i = 0; i < table.num_drops(); ++i) {

@@ -95,6 +95,13 @@ class HopDaemon {
   // Non-null iff the daemon exchanges through partition servers.
   ExchangeRouter* exchange_router() const { return exchange_router_.get(); }
 
+  // Warms the hop's shared-secret cache for a static client population.
+  // Safe while the daemon serves (the cache is internally synchronized), but
+  // meant for the idle window before a round sequence starts.
+  void PrimeClientSecrets(std::span<const crypto::X25519PublicKey> client_pks) {
+    server_->PrimeClientSecrets(client_pks);
+  }
+
   // Serves connections until a kShutdown frame arrives or Stop() is called.
   // Connections are served one at a time; a dropped coordinator can
   // reconnect.
@@ -123,8 +130,10 @@ class HopDaemon {
   bool ServeConnection(net::TcpConnection& conn);
   bool Dispatch(net::TcpConnection& conn, BatchMessage request);
   // The op switch proper (the timed part of Dispatch): runs the pass and
-  // sends (and caches) the reply.
-  bool RunPass(net::TcpConnection& conn, BatchMessage& request, wire::Reader& header,
+  // sends (and caches) the reply. `items` are views into `request`'s decoded
+  // chunks (the zero-copy wire→pass hand-off); `request` outlives the call.
+  bool RunPass(net::TcpConnection& conn, BatchMessage& request,
+               std::span<const util::ByteSpan> items, wire::Reader& header,
                const crypto::Sha256Digest& digest);
   // Sends the reply and (when the cache is on) retains it for replay.
   bool SendAndCache(net::TcpConnection& conn, const BatchMessage& request,

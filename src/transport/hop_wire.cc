@@ -80,23 +80,44 @@ BatchAssembler::Status BatchAssembler::Fail(const std::string& message) {
 }
 
 BatchAssembler::Status BatchAssembler::Consume(const net::Frame& frame) {
+  if (mode_ == ItemMode::kZeroCopy) {
+    // Zero-copy decode must own the buffer the views point into.
+    net::Frame copy = frame;
+    return Consume(std::move(copy));
+  }
+  return Parse(frame.type, frame.round, frame.payload);
+}
+
+BatchAssembler::Status BatchAssembler::Consume(net::Frame&& frame) {
+  if (mode_ == ItemMode::kCopy) {
+    return Parse(frame.type, frame.round, frame.payload);
+  }
+  // Adopt the wire buffer; the item views parsed below point into it. An
+  // adopted chunk that then fails to parse just rides along in the dead
+  // assembler.
+  message_.chunk_storage.push_back(std::move(frame.payload));
+  return Parse(frame.type, frame.round, message_.chunk_storage.back());
+}
+
+BatchAssembler::Status BatchAssembler::Parse(net::FrameType type, uint64_t round,
+                                             util::ByteSpan payload) {
   if (done_) {
     return Fail("chunk after final chunk");
   }
-  peak_frame_bytes_ = std::max(peak_frame_bytes_, frame.payload.size());
+  peak_frame_bytes_ = std::max(peak_frame_bytes_, payload.size());
   // Each chunk travels as [u32 len][frame header][payload]; charge all of it.
-  message_.wire_bytes += 4 + net::kFrameHeaderBytes + frame.payload.size();
-  wire::Reader r(frame.payload);
+  message_.wire_bytes += 4 + net::kFrameHeaderBytes + payload.size();
+  wire::Reader r(payload);
   auto flags = r.U8();
   if (!flags || *flags > 1) {
     return Fail("bad chunk flags");
   }
   if (!started_) {
-    if (frame.type == net::FrameType::kBatchChunk) {
+    if (type == net::FrameType::kBatchChunk) {
       return Fail("continuation chunk before first frame");
     }
-    message_.op = frame.type;
-    message_.round = frame.round;
+    message_.op = type;
+    message_.round = round;
     auto header = r.Var();
     if (!header) {
       return Fail("truncated header");
@@ -104,10 +125,10 @@ BatchAssembler::Status BatchAssembler::Consume(const net::Frame& frame) {
     message_.header.assign(header->begin(), header->end());
     started_ = true;
   } else {
-    if (frame.type != net::FrameType::kBatchChunk) {
+    if (type != net::FrameType::kBatchChunk) {
       return Fail("expected continuation chunk");
     }
-    if (frame.round != message_.round) {
+    if (round != message_.round) {
       return Fail("chunk round mismatch");
     }
   }
@@ -124,7 +145,11 @@ BatchAssembler::Status BatchAssembler::Consume(const net::Frame& frame) {
     if (total_item_bytes_ > max_message_bytes_) {
       return Fail("batch message exceeds size ceiling");
     }
-    message_.items.emplace_back(item->begin(), item->end());
+    if (mode_ == ItemMode::kZeroCopy) {
+      message_.item_views.push_back(*item);
+    } else {
+      message_.items.emplace_back(item->begin(), item->end());
+    }
   }
   if (!r.AtEnd()) {
     return Fail("trailing bytes in chunk");
@@ -145,16 +170,17 @@ bool SendBatchMessage(net::TcpConnection& conn, net::FrameType op, uint64_t roun
                      [&](net::Frame&& frame) { return conn.SendFrame(frame); });
 }
 
-std::optional<BatchMessage> ReadBatchMessage(net::TcpConnection& conn, net::Frame first) {
-  BatchAssembler assembler;
-  BatchAssembler::Status status = assembler.Consume(first);
-  first.payload.clear();  // the assembler copied what it needs; free the wire buffer
+std::optional<BatchMessage> ReadBatchMessage(net::TcpConnection& conn, net::Frame first,
+                                             BatchAssembler::ItemMode mode) {
+  BatchAssembler assembler(kMaxBatchMessageBytes, mode);
+  BatchAssembler::Status status = assembler.Consume(std::move(first));
+  first.payload = util::Bytes();  // copied or adopted by the assembler; free the wire buffer
   while (status == BatchAssembler::Status::kNeedMore) {
     auto frame = conn.RecvFrame();
     if (!frame) {
       return std::nullopt;
     }
-    status = assembler.Consume(*frame);
+    status = assembler.Consume(std::move(*frame));
   }
   if (status != BatchAssembler::Status::kDone) {
     return std::nullopt;

@@ -45,16 +45,42 @@ inline constexpr size_t kDefaultChunkPayload = 8u << 20;
 inline constexpr size_t kMaxBatchMessageBytes = 4ull << 30;
 
 // One decoded hop RPC message.
+//
+// Two decode modes (BatchAssembler::ItemMode):
+//   kCopy      — `items` holds an owned copy of every item; `chunk_storage`
+//                and `item_views` stay empty. The mode for callers that keep
+//                or mutate individual items.
+//   kZeroCopy  — each chunk's wire payload is moved intact into
+//                `chunk_storage` and `item_views` records a span per item
+//                pointing into those buffers; `items` stays empty. The hop
+//                daemon's mode: the pass input goes straight from the decoded
+//                chunk to MixServer's span overloads with zero per-item
+//                copies. The views stay valid across moves of the whole
+//                BatchMessage (vector moves keep heap pointers stable) and
+//                die with it — never retain them past the message.
 struct BatchMessage {
   net::FrameType op = net::FrameType::kHopError;
   uint64_t round = 0;
   util::Bytes header;
   std::vector<util::Bytes> items;
+  std::vector<util::Bytes> chunk_storage;
+  std::vector<util::ByteSpan> item_views;
   // True on-the-wire size of the message as received: every chunk's payload
   // plus its frame header and length prefix. This is what bandwidth
   // accounting (§8.3) must charge — item payloads alone undercount by the
   // framing overhead.
   uint64_t wire_bytes = 0;
+
+  size_t item_count() const { return items.empty() ? item_views.size() : items.size(); }
+
+  // Views over the items, whichever decode mode produced them. The spans
+  // alias this message: valid until it is destroyed or mutated.
+  std::vector<util::ByteSpan> ItemSpans() const {
+    if (items.empty()) {
+      return item_views;
+    }
+    return std::vector<util::ByteSpan>(items.begin(), items.end());
+  }
 };
 
 // Splits a batch message into frames, none of whose payloads exceed
@@ -72,11 +98,19 @@ std::optional<std::vector<net::Frame>> EncodeBatchChunks(
 class BatchAssembler {
  public:
   enum class Status { kNeedMore, kDone, kError };
+  // See BatchMessage: kCopy fills `items`, kZeroCopy keeps chunk payloads and
+  // fills `item_views`.
+  enum class ItemMode { kCopy, kZeroCopy };
 
-  explicit BatchAssembler(size_t max_message_bytes = kMaxBatchMessageBytes)
-      : max_message_bytes_(max_message_bytes) {}
+  explicit BatchAssembler(size_t max_message_bytes = kMaxBatchMessageBytes,
+                          ItemMode mode = ItemMode::kCopy)
+      : max_message_bytes_(max_message_bytes), mode_(mode) {}
 
   Status Consume(const net::Frame& frame);
+  // Rvalue overload: in kZeroCopy mode the frame's payload is moved into the
+  // message's chunk storage (no copy); in kCopy mode identical to the
+  // overload above.
+  Status Consume(net::Frame&& frame);
 
   // Valid once Consume returned kDone.
   BatchMessage Take();
@@ -88,9 +122,11 @@ class BatchAssembler {
 
  private:
   Status Fail(const std::string& message);
+  Status Parse(net::FrameType type, uint64_t round, util::ByteSpan payload);
 
   BatchMessage message_;
   size_t max_message_bytes_;
+  ItemMode mode_ = ItemMode::kCopy;
   size_t total_item_bytes_ = 0;
   bool started_ = false;
   bool done_ = false;
@@ -106,8 +142,11 @@ bool SendBatchMessage(net::TcpConnection& conn, net::FrameType op, uint64_t roun
 
 // Reassembles the batch message whose first frame the caller already read.
 // nullopt on I/O failure or malformed chunking (conn.last_recv_status()
-// distinguishes timeout from EOF on the I/O side).
-std::optional<BatchMessage> ReadBatchMessage(net::TcpConnection& conn, net::Frame first);
+// distinguishes timeout from EOF on the I/O side). `mode` selects the item
+// decode (see BatchMessage); the hop daemon reads in kZeroCopy.
+std::optional<BatchMessage> ReadBatchMessage(
+    net::TcpConnection& conn, net::Frame first,
+    BatchAssembler::ItemMode mode = BatchAssembler::ItemMode::kCopy);
 
 // One batch-message request/response over an established connection — the
 // RPC core every shard-fleet caller (ExchangeRouter, DistRouter,

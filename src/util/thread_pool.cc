@@ -121,6 +121,77 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   }
 }
 
+void ThreadPool::ParallelForBlocks(size_t n, size_t block,
+                                   const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (block == 0) {
+    block = 1;
+  }
+  size_t blocks = (n + block - 1) / block;
+  if (blocks <= 1 || threads_.size() <= 1) {
+    for (size_t begin = 0; begin < n; begin += block) {
+      fn(begin, std::min(n, begin + block));
+    }
+    return;
+  }
+
+  struct Shared {
+    std::atomic<size_t> next_block{0};
+    std::atomic<size_t> done{0};
+    std::atomic<bool> cancelled{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto shared = std::make_shared<Shared>();
+
+  // Completion is counted per *block*, and the calling thread participates
+  // and claims blocks until the supply runs dry — so the wait below finishes
+  // even if every queued helper is scheduled late (or never), exactly like
+  // ParallelFor. After a block throws, remaining blocks are claimed but
+  // skipped so the count still converges.
+  auto worker = [shared, block, blocks, n, &fn]() {
+    for (;;) {
+      size_t b = shared->next_block.fetch_add(1);
+      if (b >= blocks) {
+        break;
+      }
+      if (!shared->cancelled.load(std::memory_order_relaxed)) {
+        try {
+          size_t begin = b * block;
+          fn(begin, std::min(n, begin + block));
+        } catch (...) {
+          shared->cancelled.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(shared->error_mutex);
+          if (!shared->error) {
+            shared->error = std::current_exception();
+          }
+        }
+      }
+      size_t done = shared->done.fetch_add(1) + 1;
+      if (done == blocks) {
+        std::lock_guard<std::mutex> lock(shared->done_mutex);
+        shared->done_cv.notify_all();
+      }
+    }
+  };
+
+  size_t helpers = std::min(blocks - 1, threads_.size());
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit(worker);
+  }
+  worker();
+
+  std::unique_lock<std::mutex> lock(shared->done_mutex);
+  shared->done_cv.wait(lock, [&] { return shared->done.load() == blocks; });
+  if (shared->error) {
+    std::rethrow_exception(shared->error);
+  }
+}
+
 ThreadPool& GlobalPool() {
   static ThreadPool pool;
   return pool;

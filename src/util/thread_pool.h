@@ -35,6 +35,15 @@ class ThreadPool {
   // cancelled, so a poisoned batch fails fast instead of grinding to the end.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  // Runs fn(begin, end) over contiguous blocks of at most `block` indices,
+  // work-stealing whole blocks. The batched mix pass uses this so each worker
+  // touches a cache-friendly run of onions and can hoist per-block scratch
+  // (derived keys, reusable buffers) out of the per-onion loop — with
+  // ParallelFor that state would be re-established per index or shared across
+  // threads. Same blocking/exception contract as ParallelFor.
+  void ParallelForBlocks(size_t n, size_t block,
+                         const std::function<void(size_t, size_t)>& fn);
+
  private:
   struct Task {
     std::function<void()> fn;

@@ -297,14 +297,17 @@ TEST(Chain, DialingRoundDepositsInvitation) {
 TEST(Chain, ForwardOnLastServerThrows) {
   util::Xoshiro256Rng rng(207);
   Chain chain = Chain::Create(SmallChainConfig(2), rng);
-  EXPECT_THROW(chain.server(1).ForwardConversation(1, {}), std::logic_error);
-  EXPECT_THROW(chain.server(0).ProcessConversationLastHop(1, {}), std::logic_error);
+  EXPECT_THROW(chain.server(1).ForwardConversation(1, std::vector<util::Bytes>{}),
+               std::logic_error);
+  EXPECT_THROW(chain.server(0).ProcessConversationLastHop(1, std::vector<util::Bytes>{}),
+               std::logic_error);
 }
 
 TEST(Chain, BackwardWithoutForwardThrows) {
   util::Xoshiro256Rng rng(208);
   Chain chain = Chain::Create(SmallChainConfig(2), rng);
-  EXPECT_THROW(chain.server(0).BackwardConversation(99, {}), std::logic_error);
+  EXPECT_THROW(chain.server(0).BackwardConversation(99, std::vector<util::Bytes>{}),
+               std::logic_error);
 }
 
 TEST(Chain, ParallelMatchesSerialSemantics) {

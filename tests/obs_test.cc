@@ -133,7 +133,7 @@ TEST(Registry, GetIsIdempotent) {
 }
 
 TEST(Registry, PresetBucketsAscend) {
-  for (const auto& buckets : {LatencyBuckets(), SizeBuckets()}) {
+  for (const auto& buckets : {LatencyBuckets(), PassLatencyBuckets(), SizeBuckets()}) {
     ASSERT_GE(buckets.size(), 2u);
     for (size_t i = 1; i < buckets.size(); ++i) {
       EXPECT_LT(buckets[i - 1], buckets[i]);

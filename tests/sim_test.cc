@@ -248,7 +248,8 @@ TEST(MixServerHygiene, ExpireRoundsDropsAbandonedState) {
 
   chain.server(0).ExpireRounds(/*newest_round=*/3, /*keep=*/1);
   EXPECT_EQ(chain.server(0).pending_rounds(), 2u);  // rounds 2 and 3 kept
-  EXPECT_THROW(chain.server(0).BackwardConversation(1, {}), std::logic_error);
+  EXPECT_THROW(chain.server(0).BackwardConversation(1, std::vector<util::Bytes>{}),
+               std::logic_error);
 }
 
 }  // namespace
